@@ -1,0 +1,101 @@
+"""Figure 5 — normalized IPC of NDA and NDA+ReCon (SPEC2017 & SPEC2006).
+
+Paper result: NDA costs 13.2% (SPEC2017) / 10.4% (SPEC2006) over the
+unsafe baseline; ReCon reduces the loss to 9.4% / 7.2% — a 28.7% / 31.5%
+overhead reduction.  We reproduce the series (one normalized-IPC value
+per benchmark per scheme) and check the shape: ReCon always recovers,
+never exceeds unsafe systematically, and pointer-heavy benchmarks lose
+(and recover) the most.
+"""
+
+from repro import SchemeKind
+from repro.sim import (
+    bar_chart,
+    format_table,
+    geomean,
+    normalized_ipc,
+    overhead,
+    overhead_reduction,
+    suite_normalized_rows,
+)
+from repro.workloads import spec2006_suite, spec2017_suite
+
+from benchmarks.common import emit, run_grid
+
+SCHEMES = (SchemeKind.UNSAFE, SchemeKind.NDA, SchemeKind.NDA_RECON)
+
+
+def _run_suite(profiles):
+    results = run_grid(profiles, SCHEMES)
+    names = [p.name for p in profiles]
+    rows = suite_normalized_rows(results, names, SCHEMES[1:])
+    table = format_table(["benchmark", "NDA", "NDA+ReCon"], rows)
+    nda_mean = geomean(
+        [normalized_ipc(results, n, SchemeKind.NDA) for n in names]
+    )
+    recon_mean = geomean(
+        [normalized_ipc(results, n, SchemeKind.NDA_RECON) for n in names]
+    )
+    return table, names, results, nda_mean, recon_mean
+
+
+def _check_shape(names, results, nda_mean, recon_mean):
+    # NDA costs performance; ReCon recovers a substantial part of it.
+    assert nda_mean < 0.99
+    assert recon_mean > nda_mean
+    reduction = overhead_reduction(overhead(nda_mean), overhead(recon_mean))
+    assert reduction > 0.15, f"overhead reduction only {reduction:.1%}"
+    # Per benchmark: ReCon never makes things substantially worse.
+    for name in names:
+        nda = normalized_ipc(results, name, SchemeKind.NDA)
+        recon = normalized_ipc(results, name, SchemeKind.NDA_RECON)
+        assert recon > nda - 0.02, f"{name}: ReCon regressed NDA"
+
+
+def test_fig5_nda_spec2017(benchmark):
+    table, names, results, nda_mean, recon_mean = benchmark.pedantic(
+        _run_suite, args=(spec2017_suite(),), rounds=1, iterations=1
+    )
+    reduction = overhead_reduction(overhead(nda_mean), overhead(recon_mean))
+    chart = bar_chart(
+        {
+            f"{name} ({label})": normalized_ipc(results, name, scheme)
+            for name in names
+            for label, scheme in (
+                ("NDA", SchemeKind.NDA),
+                ("+ReCon", SchemeKind.NDA_RECON),
+            )
+        },
+        max_value=1.05,
+        reference=1.0,
+    )
+    summary = (
+        f"{table}\n\n{chart}\n\n"
+        f"overhead: NDA {overhead(nda_mean):.1%} -> "
+        f"NDA+ReCon {overhead(recon_mean):.1%} "
+        f"(reduction {reduction:.1%}; paper: 13.2% -> 9.4%, 28.7%)"
+    )
+    emit("fig5_spec2017", "Figure 5 (upper): NDA+ReCon on SPEC2017", summary)
+    _check_shape(names, results, nda_mean, recon_mean)
+    # The paper's worst losers are the pointer benchmarks.
+    assert normalized_ipc(results, "xalancbmk", SchemeKind.NDA) < 0.9
+    assert normalized_ipc(results, "mcf", SchemeKind.NDA) < 0.95
+    # ...and the streaming FP codes are unaffected.
+    assert normalized_ipc(results, "lbm", SchemeKind.NDA) > 0.97
+    assert normalized_ipc(results, "bwaves", SchemeKind.NDA) > 0.97
+
+
+def test_fig5_nda_spec2006(benchmark):
+    table, names, results, nda_mean, recon_mean = benchmark.pedantic(
+        _run_suite, args=(spec2006_suite(),), rounds=1, iterations=1
+    )
+    reduction = overhead_reduction(overhead(nda_mean), overhead(recon_mean))
+    summary = (
+        f"{table}\n\noverhead: NDA {overhead(nda_mean):.1%} -> "
+        f"NDA+ReCon {overhead(recon_mean):.1%} "
+        f"(reduction {reduction:.1%}; paper: 10.4% -> 7.2%, 31.5%)"
+    )
+    emit("fig5_spec2006", "Figure 5 (lower): NDA+ReCon on SPEC2006", summary)
+    _check_shape(names, results, nda_mean, recon_mean)
+    assert normalized_ipc(results, "xalancbmk", SchemeKind.NDA) < 0.92
+    assert normalized_ipc(results, "libquantum", SchemeKind.NDA) > 0.97

@@ -1,0 +1,113 @@
+"""Figure 6 — normalized IPC of STT and STT+ReCon (SPEC2017 & SPEC2006).
+
+Paper result: STT costs 8.9% (SPEC2017) / 8.1% (SPEC2006); ReCon reduces
+the loss to 4.9% / 5.0% — a 45.1% / 39% overhead reduction.  STT is also
+expected to beat NDA (it only delays transmitters, not all dependents).
+"""
+
+from repro import SchemeKind
+from repro.sim import (
+    bar_chart,
+    format_table,
+    geomean,
+    normalized_ipc,
+    overhead,
+    overhead_reduction,
+    suite_normalized_rows,
+)
+from repro.workloads import spec2006_suite, spec2017_suite
+
+from benchmarks.common import emit, run_grid
+
+SCHEMES = (
+    SchemeKind.UNSAFE,
+    SchemeKind.NDA,
+    SchemeKind.STT,
+    SchemeKind.STT_RECON,
+)
+
+
+def _run_suite(profiles):
+    results = run_grid(profiles, SCHEMES)
+    names = [p.name for p in profiles]
+    rows = suite_normalized_rows(
+        results, names, (SchemeKind.STT, SchemeKind.STT_RECON)
+    )
+    table = format_table(["benchmark", "STT", "STT+ReCon"], rows)
+    means = {
+        scheme: geomean([normalized_ipc(results, n, scheme) for n in names])
+        for scheme in SCHEMES[1:]
+    }
+    return table, names, results, means
+
+
+def _check_shape(names, results, means):
+    assert means[SchemeKind.STT] < 0.99
+    assert means[SchemeKind.STT_RECON] > means[SchemeKind.STT]
+    reduction = overhead_reduction(
+        overhead(means[SchemeKind.STT]),
+        overhead(means[SchemeKind.STT_RECON]),
+    )
+    assert reduction > 0.2, f"overhead reduction only {reduction:.1%}"
+    # STT outperforms the stricter NDA on average (paper §2.1/§6.3).
+    assert means[SchemeKind.STT] >= means[SchemeKind.NDA] - 0.005
+    for name in names:
+        stt = normalized_ipc(results, name, SchemeKind.STT)
+        recon = normalized_ipc(results, name, SchemeKind.STT_RECON)
+        assert recon > stt - 0.02, f"{name}: ReCon regressed STT"
+
+
+def test_fig6_stt_spec2017(benchmark):
+    table, names, results, means = benchmark.pedantic(
+        _run_suite, args=(spec2017_suite(),), rounds=1, iterations=1
+    )
+    reduction = overhead_reduction(
+        overhead(means[SchemeKind.STT]), overhead(means[SchemeKind.STT_RECON])
+    )
+    chart = bar_chart(
+        {
+            f"{name} ({label})": normalized_ipc(results, name, scheme)
+            for name in names
+            for label, scheme in (
+                ("STT", SchemeKind.STT),
+                ("+ReCon", SchemeKind.STT_RECON),
+            )
+        },
+        max_value=1.05,
+        reference=1.0,
+    )
+    summary = (
+        f"{table}\n\n{chart}\n\n"
+        f"overhead: STT {overhead(means[SchemeKind.STT]):.1%} -> "
+        f"STT+ReCon {overhead(means[SchemeKind.STT_RECON]):.1%} "
+        f"(reduction {reduction:.1%}; paper: 8.9% -> 4.9%, 45.1%)\n"
+        f"NDA mean for comparison: {means[SchemeKind.NDA]:.3f}"
+    )
+    emit("fig6_spec2017", "Figure 6 (upper): STT+ReCon on SPEC2017", summary)
+    _check_shape(names, results, means)
+    # Benchmarks with almost no tainted loads see no degradation at all.
+    for flat in ("bwaves", "lbm", "imagick"):
+        assert normalized_ipc(results, flat, SchemeKind.STT) > 0.97
+    # xalancbmk is the biggest loser and biggest winner (paper: 64% -> 88%).
+    xal_stt = normalized_ipc(results, "xalancbmk", SchemeKind.STT)
+    xal_recon = normalized_ipc(results, "xalancbmk", SchemeKind.STT_RECON)
+    assert xal_stt < 0.9
+    assert xal_recon - xal_stt > 0.04
+
+
+def test_fig6_stt_spec2006(benchmark):
+    table, names, results, means = benchmark.pedantic(
+        _run_suite, args=(spec2006_suite(),), rounds=1, iterations=1
+    )
+    reduction = overhead_reduction(
+        overhead(means[SchemeKind.STT]), overhead(means[SchemeKind.STT_RECON])
+    )
+    summary = (
+        f"{table}\n\noverhead: STT {overhead(means[SchemeKind.STT]):.1%} -> "
+        f"STT+ReCon {overhead(means[SchemeKind.STT_RECON]):.1%} "
+        f"(reduction {reduction:.1%}; paper: 8.1% -> 5.0%, 39%)\n"
+        f"NDA mean for comparison: {means[SchemeKind.NDA]:.3f}"
+    )
+    emit("fig6_spec2006", "Figure 6 (lower): STT+ReCon on SPEC2006", summary)
+    _check_shape(names, results, means)
+    assert normalized_ipc(results, "libquantum", SchemeKind.STT) > 0.97

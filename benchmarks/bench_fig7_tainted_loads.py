@@ -1,0 +1,62 @@
+"""Figure 7 — tainted loads of STT+ReCon normalized to STT (SPEC2017).
+
+Paper result: ReCon leaves on average 43.8% fewer loads tainted, because
+a load to a revealed word does not taint its destination.  The paper also
+notes that taint *count* reduction does not translate proportionally to
+performance (perlbench vs xalancbmk).
+"""
+
+from repro import SchemeKind
+from repro.sim import format_table
+from repro.workloads import spec2017_suite
+
+from benchmarks.common import emit, run_grid
+
+SCHEMES = (SchemeKind.UNSAFE, SchemeKind.STT, SchemeKind.STT_RECON)
+
+
+def _run():
+    profiles = spec2017_suite()
+    results = run_grid(profiles, SCHEMES)
+    rows = []
+    ratios = []
+    for profile in profiles:
+        stt = results[(profile.name, SchemeKind.STT)].stats.tainted_loads
+        recon = results[
+            (profile.name, SchemeKind.STT_RECON)
+        ].stats.tainted_loads
+        ratio = recon / stt if stt else 1.0
+        ratios.append((profile.name, stt, recon, ratio))
+        rows.append(
+            [profile.name, str(stt), str(recon), f"{ratio:.3f}"]
+        )
+    meaningful = [r for _, s, _, r in ratios if s > 50]
+    avg = sum(meaningful) / len(meaningful)
+    rows.append(["average (taint-heavy)", "", "", f"{avg:.3f}"])
+    table = format_table(
+        ["benchmark", "STT tainted", "ReCon tainted", "ratio"], rows
+    )
+    return table, ratios, avg
+
+
+def test_fig7_tainted_loads(benchmark):
+    table, ratios, avg = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "fig7_tainted_loads",
+        "Figure 7: tainted loads, STT+ReCon normalized to STT "
+        "(paper average: 0.562)",
+        f"{table}\n\naverage ratio {avg:.3f} => {1 - avg:.1%} fewer tainted "
+        "loads (paper: 43.8% fewer)",
+    )
+    # Shape: ReCon substantially reduces tainted loads overall...
+    assert avg < 0.85
+    # ...and never increases them much.  (A small increase is possible:
+    # lifting defenses lets *more* loads execute speculatively, and the
+    # extra ones may touch unrevealed words.)
+    for name, stt, recon, ratio in ratios:
+        if stt > 50:
+            assert ratio < 1.3, f"{name}: tainted loads grew under ReCon"
+    # Pointer benchmarks see large reductions.
+    by_name = {name: ratio for name, _, _, ratio in ratios}
+    assert by_name["xalancbmk"] < 0.85
+    assert by_name["mcf"] < 0.85

@@ -1,0 +1,102 @@
+"""Figure 8 — normalized execution time of parallel benchmarks (PARSEC).
+
+Four cores share one MESI hierarchy; reveal bits propagate between cores
+through the directory (paper §5.3).  Paper result: NDA adds 9.7% and STT
+4.4% to total execution time; ReCon reduces those overheads by 46.7% and
+78.6%, to 5.2% and 1.0%.
+"""
+
+from repro import SchemeKind
+from repro.sim import format_table, geomean, grouped_bar_chart, overhead_reduction
+from repro.workloads import parsec_suite
+
+from benchmarks.common import emit, run_grid
+
+SCHEMES = (
+    SchemeKind.UNSAFE,
+    SchemeKind.NDA,
+    SchemeKind.NDA_RECON,
+    SchemeKind.STT,
+    SchemeKind.STT_RECON,
+)
+THREADS = 4
+
+
+def _run():
+    profiles = parsec_suite()
+    results = run_grid(profiles, SCHEMES, threads=THREADS)
+    rows = []
+    series = {scheme: [] for scheme in SCHEMES[1:]}
+    for profile in profiles:
+        base = results[(profile.name, SchemeKind.UNSAFE)].cycles
+        row = [profile.name]
+        for scheme in SCHEMES[1:]:
+            ratio = results[(profile.name, scheme)].cycles / base
+            series[scheme].append(ratio)
+            row.append(f"{ratio:.3f}")
+        rows.append(row)
+    mean_row = ["geomean"]
+    means = {}
+    for scheme in SCHEMES[1:]:
+        means[scheme] = geomean(series[scheme])
+        mean_row.append(f"{means[scheme]:.3f}")
+    rows.append(mean_row)
+    table = format_table(
+        ["benchmark", "NDA", "NDA+ReCon", "STT", "STT+ReCon"], rows
+    )
+    return table, results, means
+
+
+def test_fig8_parsec_execution_time(benchmark):
+    table, results, means = benchmark.pedantic(_run, rounds=1, iterations=1)
+    nda_red = overhead_reduction(
+        means[SchemeKind.NDA] - 1, means[SchemeKind.NDA_RECON] - 1
+    )
+    stt_red = overhead_reduction(
+        means[SchemeKind.STT] - 1, means[SchemeKind.STT_RECON] - 1
+    )
+    chart = grouped_bar_chart(
+        [
+            (
+                profile_name,
+                {
+                    scheme.value: results[(profile_name, scheme)].cycles
+                    / results[(profile_name, SchemeKind.UNSAFE)].cycles
+                    for scheme in SCHEMES[1:]
+                },
+            )
+            for profile_name in sorted({name for name, _ in results})
+        ],
+        max_value=1.25,
+        reference=1.0,
+    )
+    summary = (
+        f"{table}\n\n{chart}\n\n"
+        f"time overhead: NDA {means[SchemeKind.NDA] - 1:+.1%} -> "
+        f"{means[SchemeKind.NDA_RECON] - 1:+.1%} (reduction {nda_red:.1%}; "
+        f"paper: 9.7% -> 5.2%, 46.7%)\n"
+        f"time overhead: STT {means[SchemeKind.STT] - 1:+.1%} -> "
+        f"{means[SchemeKind.STT_RECON] - 1:+.1%} (reduction {stt_red:.1%}; "
+        f"paper: 4.4% -> 1.0%, 78.6%)"
+    )
+    emit("fig8_parsec", "Figure 8: PARSEC normalized execution time", summary)
+
+    # Shape: both schemes cost time; ReCon recovers a large share; NDA
+    # costs at least as much as STT.
+    assert means[SchemeKind.NDA] > 1.005
+    assert means[SchemeKind.STT] > 1.005
+    assert means[SchemeKind.NDA] >= means[SchemeKind.STT] - 0.005
+    assert means[SchemeKind.NDA_RECON] < means[SchemeKind.NDA]
+    assert means[SchemeKind.STT_RECON] < means[SchemeKind.STT]
+    assert stt_red > 0.2
+    # canneal (shared pointer chasing) is the big loser/winner.
+    base = results[("canneal", SchemeKind.UNSAFE)].cycles
+    stt = results[("canneal", SchemeKind.STT)].cycles / base
+    recon = results[("canneal", SchemeKind.STT_RECON)].cycles / base
+    assert stt > 1.03
+    assert recon < stt
+    # compute-bound benchmarks are untouched.
+    for flat in ("blackscholes", "swaptions"):
+        assert results[(flat, SchemeKind.STT)].cycles / results[
+            (flat, SchemeKind.UNSAFE)
+        ].cycles < 1.02

@@ -1,0 +1,81 @@
+"""Methodology check — seed noise vs measured effects.
+
+Synthetic-workload measurements carry seed noise where gem5+SPEC carries
+simpoint noise.  This bench quantifies it: three workload seeds per
+benchmark, mean ± std of normalized IPC per scheme, and a check that the
+headline effects (STT's overhead, ReCon's recovery) clear the noise
+floor.
+"""
+
+from repro import SchemeKind
+from repro.sim import format_table
+from repro.sim.runner import TraceCache, run_benchmark_seeds
+
+from benchmarks.common import BENCH_LENGTH, emit
+
+SEEDS = (11, 22, 33)
+NAMES = ("xalancbmk", "omnetpp", "gcc")
+SCHEMES = (SchemeKind.UNSAFE, SchemeKind.STT, SchemeKind.STT_RECON)
+
+
+def _run():
+    from repro.workloads import get_benchmark
+
+    rows = []
+    effects = {}
+    for name in NAMES:
+        profile = get_benchmark("spec2017", name)
+        cache = TraceCache()
+        seeded = {
+            scheme: run_benchmark_seeds(
+                profile, scheme, BENCH_LENGTH, seeds=SEEDS, cache=cache
+            )
+            for scheme in SCHEMES
+        }
+        # Normalize per seed (each seed's schemes ran on identical traces).
+        norm = {scheme: [] for scheme in SCHEMES[1:]}
+        for i in range(len(SEEDS)):
+            base = seeded[SchemeKind.UNSAFE].runs[i].ipc
+            for scheme in SCHEMES[1:]:
+                norm[scheme].append(seeded[scheme].runs[i].ipc / base)
+
+        def mean_std(values):
+            mean = sum(values) / len(values)
+            var = sum((v - mean) ** 2 for v in values) / max(1, len(values) - 1)
+            return mean, var ** 0.5
+
+        stt_mean, stt_std = mean_std(norm[SchemeKind.STT])
+        recon_mean, recon_std = mean_std(norm[SchemeKind.STT_RECON])
+        effects[name] = (stt_mean, stt_std, recon_mean, recon_std)
+        rows.append(
+            [
+                name,
+                f"{stt_mean:.3f} ± {stt_std:.3f}",
+                f"{recon_mean:.3f} ± {recon_std:.3f}",
+            ]
+        )
+    table = format_table(
+        ["benchmark", "STT (mean ± std)", "STT+ReCon (mean ± std)"], rows
+    )
+    return table, effects
+
+
+def test_effects_exceed_seed_noise(benchmark):
+    table, effects = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "noise_check",
+        f"Seed-noise check ({len(SEEDS)} seeds per benchmark)",
+        table,
+    )
+    for name, (stt_mean, stt_std, recon_mean, recon_std) in effects.items():
+        noise = max(stt_std, recon_std)
+        overhead = 1 - stt_mean
+        recovery = recon_mean - stt_mean
+        # The STT overhead is a real effect, not seed noise.
+        assert overhead > 2 * noise, (
+            f"{name}: overhead {overhead:.3f} within noise {noise:.3f}"
+        )
+        # So is the ReCon recovery on these pointer benchmarks.
+        assert recovery > noise, (
+            f"{name}: recovery {recovery:.3f} within noise {noise:.3f}"
+        )

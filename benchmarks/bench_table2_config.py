@@ -1,0 +1,66 @@
+"""Table 2 — the simulated system configuration.
+
+Validates that the default :class:`~repro.common.params.SystemParams`
+reproduces the paper's gem5 configuration (scaled capacities documented
+in DESIGN.md) and prints it in Table 2's layout.
+"""
+
+from repro import SystemParams
+from repro.sim import format_table
+
+from benchmarks.common import emit
+
+
+def _build_table() -> str:
+    params = SystemParams()
+    params.validate()
+    core, mem = params.core, params.memory
+    rows = [
+        ["Core", "3GHz OoO (4 cores for parallel benchmarks)"],
+        ["Decode width", f"{core.decode_width} instructions"],
+        ["Issue / Commit width", f"{core.issue_width} instructions"],
+        ["Instruction queue", f"{core.iq_entries} entries"],
+        ["Reorder buffer", f"{core.rob_entries} entries"],
+        ["Load queue", f"{core.lq_entries} entries"],
+        ["Store queue/buffer", f"{core.sq_entries} entries"],
+        [
+            "L1 D cache",
+            f"{mem.l1.size_bytes // 1024} KiB, {mem.l1.ways} ways, "
+            f"{mem.l1.latency} cycles roundtrip",
+        ],
+        [
+            "L2 cache",
+            f"{mem.l2.size_bytes // 1024} KiB, {mem.l2.ways} ways, "
+            f"{mem.l2.latency} cycles roundtrip",
+        ],
+        [
+            "LLC cache",
+            f"{mem.llc.size_bytes // 1024} KiB, {mem.llc.ways} ways, "
+            f"{mem.llc.latency} cycles roundtrip",
+        ],
+        ["Coherence protocol", "3-level MESI"],
+        ["Coherence directory", "In-cache (LLC)"],
+        ["Cache line size", f"{mem.l1.line_bytes} bytes"],
+        ["DRAM latency", f"{mem.dram_latency} cycles"],
+    ]
+    return format_table(["Parameter", "Value"], rows)
+
+
+def test_table2_configuration(benchmark):
+    table = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    emit("table2_config", "Table 2: simulated system configuration", table)
+
+    params = SystemParams()
+    # The pipeline resources are Table 2's numbers verbatim.
+    assert params.core.decode_width == 8
+    assert params.core.rob_entries == 352
+    assert params.core.iq_entries == 160
+    assert params.core.lq_entries == 128
+    assert params.core.sq_entries == 72
+    # Latencies are Table 2's; capacities are scaled by 1/16 (DESIGN.md).
+    assert params.memory.l1.latency == 2
+    assert params.memory.l2.latency == 6
+    assert params.memory.llc.latency == 16
+    assert params.memory.l1.ways == 8
+    assert params.memory.l2.ways == 16
+    assert params.memory.llc.ways == 32

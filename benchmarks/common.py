@@ -1,0 +1,63 @@
+"""Shared plumbing for the figure/table benches.
+
+Every bench regenerates one table or figure of the paper: it runs the
+experiment once (``benchmark.pedantic(rounds=1)``), prints the rows the
+figure plots, and also writes them to ``results/<name>.txt`` so the
+output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Sequence, Tuple
+
+from repro import SchemeKind
+from repro.sim import default_trace_length, run_suite
+from repro.sim.runner import RunResult, TraceCache
+from repro.workloads import BenchmarkProfile
+
+__all__ = [
+    "BENCH_LENGTH",
+    "PARSEC_LENGTH",
+    "emit",
+    "run_grid",
+    "results_dir",
+]
+
+#: Single-thread trace length for the figure benches (override with the
+#: REPRO_TRACE_LEN environment variable).  The suite's shape assertions
+#: are validated at both 30k (default) and 48k; longer traces warm the
+#: mechanism further (recovery rises, cold-start overhead components
+#: shrink) at linear cost.
+BENCH_LENGTH = default_trace_length(30_000)
+
+#: Per-thread trace length for the 4-core PARSEC bench.
+PARSEC_LENGTH = max(2_000, BENCH_LENGTH // 3)
+
+
+def results_dir() -> Path:
+    path = Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def emit(name: str, title: str, body: str) -> None:
+    """Print a result table and persist it under results/."""
+    text = f"=== {title} ===\n{body}\n"
+    print("\n" + text)
+    (results_dir() / f"{name}.txt").write_text(text)
+
+
+def run_grid(
+    profiles: Sequence[BenchmarkProfile],
+    schemes: Sequence[SchemeKind],
+    threads: int = 1,
+    length: int = None,
+) -> Dict[Tuple[str, SchemeKind], RunResult]:
+    """Run benchmarks x schemes on identical traces (fresh cache)."""
+    if length is None:
+        length = BENCH_LENGTH if threads == 1 else PARSEC_LENGTH
+    return run_suite(
+        profiles, schemes, length, threads=threads, cache=TraceCache()
+    )

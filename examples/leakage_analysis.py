@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Clueless demo: characterize non-speculative leakage of the suites.
+
+Reproduces the paper's §6.2 methodology in miniature: for a few
+benchmarks, run the Clueless analyzer over the trace and report what
+fraction of the program's memory footprint leaks its contents through
+*any* dependence chain (global DIFT) and through *direct load pairs*
+only — the subset ReCon detects with the load-pair table.
+
+Run:  python examples/leakage_analysis.py
+"""
+
+from repro import Clueless, build_trace, get_benchmark
+from repro.sim import format_table
+
+LENGTH = 8_000
+
+BENCHMARKS = (
+    ("spec2017", "mcf"),
+    ("spec2017", "gcc"),
+    ("spec2017", "xalancbmk"),
+    ("spec2017", "deepsjeng"),
+    ("spec2017", "cactuBSSN"),
+    ("spec2017", "lbm"),
+)
+
+
+def main() -> None:
+    rows = []
+    for suite, name in BENCHMARKS:
+        profile = get_benchmark(suite, name)
+        report = Clueless().run(build_trace(profile, LENGTH).trace())
+        rows.append(
+            [
+                profile.label,
+                str(report.footprint_words),
+                f"{report.dift_fraction:.1%}",
+                f"{report.pair_fraction:.1%}",
+                f"{report.pair_coverage:.1%}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "benchmark",
+                "footprint (words)",
+                "DIFT leaked",
+                "load-pair leaked",
+                "pairs / DIFT",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\n'pairs / DIFT' is the share of all explicit leakage that the"
+        "\nload-pair table captures (Fig. 4 / Fig. 9 of the paper):"
+        "\nhigh for pointer codes (mcf, gcc, xalancbmk), low where"
+        "\ndereferences go through computation first (deepsjeng,"
+        "\ncactuBSSN), and moot for streaming codes (lbm)."
+    )
+
+
+if __name__ == "__main__":
+    main()

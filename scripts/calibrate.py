@@ -1,0 +1,34 @@
+"""Calibration driver: prints per-benchmark normalized IPC and ReCon stats."""
+import sys
+import time
+from repro import SchemeKind, run_benchmark, spec2017_suite, spec2006_suite
+from repro.sim.runner import TraceCache
+
+suite = spec2017_suite() if "2006" not in sys.argv else spec2006_suite()
+plain = [a for a in sys.argv[1:] if not a.startswith("len=") and a != "2006"]
+names = plain[0].split(",") if plain else None
+length = int(next((a for a in sys.argv if a.startswith("len=")), "len=10000")[4:])
+
+rows = []
+t0 = time.time()
+for prof in suite:
+    if names and prof.name not in names:
+        continue
+    cache = TraceCache()
+    res = {s: run_benchmark(prof, s, length, cache=cache)
+           for s in (SchemeKind.UNSAFE, SchemeKind.NDA, SchemeKind.NDA_RECON,
+                     SchemeKind.STT, SchemeKind.STT_RECON)}
+    b = res[SchemeKind.UNSAFE].ipc
+    n, nr = res[SchemeKind.NDA].ipc/b, res[SchemeKind.NDA_RECON].ipc/b
+    s, sr = res[SchemeKind.STT].ipc/b, res[SchemeKind.STT_RECON].ipc/b
+    st = res[SchemeKind.STT_RECON].stats
+    rows.append((prof.name, b, n, nr, s, sr, st.reveal_hits, st.reveal_misses, st.tainted_loads,
+                 res[SchemeKind.STT].stats.tainted_loads))
+    print(f"{prof.name:11s} ipc={b:5.2f} nda={n:.3f}->{nr:.3f} stt={s:.3f}->{sr:.3f} "
+          f"hits={st.reveal_hits:5d} miss={st.reveal_misses:5d} taintR={st.tainted_loads:5d}/{rows[-1][9]:5d}")
+import math
+def gm(vals): return math.exp(sum(math.log(v) for v in vals)/len(vals))
+if len(rows) > 2:
+    print(f"{'GEOMEAN':11s}          nda={gm([r[2] for r in rows]):.3f}->{gm([r[3] for r in rows]):.3f} "
+          f"stt={gm([r[4] for r in rows]):.3f}->{gm([r[5] for r in rows]):.3f}")
+print(f"({time.time()-t0:.0f}s)")

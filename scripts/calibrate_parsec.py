@@ -1,0 +1,20 @@
+"""PARSEC calibration: 4-core normalized execution time per scheme."""
+import math
+from repro import SchemeKind, run_benchmark, parsec_suite
+from repro.sim.runner import TraceCache
+
+rows = []
+for prof in parsec_suite():
+    cache = TraceCache()
+    res = {s: run_benchmark(prof, s, 12000, threads=4, cache=cache)
+           for s in (SchemeKind.UNSAFE, SchemeKind.NDA, SchemeKind.NDA_RECON,
+                     SchemeKind.STT, SchemeKind.STT_RECON)}
+    b = res[SchemeKind.UNSAFE].cycles
+    vals = [res[s].cycles / b for s in (SchemeKind.NDA, SchemeKind.NDA_RECON,
+                                        SchemeKind.STT, SchemeKind.STT_RECON)]
+    st = res[SchemeKind.STT_RECON].stats
+    rows.append(vals)
+    print(f"{prof.name:14s} time: nda={vals[0]:.3f}->{vals[1]:.3f} stt={vals[2]:.3f}->{vals[3]:.3f} "
+          f"hits={st.reveal_hits} merges={st.bitvector_merges}")
+def gm(i): return math.exp(sum(math.log(r[i]) for r in rows)/len(rows))
+print(f"{'GEOMEAN':14s} time: nda={gm(0):.3f}->{gm(1):.3f} stt={gm(2):.3f}->{gm(3):.3f}")

@@ -1,0 +1,53 @@
+"""Proportional-control tuner for value_branch_rate per profile."""
+import dataclasses
+import sys
+from repro import SchemeKind, run_benchmark
+from repro.sim.runner import TraceCache
+from repro.workloads import spec2017_suite, spec2006_suite, parsec_suite
+
+TARGETS_2017 = {"perlbench": .946, "gcc": .93, "bwaves": 1.0, "mcf": .78,
+    "cactuBSSN": .92, "lbm": 1.0, "omnetpp": .82, "wrf": .99, "xalancbmk": .641,
+    "x264": .97, "deepsjeng": .92, "leela": .932, "exchange2": .97, "nab": .973,
+    "imagick": .995, "xz": .96}
+TARGETS_2006 = {"perlbench": .95, "bzip2": .96, "gcc": .94, "mcf": .80,
+    "gobmk": .95, "hmmer": .99, "sjeng": .95, "libquantum": 1.0, "h264ref": .985,
+    "omnetpp": .84, "astar": .88, "xalancbmk": .70}
+TARGETS_PARSEC = {"blackscholes": 1.0, "bodytrack": .96, "canneal": .88,
+    "dedup": .95, "ferret": .94, "fluidanimate": .97, "streamcluster": .97,
+    "swaptions": 1.0}
+
+which = sys.argv[1] if len(sys.argv) > 1 else "2017"
+suite, targets, threads = {
+    "2017": (spec2017_suite(), TARGETS_2017, 1),
+    "2006": (spec2006_suite(), TARGETS_2006, 1),
+    "parsec": (parsec_suite(), TARGETS_PARSEC, 4),
+}[which]
+LEN = 30000 if threads == 1 else 8000
+
+def measure(p, vbr):
+    p = dataclasses.replace(p, value_branch_rate=vbr)
+    cache = TraceCache()
+    u = run_benchmark(p, SchemeKind.UNSAFE, LEN, threads=threads, cache=cache)
+    s = run_benchmark(p, SchemeKind.STT, LEN, threads=threads, cache=cache)
+    if threads == 1:
+        return s.ipc / u.ipc
+    return u.cycles / s.cycles  # normalized perf = time ratio
+
+for prof in suite:
+    target = targets[prof.name]
+    vbr = prof.value_branch_rate
+    if target >= 0.999 or vbr == 0:
+        norm = measure(prof, vbr)
+        print(f"{prof.name:13s} vbr={vbr:.3f} norm={norm:.3f} (target {target}) [unchanged]")
+        continue
+    for it in range(5):
+        norm = measure(prof, vbr)
+        t_ov, m_ov = 1 - target, 1 - norm
+        if m_ov <= 0.001:
+            vbr = min(1.0, vbr * 2)
+            continue
+        ratio = t_ov / m_ov
+        if 0.9 < ratio < 1.12:
+            break
+        vbr = max(0.005, min(1.0, vbr * ratio ** 0.8))
+    print(f"{prof.name:13s} vbr={vbr:.3f} norm={norm:.3f} (target {target})")

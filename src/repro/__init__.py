@@ -1,0 +1,91 @@
+"""repro — a reproduction of ReCon (MICRO 2023).
+
+ReCon detects non-speculative information leakage caused by
+direct-dependence load pairs (pointer dereferences / base-address
+indexing), remembers it as reveal/conceal bits carried by the cache
+coherence protocol, and uses it to lift secure-speculation defenses (NDA,
+STT) for values that are already public.
+
+Quick start::
+
+    from repro import SchemeKind, get_benchmark, run_benchmark
+
+    profile = get_benchmark("spec2017", "mcf")
+    unsafe = run_benchmark(profile, SchemeKind.UNSAFE, length=10_000)
+    stt = run_benchmark(profile, SchemeKind.STT, length=10_000)
+    recon = run_benchmark(profile, SchemeKind.STT_RECON, length=10_000)
+    print(stt.ipc / unsafe.ipc, recon.ipc / unsafe.ipc)
+
+Package map:
+
+* :mod:`repro.core` — the out-of-order core model;
+* :mod:`repro.memory` — MESI directory hierarchy with reveal bit-vectors;
+* :mod:`repro.security` — unsafe/NDA/STT policies and the load-pair table;
+* :mod:`repro.analysis` — the Clueless leakage characterizer;
+* :mod:`repro.workloads` — synthetic SPEC/PARSEC-like suites;
+* :mod:`repro.sim` — system assembly, experiment runners, reporting.
+"""
+
+from repro.analysis import Clueless, LeakageReport
+from repro.common import (
+    CacheLevel,
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    SchemeKind,
+    StatSet,
+    SystemParams,
+)
+from repro.core import Core
+from repro.isa import MicroOp, Program
+from repro.memory import MemoryHierarchy
+from repro.security import LoadPairTable, make_policy
+from repro.sim import (
+    RunResult,
+    System,
+    default_trace_length,
+    run_benchmark,
+    run_suite,
+)
+from repro.workloads import (
+    BenchmarkProfile,
+    build_parallel_traces,
+    build_trace,
+    get_benchmark,
+    parsec_suite,
+    spec2006_suite,
+    spec2017_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkProfile",
+    "CacheLevel",
+    "CacheParams",
+    "Clueless",
+    "Core",
+    "CoreParams",
+    "LeakageReport",
+    "LoadPairTable",
+    "MemoryHierarchy",
+    "MemoryParams",
+    "MicroOp",
+    "Program",
+    "RunResult",
+    "SchemeKind",
+    "StatSet",
+    "System",
+    "SystemParams",
+    "__version__",
+    "build_parallel_traces",
+    "build_trace",
+    "default_trace_length",
+    "get_benchmark",
+    "make_policy",
+    "parsec_suite",
+    "run_benchmark",
+    "run_suite",
+    "spec2006_suite",
+    "spec2017_suite",
+]

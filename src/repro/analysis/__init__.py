@@ -1,0 +1,15 @@
+"""Analysis tools: the Clueless leakage characterizer and companions."""
+
+from repro.analysis.clueless import Clueless, LeakageReport
+from repro.analysis.dift import DiftEngine
+from repro.analysis.oracle import oracle_revealed_loads
+from repro.analysis.timeline import LeakageTimeline, leakage_timeline
+
+__all__ = [
+    "Clueless",
+    "DiftEngine",
+    "LeakageReport",
+    "LeakageTimeline",
+    "leakage_timeline",
+    "oracle_revealed_loads",
+]

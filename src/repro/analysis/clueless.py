@@ -1,0 +1,106 @@
+"""Clueless: trace-based characterization of non-speculative leakage.
+
+Reproduces the two measurements of the paper's Figure 4:
+
+* **global DIFT** — every memory word whose contents were turned into an
+  address through *any* dependence chain (registers and memory);
+* **direct load pairs** — the subset the paper's modified Clueless
+  reports: words leaked by a load whose value is used, directly and
+  without intervening computation (an immediate offset is allowed), as
+  the address of a following load.
+
+The pair-only tracker mirrors the LPT (§5.1) but in architectural order:
+a load marks its destination register as *directly loaded from* its
+address; any other producer clears that mark; a load whose base register
+carries a mark leaks the marked address.  Stores conceal in both trackers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional, Set
+
+from repro.common.types import OpClass, word_addr
+from repro.analysis.dift import DiftEngine
+from repro.isa.microop import MicroOp
+
+__all__ = ["Clueless", "LeakageReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LeakageReport:
+    """Leakage summary for one trace (the rows of Figure 4)."""
+
+    footprint_words: int
+    dift_leaked_words: int
+    pair_leaked_words: int
+    dift_peak_words: int
+
+    @property
+    def dift_fraction(self) -> float:
+        """Fraction of the footprint leaked under global DIFT."""
+        if not self.footprint_words:
+            return 0.0
+        return self.dift_leaked_words / self.footprint_words
+
+    @property
+    def pair_fraction(self) -> float:
+        """Fraction of the footprint leaked by direct load pairs."""
+        if not self.footprint_words:
+            return 0.0
+        return self.pair_leaked_words / self.footprint_words
+
+    @property
+    def pair_coverage(self) -> float:
+        """Share of all DIFT leakage that load pairs capture (Fig. 9 x-axis)."""
+        if not self.dift_leaked_words:
+            return 1.0
+        return self.pair_leaked_words / self.dift_leaked_words
+
+
+class Clueless:
+    """Runs global-DIFT and pair-only leakage tracking over a trace."""
+
+    def __init__(self, arch_regs: int = 32) -> None:
+        self._dift = DiftEngine(arch_regs)
+        self._direct_from: Dict[int, Optional[int]] = {
+            r: None for r in range(arch_regs)
+        }
+        self._pair_leaked: Set[int] = set()
+
+    def step(self, uop: MicroOp) -> None:
+        """Process one micro-op in architectural order."""
+        self._dift.step(uop)
+        self._step_pairs(uop)
+
+    def run(self, trace: Iterable[MicroOp]) -> LeakageReport:
+        """Process a whole trace and return its leakage report."""
+        for uop in trace:
+            self.step(uop)
+        return self.report()
+
+    def _step_pairs(self, uop: MicroOp) -> None:
+        opclass = uop.opclass
+        if opclass is OpClass.LOAD:
+            for src in uop.srcs:  # every address operand can form a pair
+                marked = self._direct_from[src]
+                if marked is not None:
+                    self._pair_leaked.add(marked)
+            assert uop.dest is not None and uop.addr is not None
+            self._direct_from[uop.dest] = word_addr(uop.addr)
+        elif opclass is OpClass.STORE:
+            assert uop.addr is not None
+            self._pair_leaked.discard(word_addr(uop.addr))
+        elif uop.dest is not None:
+            # Any non-load producer breaks direct dependence.
+            self._direct_from[uop.dest] = None
+
+    def report(self) -> LeakageReport:
+        """Leakage summary for everything processed so far."""
+        footprint = self._dift.footprint
+        return LeakageReport(
+            footprint_words=len(footprint),
+            dift_leaked_words=len(self._dift.leaked & footprint),
+            pair_leaked_words=len(self._pair_leaked & footprint),
+            dift_peak_words=self._dift.peak_leaked,
+        )

@@ -1,0 +1,40 @@
+"""Oracle leakage knowledge for ablation studies.
+
+Runs the global DIFT engine over a trace in architectural order and
+records, for every load, whether the word it accesses had *already
+leaked* (through any dependence chain) at that point of the execution.
+
+This is the information an idealized SPT-style mechanism — unlimited
+tracking state, instant propagation, no cache-residency constraints —
+could act on.  Comparing a secure scheme optimized by this oracle
+against one optimized by ReCon's load-pair table quantifies how much of
+the ideal benefit the paper's cheap detector captures (§4.2-4.3 argue it
+is most of it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.analysis.dift import DiftEngine
+from repro.common.types import OpClass, word_addr
+from repro.isa.microop import MicroOp
+
+__all__ = ["oracle_revealed_loads"]
+
+
+def oracle_revealed_loads(trace: Iterable[MicroOp], arch_regs: int = 32) -> Set[int]:
+    """Sequence numbers of loads whose word was already DIFT-leaked.
+
+    The check happens *before* the load is processed, so a load does not
+    count its own leakage; stores conceal as usual.
+    """
+    engine = DiftEngine(arch_regs)
+    revealed: Set[int] = set()
+    for uop in trace:
+        if uop.opclass is OpClass.LOAD:
+            assert uop.addr is not None
+            if word_addr(uop.addr) in engine.leaked:
+                revealed.add(uop.seq)
+        engine.step(uop)
+    return revealed

@@ -1,0 +1,330 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro list                      # available benchmarks
+    python -m repro run spec2017/mcf          # one benchmark, all schemes
+    python -m repro suite spec2017            # whole suite table
+    python -m repro leakage spec2017/gcc      # Clueless analysis
+    python -m repro sweep-lpt spec2017/mcf    # LPT size sensitivity
+    python -m repro sweep-levels spec2017/omnetpp   # Fig. 10-style sweep
+    python -m repro save-trace spec2017/mcf mcf.trace   # export a trace
+    python -m repro replay mcf.trace          # run a saved trace file
+
+Common options: ``--length`` (trace micro-ops), ``--schemes`` (comma
+list), ``--threads`` (parallel workloads), ``--seed`` (override profile
+seed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Sequence
+
+from repro.analysis import Clueless
+from repro.common import SchemeKind
+from repro.sim import format_table
+from repro.sim.runner import TraceCache, default_trace_length, run_benchmark
+from repro.sim.sweep import lpt_size_variants, recon_level_variants
+from repro.workloads import all_benchmarks, build_trace, get_benchmark
+
+__all__ = ["main"]
+
+_DEFAULT_SCHEMES = (
+    SchemeKind.UNSAFE,
+    SchemeKind.NDA,
+    SchemeKind.NDA_RECON,
+    SchemeKind.STT,
+    SchemeKind.STT_RECON,
+)
+
+
+def _parse_schemes(text: str) -> List[SchemeKind]:
+    table = {scheme.value: scheme for scheme in SchemeKind}
+    schemes = []
+    for token in text.split(","):
+        token = token.strip()
+        if token not in table:
+            raise SystemExit(
+                f"unknown scheme {token!r}; choose from {sorted(table)}"
+            )
+        schemes.append(table[token])
+    return schemes
+
+
+def _resolve(label: str):
+    if "/" not in label:
+        raise SystemExit("benchmark must be <suite>/<name>, e.g. spec2017/mcf")
+    suite, name = label.split("/", 1)
+    try:
+        return get_benchmark(suite, name)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+
+
+def _apply_seed(profile, seed):
+    if seed is None:
+        return profile
+    return dataclasses.replace(profile, seed=seed)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        [p.label, ", ".join(sorted(p.kernel_weights))]
+        for p in all_benchmarks()
+    ]
+    print(format_table(["benchmark", "kernels"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    profile = _apply_seed(_resolve(args.benchmark), args.seed)
+    schemes = _parse_schemes(args.schemes)
+    cache = TraceCache()
+    results = {
+        scheme: run_benchmark(
+            profile, scheme, args.length, threads=args.threads, cache=cache
+        )
+        for scheme in schemes
+    }
+    baseline = results.get(SchemeKind.UNSAFE)
+    rows = []
+    for scheme in schemes:
+        result = results[scheme]
+        stats = result.stats
+        norm = result.ipc / baseline.ipc if baseline else float("nan")
+        rows.append(
+            [
+                scheme.value,
+                f"{result.cycles}",
+                f"{result.ipc:.3f}",
+                f"{norm:.3f}" if baseline else "n/a",
+                str(stats.tainted_loads),
+                str(stats.load_pairs_detected),
+                str(stats.reveal_hits),
+            ]
+        )
+    print(f"{profile.label}  length={args.length}  threads={args.threads}\n")
+    print(
+        format_table(
+            ["scheme", "cycles", "IPC", "vs unsafe", "tainted", "pairs", "hits"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.workloads import parsec_suite, spec2006_suite, spec2017_suite
+
+    suites = {
+        "spec2017": (spec2017_suite, 1),
+        "spec2006": (spec2006_suite, 1),
+        "parsec": (parsec_suite, 4),
+    }
+    if args.suite not in suites:
+        raise SystemExit(f"unknown suite {args.suite!r}; choose from {sorted(suites)}")
+    factory, threads = suites[args.suite]
+    schemes = _parse_schemes(args.schemes)
+    rows = []
+    for profile in factory():
+        cache = TraceCache()
+        results = {
+            scheme: run_benchmark(
+                profile, scheme, args.length, threads=threads, cache=cache
+            )
+            for scheme in schemes
+        }
+        base = results.get(SchemeKind.UNSAFE)
+        row = [profile.name]
+        for scheme in schemes:
+            if scheme is SchemeKind.UNSAFE:
+                row.append(f"{results[scheme].ipc:.2f}")
+            elif base is not None:
+                row.append(f"{results[scheme].ipc / base.ipc:.3f}")
+            else:
+                row.append(f"{results[scheme].ipc:.2f}")
+        rows.append(row)
+        print(f"  finished {profile.label}", file=sys.stderr)
+    headers = ["benchmark"] + [
+        "IPC" if s is SchemeKind.UNSAFE else s.value for s in schemes
+    ]
+    print(format_table(headers, rows))
+    return 0
+
+
+def cmd_leakage(args: argparse.Namespace) -> int:
+    profile = _apply_seed(_resolve(args.benchmark), args.seed)
+    report = Clueless().run(build_trace(profile, args.length).trace())
+    rows = [
+        ["footprint (words)", str(report.footprint_words)],
+        ["DIFT leaked", f"{report.dift_leaked_words} ({report.dift_fraction:.1%})"],
+        [
+            "load-pair leaked",
+            f"{report.pair_leaked_words} ({report.pair_fraction:.1%})",
+        ],
+        ["pairs / DIFT", f"{report.pair_coverage:.1%}"],
+        ["peak DIFT leaked", str(report.dift_peak_words)],
+    ]
+    print(f"{profile.label}  length={args.length}\n")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _run_sweep(args, variants) -> int:
+    profile = _apply_seed(_resolve(args.benchmark), args.seed)
+    cache = TraceCache()
+    unsafe = run_benchmark(profile, SchemeKind.UNSAFE, args.length, cache=cache)
+    rows = []
+    for label, params in variants:
+        result = run_benchmark(
+            profile,
+            SchemeKind.STT_RECON,
+            args.length,
+            params=params,
+            cache=cache,
+        )
+        rows.append(
+            [
+                label,
+                f"{result.ipc / unsafe.ipc:.3f}",
+                str(result.stats.reveal_hits),
+                str(result.stats.lpt_conflicts),
+            ]
+        )
+    print(f"{profile.label}  STT+ReCon  length={args.length}\n")
+    print(
+        format_table(["variant", "vs unsafe", "reveal hits", "LPT conflicts"], rows)
+    )
+    return 0
+
+
+def cmd_save_trace(args: argparse.Namespace) -> int:
+    from repro.isa import save_trace
+
+    profile = _apply_seed(_resolve(args.benchmark), args.seed)
+    trace = build_trace(profile, args.length).trace()
+    save_trace(trace, args.path)
+    print(f"wrote {len(trace)} micro-ops to {args.path}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.common import StatSet, SystemParams
+    from repro.isa import load_trace
+    from repro.sim import System
+
+    try:
+        trace = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load trace: {exc}")
+    schemes = _parse_schemes(args.schemes)
+    rows = []
+    baseline_ipc = None
+    for scheme in schemes:
+        result = System(SystemParams(), [trace], scheme).run()
+        ipc = result.ipc
+        if baseline_ipc is None:
+            baseline_ipc = ipc
+        stats = result.aggregate
+        rows.append(
+            [
+                scheme.value,
+                str(result.cycles),
+                f"{ipc:.3f}",
+                f"{ipc / baseline_ipc:.3f}",
+                str(stats.tainted_loads),
+                str(stats.load_pairs_detected),
+            ]
+        )
+    print(f"replay of {args.path}: {len(trace)} micro-ops\n")
+    print(
+        format_table(
+            ["scheme", "cycles", "IPC", "vs first", "tainted", "pairs"], rows
+        )
+    )
+    return 0
+
+
+def cmd_sweep_lpt(args: argparse.Namespace) -> int:
+    return _run_sweep(args, lpt_size_variants())
+
+
+def cmd_sweep_levels(args: argparse.Namespace) -> int:
+    return _run_sweep(args, recon_level_variants())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ReCon (MICRO 2023) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, benchmark=True):
+        if benchmark:
+            p.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
+        p.add_argument(
+            "--length",
+            type=int,
+            default=default_trace_length(12_000),
+            help="trace length in micro-ops",
+        )
+        p.add_argument("--seed", type=int, default=None, help="override seed")
+        p.add_argument(
+            "--schemes",
+            default=",".join(s.value for s in _DEFAULT_SCHEMES),
+            help="comma-separated scheme list",
+        )
+        p.add_argument("--threads", type=int, default=1)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one benchmark under schemes")
+    add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run a whole suite")
+    p_suite.add_argument("suite", help="spec2017 | spec2006 | parsec")
+    add_common(p_suite, benchmark=False)
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_leak = sub.add_parser("leakage", help="Clueless leakage analysis")
+    add_common(p_leak)
+    p_leak.set_defaults(func=cmd_leakage)
+
+    p_lpt = sub.add_parser("sweep-lpt", help="LPT size sensitivity")
+    add_common(p_lpt)
+    p_lpt.set_defaults(func=cmd_sweep_lpt)
+
+    p_lvl = sub.add_parser("sweep-levels", help="ReCon cache-level sweep")
+    add_common(p_lvl)
+    p_lvl.set_defaults(func=cmd_sweep_levels)
+
+    p_save = sub.add_parser("save-trace", help="export a workload trace file")
+    p_save.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
+    p_save.add_argument("path", help="output trace file")
+    p_save.add_argument(
+        "--length", type=int, default=default_trace_length(12_000)
+    )
+    p_save.add_argument("--seed", type=int, default=None)
+    p_save.set_defaults(func=cmd_save_trace)
+
+    p_replay = sub.add_parser("replay", help="run a saved trace file")
+    p_replay.add_argument("path", help="trace file from save-trace")
+    p_replay.add_argument(
+        "--schemes",
+        default=",".join(s.value for s in _DEFAULT_SCHEMES),
+        help="comma-separated scheme list",
+    )
+    p_replay.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,38 @@
+"""Shared vocabulary: types, parameters, and statistics."""
+
+from repro.common.params import CacheParams, CoreParams, MemoryParams, SystemParams
+from repro.common.stats import StatSet
+from repro.common.types import (
+    LINE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+    CacheLevel,
+    MemPrediction,
+    MESIState,
+    OpClass,
+    SchemeKind,
+    SpeculationModel,
+    line_addr,
+    word_addr,
+    word_index,
+)
+
+__all__ = [
+    "CacheLevel",
+    "CacheParams",
+    "CoreParams",
+    "LINE_BYTES",
+    "MESIState",
+    "MemPrediction",
+    "MemoryParams",
+    "OpClass",
+    "SchemeKind",
+    "SpeculationModel",
+    "StatSet",
+    "SystemParams",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "line_addr",
+    "word_addr",
+    "word_index",
+]

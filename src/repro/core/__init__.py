@@ -1,0 +1,20 @@
+"""Out-of-order core model: rename, shadows, LSQ, MDP, pipeline."""
+
+from repro.core.lsq import LoadEntry, LoadStoreUnit, StoreEntry
+from repro.core.mdp import MemoryDependencePredictor
+from repro.core.pipeline import Core, Observation
+from repro.core.rename import RegisterFile, RenameResult
+from repro.core.shadows import NO_SHADOW, ShadowTracker
+
+__all__ = [
+    "Core",
+    "LoadEntry",
+    "LoadStoreUnit",
+    "MemoryDependencePredictor",
+    "NO_SHADOW",
+    "Observation",
+    "RegisterFile",
+    "RenameResult",
+    "ShadowTracker",
+    "StoreEntry",
+]

@@ -1,0 +1,177 @@
+"""Load/store queues, store buffer, and store-to-load forwarding.
+
+Committed stores sit in the store buffer (SB) until performed; stores in
+the store queue (SQ) are in-flight (paper §4.4.2).  Loads forward from
+either — and forwarded data is always **concealed** under ReCon, so the
+pipeline never lifts defenses for a forwarded value (§4.5).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, FrozenSet, List, Optional
+
+from repro.common.types import word_addr
+
+__all__ = ["StoreEntry", "LoadEntry", "LoadStoreUnit"]
+
+
+class StoreEntry:
+    """One store in the SQ or SB."""
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "addr",
+        "word",
+        "resolved",
+        "data_ready",
+        "committed",
+        "taint",
+    )
+
+    def __init__(self, seq: int, pc: int, addr: int) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.addr = addr
+        self.word = word_addr(addr)
+        self.resolved = False  # address generated (agen done)
+        self.data_ready = False  # data register value available
+        self.committed = False
+        self.taint: FrozenSet[int] = frozenset()  # taint of the stored data
+
+
+class LoadEntry:
+    """One load tracked for memory-order violation detection."""
+
+    __slots__ = ("seq", "pc", "word", "went_to_memory")
+
+    def __init__(self, seq: int, pc: int, addr: int) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.word = word_addr(addr)
+        self.went_to_memory = False
+
+
+class LoadStoreUnit:
+    """SQ + SB + LQ with forwarding and ordering queries."""
+
+    def __init__(self, lq_entries: int, sq_entries: int) -> None:
+        self.lq_entries = lq_entries
+        self.sq_entries = sq_entries
+        self._sq: Deque[StoreEntry] = collections.deque()
+        self._sb: Deque[StoreEntry] = collections.deque()
+        self._lq: Dict[int, LoadEntry] = {}
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+    @property
+    def sq_full(self) -> bool:
+        return len(self._sq) >= self.sq_entries
+
+    @property
+    def lq_full(self) -> bool:
+        return len(self._lq) >= self.lq_entries
+
+    @property
+    def sb_full(self) -> bool:
+        return len(self._sb) >= self.sq_entries
+
+    # ------------------------------------------------------------------
+    # dispatch / execute / commit hooks
+    # ------------------------------------------------------------------
+    def add_store(self, seq: int, pc: int, addr: int) -> StoreEntry:
+        """Allocate an SQ entry at dispatch (address not yet resolved)."""
+        entry = StoreEntry(seq, pc, addr)
+        self._sq.append(entry)
+        return entry
+
+    def add_load(self, seq: int, pc: int, addr: int) -> LoadEntry:
+        """Allocate an LQ entry at dispatch."""
+        entry = LoadEntry(seq, pc, addr)
+        self._lq[seq] = entry
+        return entry
+
+    def resolve_store(self, seq: int) -> List[LoadEntry]:
+        """Mark a store's address resolved; return violated younger loads.
+
+        A violation is a younger load to the same word that already issued
+        to memory (it read stale data past this store).
+        """
+        entry = self._find_sq(seq)
+        if entry is None:
+            raise KeyError(f"store #{seq} not in SQ")
+        entry.resolved = True
+        return [
+            load
+            for load in self._lq.values()
+            if load.seq > seq and load.word == entry.word and load.went_to_memory
+        ]
+
+    def set_store_data(self, seq: int, taint: FrozenSet[int]) -> None:
+        """The store's data register became available (with its taint)."""
+        entry = self._find_sq(seq)
+        if entry is None:
+            raise KeyError(f"store #{seq} not in SQ")
+        entry.data_ready = True
+        entry.taint = taint
+
+    def commit_store(self, seq: int) -> StoreEntry:
+        """Move the SQ head into the store buffer (must commit in order)."""
+        if not self._sq or self._sq[0].seq != seq:
+            raise ValueError(f"store #{seq} is not the SQ head")
+        entry = self._sq.popleft()
+        entry.committed = True
+        self._sb.append(entry)
+        return entry
+
+    def commit_load(self, seq: int) -> None:
+        """Release the LQ entry of a committing load."""
+        self._lq.pop(seq, None)
+
+    def pop_performable_store(self) -> Optional[StoreEntry]:
+        """Remove and return the oldest SB entry (drained to the cache)."""
+        if self._sb:
+            return self._sb.popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # ordering / forwarding queries
+    # ------------------------------------------------------------------
+    def has_older_unresolved_store(self, load_seq: int) -> bool:
+        """Any store older than ``load_seq`` with an unresolved address?"""
+        return any(s.seq < load_seq and not s.resolved for s in self._sq)
+
+    def forwarding_store(self, load_seq: int, addr: int) -> Optional[StoreEntry]:
+        """Youngest older resolved store matching ``addr``'s word, if any.
+
+        Searches the SQ (in-flight) and SB (committed, not yet performed);
+        the youngest match supplies the data.
+        """
+        word = word_addr(addr)
+        best: Optional[StoreEntry] = None
+        for entry in self._sq:
+            if entry.seq < load_seq and entry.resolved and entry.word == word:
+                if best is None or entry.seq > best.seq:
+                    best = entry
+        if best is not None:
+            return best  # SQ entries are younger than all SB entries
+        for entry in reversed(self._sb):
+            if entry.word == word:
+                return entry
+        return None
+
+    def _find_sq(self, seq: int) -> Optional[StoreEntry]:
+        for entry in self._sq:
+            if entry.seq == seq:
+                return entry
+        return None
+
+    def load_entry(self, seq: int) -> Optional[LoadEntry]:
+        """The LQ entry for ``seq``, if still allocated."""
+        return self._lq.get(seq)
+
+    @property
+    def sb_depth(self) -> int:
+        return len(self._sb)

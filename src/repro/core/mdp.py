@@ -1,0 +1,50 @@
+"""Memory-dependence predictor (store-set-lite).
+
+A minimal predictor in the spirit of store sets [Chrysos & Emer 1998],
+which the paper cites for the memory-dependence-speculation cases of
+Table 1.  Per static load pc it predicts either MEM (independent: issue to
+the memory hierarchy past unresolved older stores) or STF (dependent: wait
+for older stores and forward).
+
+Training: a memory-order violation (a load that went to memory and was hit
+by an older store resolving to the same word) trains toward STF; an STF
+prediction that found no forwarding match trains back toward MEM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.types import MemPrediction
+
+__all__ = ["MemoryDependencePredictor"]
+
+
+class MemoryDependencePredictor:
+    """2-bit-counter-per-pc predictor, default MEM."""
+
+    _MAX = 3
+    _THRESHOLD = 2  # counter >= threshold predicts STF
+
+    def __init__(self) -> None:
+        self._counters: Dict[int, int] = {}
+        self.violations = 0
+        self.false_dependencies = 0
+
+    def predict(self, pc: int) -> MemPrediction:
+        """Predict whether the load at ``pc`` depends on an older store."""
+        if self._counters.get(pc, 0) >= self._THRESHOLD:
+            return MemPrediction.STF
+        return MemPrediction.MEM
+
+    def train_violation(self, pc: int) -> None:
+        """A MEM-predicted load was hit by an older store: learn STF."""
+        self.violations += 1
+        self._counters[pc] = min(self._counters.get(pc, 0) + 2, self._MAX)
+
+    def train_no_dependence(self, pc: int) -> None:
+        """An STF-predicted load found nothing to forward from."""
+        self.false_dependencies += 1
+        counter = self._counters.get(pc, 0)
+        if counter > 0:
+            self._counters[pc] = counter - 1

@@ -1,0 +1,626 @@
+"""The out-of-order core model.
+
+A cycle-driven, trace-fed, correct-path pipeline with the Table 2
+resources: 8-wide dispatch/issue/commit, 352-entry ROB, 160-entry IQ,
+128/72-entry LQ/SQ, register renaming over a physical register file, a
+store buffer drained after commit, branch/store speculation shadows, and a
+store-set-lite memory-dependence predictor.
+
+Wrong-path execution is modeled as a fetch bubble: a mispredicted branch
+blocks dispatch of younger (correct-path) micro-ops from its dispatch
+until its *resolution* plus the redirect penalty.  This is where the
+secure schemes' delayed branch resolution (STT's implicit-channel gate,
+NDA's deferred operand broadcast) costs performance, exactly as in the
+paper.
+
+Security hooks (see :mod:`repro.security`):
+
+* loads/stores ask the policy before issuing (STT explicit channel);
+* a returning load value asks the policy whether to broadcast now (NDA)
+  and with what taint (STT), passing the ReCon reveal bit of the accessed
+  word;
+* branch resolution asks the policy (STT implicit channel);
+* the commit stage runs the ReCon load-pair table and sends reveal
+  requests to the L1; committed stores conceal their word when performed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.common.params import SystemParams
+from repro.common.stats import StatSet
+from repro.common.types import MemPrediction, OpClass, SpeculationModel
+from repro.core.lsq import LoadStoreUnit
+from repro.core.mdp import MemoryDependencePredictor
+from repro.core.rename import RegisterFile
+from repro.core.shadows import ShadowTracker
+from repro.isa.microop import MicroOp
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.security.policy import EMPTY_TAINT, SecurityPolicy
+from repro.security.lpt import LoadPairTable
+
+__all__ = ["Core", "Observation"]
+
+
+class Observation:
+    """A load's memory access, as visible to a cache side-channel."""
+
+    __slots__ = ("seq", "pc", "addr", "cycle", "speculative")
+
+    def __init__(
+        self, seq: int, pc: int, addr: int, cycle: int, speculative: bool
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.addr = addr
+        self.cycle = cycle
+        self.speculative = speculative
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spec = " spec" if self.speculative else ""
+        return f"<Obs #{self.seq} [{self.addr:#x}] @{self.cycle}{spec}>"
+
+
+class _Inst:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "seq",
+        "uop",
+        "dest_phys",
+        "src_phys",
+        "data_phys",
+        "freed_on_commit",
+        "pending",
+        "data_pending",
+        "agen_done",
+        "captured_taint",
+        "completed",
+        "fwd_taint",
+        "mem_revealed",
+        "went_to_memory",
+        "first_blocked",
+        "counted_delayed",
+    )
+
+    def __init__(self, seq: int, uop: MicroOp) -> None:
+        self.seq = seq
+        self.uop = uop
+        self.dest_phys: Optional[int] = None
+        self.src_phys: Tuple[int, ...] = ()
+        self.data_phys: Tuple[int, ...] = ()
+        self.freed_on_commit: Optional[int] = None
+        self.pending = 0
+        self.data_pending = 0
+        self.agen_done = False
+        self.captured_taint: FrozenSet[int] = EMPTY_TAINT
+        self.completed = False
+        self.fwd_taint: FrozenSet[int] = EMPTY_TAINT
+        self.mem_revealed = False
+        self.went_to_memory = False
+        self.first_blocked = -1
+        self.counted_delayed = False
+
+
+class Core:
+    """One simulated core running one micro-op trace."""
+
+    def __init__(
+        self,
+        core_id: int,
+        params: SystemParams,
+        trace: List[MicroOp],
+        hierarchy: MemoryHierarchy,
+        policy: SecurityPolicy,
+        stats: Optional[StatSet] = None,
+        warmup_uops: int = 0,
+    ) -> None:
+        params.validate()
+        self.core_id = core_id
+        self.params = params
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.policy = policy
+        self.stats = stats if stats is not None else StatSet()
+        hierarchy.attach_stats(core_id, self.stats)
+        #: After this many committed micro-ops, a stats snapshot is taken;
+        #: :attr:`measured` excludes everything before it (detailed warm-up,
+        #: paper §6.1).
+        self.warmup_uops = warmup_uops
+        self._warm_snapshot: Optional[StatSet] = None
+
+        core = params.core
+        self.regfile = RegisterFile(core.arch_regs, core.phys_regs)
+        self.shadows = ShadowTracker()
+        self.lsq = LoadStoreUnit(core.lq_entries, core.sq_entries)
+        self.mdp = MemoryDependencePredictor()
+        self.lpt = (
+            LoadPairTable(params.effective_lpt_entries)
+            if policy.use_recon
+            else None
+        )
+
+        self._latency = {
+            OpClass.ALU: core.alu_latency,
+            OpClass.MUL: core.mul_latency,
+            OpClass.DIV: core.div_latency,
+            OpClass.FP: core.fp_latency,
+            OpClass.BRANCH: core.branch_latency,
+            OpClass.NOP: 1,
+        }
+
+        self._data_waiters: Dict[int, List[_Inst]] = {}
+        self._rob: List[_Inst] = []  # in program order; head is index 0
+        self._rob_head = 0
+        self._iq_count = 0
+        self._ready: List[_Inst] = []
+        self._events: Dict[int, List[Tuple[str, _Inst]]] = {}
+        self._event_cycles: List[int] = []  # min-heap of scheduled cycles
+        self._blocked_branches: List[_Inst] = []
+        self._deferred: List[Tuple[int, _Inst]] = []  # NDA broadcast at safety
+        self._pending_exposes: List[Tuple[int, int]] = []  # invisible loads
+        self._fetch_idx = 0
+        self._fetch_blocked_by: Optional[int] = None  # mispredicted branch seq
+        self._fetch_resume_cycle = 0
+        self.cycle = 0
+        self.done = False
+
+        #: Memory accesses visible to a cache side-channel (security tests).
+        self.observations: List[Observation] = []
+
+    @property
+    def measured(self) -> StatSet:
+        """Stats excluding the warm-up prefix (all stats if no warm-up)."""
+        if self._warm_snapshot is None:
+            return self.stats
+        return self.stats.delta(self._warm_snapshot)
+
+    # ------------------------------------------------------------------
+    # public driving
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000) -> StatSet:
+        """Run the trace to completion; returns the stats."""
+        while not self.done:
+            active = self.step(self.cycle)
+            if self.cycle > max_cycles:
+                raise RuntimeError(f"exceeded {max_cycles} cycles; likely hang")
+            if active or self.done:
+                self.cycle += 1
+            else:
+                self.cycle = self.next_wake(self.cycle)
+        return self.stats
+
+    def step(self, cycle: int) -> bool:
+        """Advance one cycle; returns True if any pipeline activity occurred."""
+        if self.done:
+            return False
+        activity = self._process_events(cycle)
+        activity |= self._resolve_blocked_branches(cycle)
+        self._advance_visibility(cycle)
+        activity |= self._drain_store_buffer(cycle)
+        activity |= self._commit(cycle) > 0
+        activity |= self._issue(cycle) > 0
+        activity |= self._dispatch(cycle) > 0
+        if (
+            self._fetch_idx >= len(self.trace)
+            and self._rob_head >= len(self._rob)
+            and self.lsq.sb_depth == 0
+        ):
+            self.done = True
+            self.stats.cycles = cycle + 1
+            if self.lpt is not None:
+                self.stats.lpt_conflicts = self.lpt.conflicts
+        return activity
+
+    def next_wake(self, cycle: int) -> int:
+        """Earliest future cycle at which state can change."""
+        candidates = [cycle + 1]
+        while self._event_cycles and self._event_cycles[0] <= cycle:
+            heapq.heappop(self._event_cycles)
+        if self._event_cycles:
+            candidates.append(self._event_cycles[0])
+        if self._fetch_blocked_by is None and self._fetch_resume_cycle > cycle:
+            candidates.append(self._fetch_resume_cycle)
+        if len(candidates) == 1:
+            # Nothing scheduled: only legal if a same-cycle wake is pending.
+            return cycle + 1
+        return max(cycle + 1, min(candidates[1:]))
+
+    # ------------------------------------------------------------------
+    # cycle phases
+    # ------------------------------------------------------------------
+    def _schedule(self, cycle: int, kind: str, inst: _Inst) -> None:
+        self._events.setdefault(cycle, []).append((kind, inst))
+        heapq.heappush(self._event_cycles, cycle)
+
+    def _process_events(self, cycle: int) -> bool:
+        events = self._events.pop(cycle, None)
+        if not events:
+            return False
+        for kind, inst in events:
+            if kind == "complete":
+                self._complete(inst, cycle)
+            elif kind == "load_return":
+                self._load_return(inst, cycle)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown event {kind}")
+        return True
+
+    def _complete(self, inst: _Inst, cycle: int) -> None:
+        uop = inst.uop
+        if uop.opclass is OpClass.STORE:
+            violated = self.lsq.resolve_store(inst.seq)
+            for load in violated:
+                # Squash-lite: train the predictor and charge a flush-like
+                # bubble for the memory-order violation.
+                self.mdp.train_violation(load.pc)
+                self._fetch_resume_cycle = max(
+                    self._fetch_resume_cycle,
+                    cycle + self.params.core.mispredict_penalty,
+                )
+            if self.params.speculation_model is not SpeculationModel.CONTROL_ONLY:
+                self.shadows.resolve(inst.seq)
+            inst.agen_done = True
+            if inst.data_pending == 0:
+                inst.completed = True
+        elif uop.opclass is OpClass.BRANCH:
+            if self.policy.branch_resolution_blocked(inst.captured_taint):
+                self._blocked_branches.append(inst)
+            else:
+                self._resolve_branch(inst, cycle)
+        else:
+            taint = self.policy.propagate_taint(inst.captured_taint)
+            self._broadcast(inst, taint)
+            inst.completed = True
+
+    def _resolve_blocked_branches(self, cycle: int) -> bool:
+        if not self._blocked_branches:
+            return False
+        still_blocked = []
+        resolved_any = False
+        for inst in self._blocked_branches:
+            if self.policy.branch_resolution_blocked(inst.captured_taint):
+                still_blocked.append(inst)
+            else:
+                self._resolve_branch(inst, cycle)
+                resolved_any = True
+        self._blocked_branches = still_blocked
+        return resolved_any
+
+    def _resolve_branch(self, inst: _Inst, cycle: int) -> None:
+        self.shadows.resolve(inst.seq)
+        inst.completed = True
+        if inst.uop.mispredict:
+            self.stats.mispredicted_branches += 1
+            if self._fetch_blocked_by == inst.seq:
+                self._fetch_blocked_by = None
+                self._fetch_resume_cycle = max(
+                    self._fetch_resume_cycle,
+                    cycle + self.params.core.mispredict_penalty,
+                )
+
+    def _advance_visibility(self, cycle: int) -> None:
+        frontier = self.shadows.frontier
+        self.policy.on_visibility(frontier)
+        while self._deferred and self._deferred[0][0] < frontier:
+            _, inst = heapq.heappop(self._deferred)
+            self._broadcast(inst, EMPTY_TAINT)
+        while self._pending_exposes and self._pending_exposes[0][0] < frontier:
+            # Expose: install the line for real, off the critical path.
+            _, addr = heapq.heappop(self._pending_exposes)
+            self.hierarchy.read(self.core_id, addr, now=cycle)
+
+    def _commit(self, cycle: int) -> int:
+        committed = 0
+        width = self.params.core.commit_width
+        while committed < width and self._rob_head < len(self._rob):
+            inst = self._rob[self._rob_head]
+            if not inst.completed:
+                break
+            uop = inst.uop
+            if uop.opclass is OpClass.STORE:
+                if self.lsq.sb_full:
+                    break
+                self.lsq.commit_store(inst.seq)
+                self.stats.committed_stores += 1
+                if self.lpt is not None:
+                    self.lpt.on_other_commit(inst.dest_phys)
+            elif uop.opclass is OpClass.LOAD:
+                self.lsq.commit_load(inst.seq)
+                self.stats.committed_loads += 1
+                if self.lpt is not None:
+                    self._lpt_load_commit(inst)
+            else:
+                if uop.opclass is OpClass.BRANCH:
+                    self.stats.committed_branches += 1
+                if self.lpt is not None:
+                    self.lpt.on_other_commit(inst.dest_phys)
+            self.policy.on_commit(uop)
+            if inst.freed_on_commit is not None:
+                self.regfile.release(inst.freed_on_commit)
+            self._rob[self._rob_head] = None  # type: ignore[call-overload]
+            self._rob_head += 1
+            self.stats.committed_uops += 1
+            committed += 1
+            if (
+                self._warm_snapshot is None
+                and self.warmup_uops
+                and self.stats.committed_uops >= self.warmup_uops
+            ):
+                self.stats.cycles = cycle
+                self._warm_snapshot = self.stats.snapshot()
+        if self._rob_head > 4096 and self._rob_head == len(self._rob):
+            del self._rob[: self._rob_head]
+            self._rob_head = 0
+        return committed
+
+    def _lpt_load_commit(self, inst: _Inst) -> None:
+        assert self.lpt is not None and inst.dest_phys is not None
+        sources = inst.src_phys[: self.params.lpt_sources]
+        reveals = self.lpt.on_load_commit_multi(
+            inst.dest_phys, sources, inst.uop.addr or 0
+        )
+        for reveal_addr in reveals:
+            self.stats.load_pairs_detected += 1
+            self.hierarchy.reveal(self.core_id, reveal_addr)
+
+    def _drain_store_buffer(self, cycle: int) -> bool:
+        drained = False
+        for _ in range(self.params.core.sb_drain_per_cycle):
+            entry = self.lsq.pop_performable_store()
+            if entry is None:
+                break
+            self.hierarchy.write(self.core_id, entry.addr, now=cycle)
+            drained = True
+        return drained
+
+    # ------------------------------------------------------------------
+    # issue
+    # ------------------------------------------------------------------
+    def _issue(self, cycle: int) -> int:
+        if not self._ready:
+            return 0
+        self._ready.sort(key=lambda i: i.seq)
+        issued = 0
+        kept: List[_Inst] = []
+        width = self.params.core.issue_width
+        for inst in self._ready:
+            if issued >= width:
+                kept.append(inst)
+                continue
+            uop = inst.uop
+            if uop.opclass is OpClass.LOAD:
+                outcome = self._try_issue_load(inst, cycle)
+            elif uop.opclass is OpClass.STORE:
+                outcome = self._try_issue_store(inst, cycle)
+            else:
+                inst.captured_taint = self.regfile.union_taint(inst.src_phys)
+                self._schedule(
+                    cycle + self._latency[uop.opclass], "complete", inst
+                )
+                outcome = True
+            if outcome:
+                issued += 1
+                self._iq_count -= 1
+            else:
+                self._note_blocked(inst, cycle)
+                kept.append(inst)
+        self._ready = kept
+        return issued
+
+    def _note_blocked(self, inst: _Inst, cycle: int) -> None:
+        if inst.first_blocked < 0:
+            inst.first_blocked = cycle
+        if not inst.counted_delayed and inst.uop.opclass is OpClass.LOAD:
+            inst.counted_delayed = True
+            self.stats.delayed_loads += 1
+
+    def _try_issue_store(self, inst: _Inst, cycle: int) -> bool:
+        taint = self.regfile.union_taint(inst.src_phys)
+        if self.policy.store_issue_blocked(taint):
+            return False
+        inst.captured_taint = taint
+        self._finish_delay_stat(inst, cycle)
+        self._schedule(cycle + self._latency[OpClass.ALU], "complete", inst)
+        return True
+
+    def _try_issue_load(self, inst: _Inst, cycle: int) -> bool:
+        taint = self.regfile.union_taint(inst.src_phys)
+        if self.policy.load_issue_blocked(taint):
+            return False
+        uop = inst.uop
+        addr = uop.addr
+        assert addr is not None
+        if self.policy.gates_on_miss:
+            l1_hit, revealed = self.hierarchy.peek_access(self.core_id, addr)
+            if not self.policy.may_issue_load(
+                self.shadows.is_speculative(inst.seq), l1_hit, revealed
+            ):
+                return False
+        invisible = False
+        if self.policy.invisible_speculation:
+            _, revealed = self.hierarchy.peek_access(self.core_id, addr)
+            invisible = self.policy.load_must_be_invisible(
+                self.shadows.is_speculative(inst.seq), revealed
+            )
+        forward = self.lsq.forwarding_store(inst.seq, addr)
+        if forward is not None and not forward.data_ready:
+            return False  # matching older store exists but has no data yet
+        unresolved = self.lsq.has_older_unresolved_store(inst.seq)
+
+        if self.params.memory_dependence_speculation:
+            prediction = uop.forced_prediction or self.mdp.predict(uop.pc)
+            if prediction is MemPrediction.STF:
+                if unresolved:
+                    return False  # wait for older store addresses
+                if forward is None:
+                    self.mdp.train_no_dependence(uop.pc)
+            # MEM prediction (or STF that found nothing): proceed; a match
+            # with a resolved store always forwards.
+        else:
+            if unresolved:
+                return False
+
+        inst.captured_taint = taint
+        self._finish_delay_stat(inst, cycle)
+        if forward is not None:
+            inst.fwd_taint = forward.taint
+            inst.mem_revealed = False  # forwarded data is always concealed
+            self.stats.store_forwards += 1
+            self._schedule(cycle + 2, "load_return", inst)
+        elif invisible:
+            # InvisiSpec-style access: value without footprint; the line
+            # is exposed (fetched for real) at the visibility point.  The
+            # access is invisible to the *cache side channel*, but it still
+            # read memory past unresolved stores, so it participates in
+            # memory-order violation detection like any other load.
+            access_cycle = cycle + 1
+            latency = self.hierarchy.read_invisible(
+                self.core_id, addr, now=access_cycle
+            )
+            inst.mem_revealed = False
+            entry = self.lsq.load_entry(inst.seq)
+            if entry is not None:
+                entry.went_to_memory = True
+            heapq.heappush(self._pending_exposes, (inst.seq, addr))
+            self._schedule(access_cycle + latency, "load_return", inst)
+        else:
+            access_cycle = cycle + 1  # address generation
+            result = self.hierarchy.read(self.core_id, addr, now=access_cycle)
+            inst.mem_revealed = result.revealed
+            inst.went_to_memory = True
+            entry = self.lsq.load_entry(inst.seq)
+            if entry is not None:
+                entry.went_to_memory = True
+            self.observations.append(
+                Observation(
+                    inst.seq,
+                    uop.pc,
+                    addr,
+                    access_cycle,
+                    self.shadows.is_speculative(inst.seq),
+                )
+            )
+            self._schedule(access_cycle + result.latency, "load_return", inst)
+        return True
+
+    def _finish_delay_stat(self, inst: _Inst, cycle: int) -> None:
+        if inst.first_blocked >= 0:
+            self.stats.delay_cycles += cycle - inst.first_blocked
+
+    def _load_return(self, inst: _Inst, cycle: int) -> None:
+        if self.params.speculation_model is SpeculationModel.FUTURISTIC:
+            # The load can no longer squash (functionally): release its
+            # shadow when the value arrives.
+            self.shadows.resolve(inst.seq)
+        speculative = self.shadows.is_speculative(inst.seq)
+        revealed = inst.mem_revealed and self.policy.use_recon
+        if not revealed and inst.went_to_memory:
+            assert inst.uop.addr is not None
+            revealed = self.policy.word_is_public(inst.uop.addr)
+        if speculative and self.policy.use_recon and inst.went_to_memory:
+            if revealed:
+                self.stats.reveal_hits += 1
+            else:
+                self.stats.reveal_misses += 1
+        broadcast_now, taint = self.policy.on_load_value(
+            inst.seq, speculative, revealed, inst.fwd_taint
+        )
+        inst.completed = True
+        if broadcast_now:
+            self._broadcast(inst, taint)
+        else:
+            heapq.heappush(self._deferred, (inst.seq, inst))
+
+    def _broadcast(self, inst: _Inst, taint: FrozenSet[int]) -> None:
+        if inst.dest_phys is None:
+            return
+        for waiter in self.regfile.broadcast(inst.dest_phys, taint):
+            waiter.pending -= 1
+            if waiter.pending == 0:
+                self._ready.append(waiter)
+        for waiter in self._data_waiters.pop(inst.dest_phys, ()):
+            waiter.data_pending -= 1
+            if waiter.data_pending == 0:
+                self._store_data_ready(waiter)
+
+    def _store_data_ready(self, inst: _Inst) -> None:
+        """A store's data register(s) became available."""
+        self.lsq.set_store_data(
+            inst.seq, self.regfile.union_taint(inst.data_phys)
+        )
+        if inst.agen_done:
+            inst.completed = True
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, cycle: int) -> int:
+        if self._fetch_blocked_by is not None or cycle < self._fetch_resume_cycle:
+            return 0
+        dispatched = 0
+        core = self.params.core
+        rob_occupancy = len(self._rob) - self._rob_head
+        while dispatched < core.decode_width and self._fetch_idx < len(self.trace):
+            uop = self.trace[self._fetch_idx]
+            if rob_occupancy >= core.rob_entries:
+                break
+            if self._iq_count >= core.iq_entries:
+                break
+            if uop.opclass is OpClass.LOAD and self.lsq.lq_full:
+                break
+            if uop.opclass is OpClass.STORE and self.lsq.sq_full:
+                break
+            if not self.regfile.can_rename(uop.dest is not None):
+                break
+            inst = _Inst(uop.seq, uop)
+            renamed = self.regfile.rename(uop.srcs + uop.data_srcs, uop.dest)
+            split = len(uop.srcs)
+            inst.src_phys = renamed.src_phys[:split]
+            inst.data_phys = renamed.src_phys[split:]
+            inst.dest_phys = renamed.dest_phys
+            inst.freed_on_commit = renamed.freed_on_commit
+            self._rob.append(inst)
+            rob_occupancy += 1
+            self._iq_count += 1
+            model = self.params.speculation_model
+            if uop.opclass is OpClass.LOAD:
+                assert uop.addr is not None
+                self.lsq.add_load(uop.seq, uop.pc, uop.addr)
+                if model is SpeculationModel.FUTURISTIC:
+                    self.shadows.cast(uop.seq)
+            elif uop.opclass is OpClass.STORE:
+                assert uop.addr is not None
+                self.lsq.add_store(uop.seq, uop.pc, uop.addr)
+                if model is not SpeculationModel.CONTROL_ONLY:
+                    self.shadows.cast(uop.seq)
+            elif uop.opclass is OpClass.BRANCH:
+                self.shadows.cast(uop.seq)
+                if uop.mispredict:
+                    self._fetch_blocked_by = uop.seq
+            inst.pending = sum(
+                1 for phys in inst.src_phys if not self.regfile.ready[phys]
+            )
+            if inst.pending == 0:
+                self._ready.append(inst)
+            else:
+                for phys in inst.src_phys:
+                    if not self.regfile.ready[phys]:
+                        self.regfile.waiters.setdefault(phys, []).append(inst)
+            if uop.opclass is OpClass.STORE:
+                inst.data_pending = sum(
+                    1 for phys in inst.data_phys if not self.regfile.ready[phys]
+                )
+                if inst.data_pending == 0:
+                    self._store_data_ready(inst)
+                else:
+                    for phys in inst.data_phys:
+                        if not self.regfile.ready[phys]:
+                            self._data_waiters.setdefault(phys, []).append(inst)
+            self._fetch_idx += 1
+            dispatched += 1
+            if self._fetch_blocked_by is not None:
+                break  # mispredicted branch: stop supplying younger uops
+        return dispatched

@@ -1,0 +1,96 @@
+"""Register renaming and the physical register file.
+
+The rename stage maps architectural to physical registers so that the
+load-pair table — which the paper indexes by *physical* register ids
+(§5.1) — can be modeled faithfully, and so that register dataflow in the
+issue stage is unambiguous when multiple dynamic instances of the same
+static instruction are in flight.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["RegisterFile", "RenameResult"]
+
+EMPTY_TAINT: FrozenSet[int] = frozenset()
+
+
+class RenameResult:
+    """Outcome of renaming one micro-op."""
+
+    __slots__ = ("src_phys", "dest_phys", "freed_on_commit")
+
+    def __init__(
+        self,
+        src_phys: Tuple[int, ...],
+        dest_phys: Optional[int],
+        freed_on_commit: Optional[int],
+    ) -> None:
+        self.src_phys = src_phys
+        self.dest_phys = dest_phys
+        self.freed_on_commit = freed_on_commit
+
+
+class RegisterFile:
+    """Map table + free list + per-physical-register state.
+
+    Per-physical-register state: a ready bit (value has been broadcast) and
+    a taint root-set (used by STT; empty elsewhere).
+    """
+
+    def __init__(self, arch_regs: int, phys_regs: int) -> None:
+        if phys_regs <= arch_regs:
+            raise ValueError("need more physical than architectural registers")
+        self.arch_regs = arch_regs
+        self.phys_regs = phys_regs
+        self._map: List[int] = list(range(arch_regs))
+        self._free: Deque[int] = collections.deque(range(arch_regs, phys_regs))
+        self.ready: List[bool] = [True] * arch_regs + [False] * (
+            phys_regs - arch_regs
+        )
+        self.taint: List[FrozenSet[int]] = [EMPTY_TAINT] * phys_regs
+        #: Consumers waiting on a physical register, filled by the pipeline.
+        self.waiters: Dict[int, list] = {}
+
+    def can_rename(self, needs_dest: bool) -> bool:
+        """Is a free physical register available if one is needed?"""
+        return not needs_dest or bool(self._free)
+
+    def rename(
+        self, srcs: Tuple[int, ...], dest: Optional[int]
+    ) -> RenameResult:
+        """Rename one micro-op; the caller must have checked capacity."""
+        src_phys = tuple(self._map[a] for a in srcs)
+        dest_phys = None
+        freed = None
+        if dest is not None:
+            freed = self._map[dest]
+            dest_phys = self._free.popleft()
+            self._map[dest] = dest_phys
+            self.ready[dest_phys] = False
+            self.taint[dest_phys] = EMPTY_TAINT
+        return RenameResult(src_phys, dest_phys, freed)
+
+    def release(self, phys: int) -> None:
+        """Return a physical register to the free list (at commit)."""
+        self._free.append(phys)
+
+    def broadcast(self, phys: int, taint: FrozenSet[int] = EMPTY_TAINT) -> list:
+        """Mark a register ready; returns (and clears) its waiter list."""
+        self.ready[phys] = True
+        self.taint[phys] = taint
+        return self.waiters.pop(phys, [])
+
+    def union_taint(self, phys_regs: Tuple[int, ...]) -> FrozenSet[int]:
+        """Union of taint root-sets over ``phys_regs``."""
+        result = EMPTY_TAINT
+        for phys in phys_regs:
+            if self.taint[phys]:
+                result = result | self.taint[phys]
+        return result
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)

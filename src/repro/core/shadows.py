@@ -1,0 +1,59 @@
+"""Speculation-shadow tracking.
+
+Following Ghost Loads / Delay-on-Miss terminology (which the paper adopts,
+§6.1), *shadow-casting* instructions make all younger instructions
+speculative until they resolve.  We track control shadows (branches, from
+dispatch to resolution) and store shadows (stores, from dispatch to address
+resolution) — the paper's evaluated speculation model.
+
+An instruction is speculative iff an unresolved shadow caster older than it
+exists, i.e. iff its sequence number is greater than the *visibility
+frontier* (the oldest unresolved caster's sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Set
+
+__all__ = ["ShadowTracker", "NO_SHADOW"]
+
+#: Frontier value when no shadow is active (everything non-speculative).
+NO_SHADOW = float("inf")
+
+
+class ShadowTracker:
+    """Tracks active shadow casters and the visibility frontier."""
+
+    def __init__(self) -> None:
+        self._active: "list[int]" = []  # min-heap of unresolved caster seqs
+        self._resolved: Set[int] = set()
+
+    def cast(self, seq: int) -> None:
+        """Register a shadow caster at dispatch."""
+        heapq.heappush(self._active, seq)
+
+    def resolve(self, seq: int) -> None:
+        """Mark a caster resolved (idempotent)."""
+        self._resolved.add(seq)
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._active and self._active[0] in self._resolved:
+            self._resolved.discard(heapq.heappop(self._active))
+
+    @property
+    def frontier(self) -> float:
+        """Sequence number of the oldest unresolved caster (inf if none).
+
+        Every instruction with ``seq < frontier`` is non-speculative; the
+        frontier only ever advances.
+        """
+        return self._active[0] if self._active else NO_SHADOW
+
+    def is_speculative(self, seq: int) -> bool:
+        """True if an unresolved shadow covers instruction ``seq``."""
+        return seq > self.frontier
+
+    def __len__(self) -> int:
+        return len(self._active)

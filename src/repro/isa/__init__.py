@@ -1,0 +1,15 @@
+"""Trace ISA: micro-ops, the program-builder DSL, and trace files."""
+
+from repro.isa.encoding import dumps, load_trace, loads, save_trace
+from repro.isa.microop import MicroOp
+from repro.isa.program import Program, default_memory_value
+
+__all__ = [
+    "MicroOp",
+    "Program",
+    "default_memory_value",
+    "dumps",
+    "load_trace",
+    "loads",
+    "save_trace",
+]

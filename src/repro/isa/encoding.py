@@ -1,0 +1,130 @@
+"""Trace serialization.
+
+A compact, dependency-free on-disk format for micro-op traces, so
+workloads can be generated once and replayed across machines or shared
+alongside experiment results (the role ChampSim traces play for the
+paper's Clueless studies).
+
+Format: a one-line JSON header followed by one line per micro-op::
+
+    {"format": "repro-trace", "version": 1, "count": N}
+    <opclass> <pc> <dest> <srcs> <data_srcs> <addr> <value> <flags>
+
+Fields are space-separated; register lists are comma-separated (or ``-``
+when empty); ``dest``/``addr`` use ``-`` for none; flags is ``M`` for a
+mispredicted branch, ``S``/``E`` for forced STF/MEM predictions, ``-``
+otherwise.  Numbers are hex for addresses/values, decimal elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.common.types import MemPrediction, OpClass
+from repro.isa.microop import MicroOp
+
+__all__ = ["save_trace", "load_trace", "dumps", "loads"]
+
+_FORMAT = "repro-trace"
+_VERSION = 1
+
+_FLAG_BY_PREDICTION = {MemPrediction.STF: "S", MemPrediction.MEM: "E"}
+_PREDICTION_BY_FLAG = {v: k for k, v in _FLAG_BY_PREDICTION.items()}
+
+
+def _regs_to_text(regs) -> str:
+    return ",".join(str(r) for r in regs) if regs else "-"
+
+
+def _regs_from_text(text: str):
+    if text == "-":
+        return ()
+    return tuple(int(r) for r in text.split(","))
+
+
+def _uop_to_line(uop: MicroOp) -> str:
+    flags = "-"
+    if uop.mispredict:
+        flags = "M"
+    elif uop.forced_prediction is not None:
+        flags = _FLAG_BY_PREDICTION[uop.forced_prediction]
+    return " ".join(
+        [
+            uop.opclass.value,
+            str(uop.pc),
+            "-" if uop.dest is None else str(uop.dest),
+            _regs_to_text(uop.srcs),
+            _regs_to_text(uop.data_srcs),
+            "-" if uop.addr is None else f"{uop.addr:x}",
+            f"{uop.value:x}",
+            flags,
+        ]
+    )
+
+
+def _uop_from_line(line: str, lineno: int) -> MicroOp:
+    parts = line.split()
+    if len(parts) != 8:
+        raise ValueError(f"line {lineno}: expected 8 fields, got {len(parts)}")
+    opclass_text, pc, dest, srcs, data_srcs, addr, value, flags = parts
+    try:
+        opclass = OpClass(opclass_text)
+    except ValueError:
+        raise ValueError(f"line {lineno}: unknown opclass {opclass_text!r}")
+    uop = MicroOp(
+        opclass,
+        dest=None if dest == "-" else int(dest),
+        srcs=_regs_from_text(srcs),
+        data_srcs=_regs_from_text(data_srcs),
+        addr=None if addr == "-" else int(addr, 16),
+        value=int(value, 16),
+        pc=int(pc),
+        mispredict=flags == "M",
+        forced_prediction=_PREDICTION_BY_FLAG.get(flags),
+    )
+    return uop
+
+
+def dumps(trace: Iterable[MicroOp]) -> str:
+    """Serialize a trace to a string."""
+    body = [_uop_to_line(uop) for uop in trace]
+    header = json.dumps(
+        {"format": _FORMAT, "version": _VERSION, "count": len(body)}
+    )
+    return "\n".join([header] + body) + "\n"
+
+
+def loads(text: str) -> List[MicroOp]:
+    """Deserialize a trace from a string."""
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty trace file")
+    header = json.loads(lines[0])
+    if header.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} file")
+    if header.get("version") != _VERSION:
+        raise ValueError(f"unsupported trace version {header.get('version')}")
+    count = header.get("count", len(lines) - 1)
+    body = [line for line in lines[1:] if line.strip()]
+    if len(body) != count:
+        raise ValueError(
+            f"trace header promises {count} micro-ops, file has {len(body)}"
+        )
+    trace = []
+    for lineno, line in enumerate(body, start=2):
+        uop = _uop_from_line(line, lineno)
+        uop.seq = len(trace)
+        trace.append(uop)
+    return trace
+
+
+def save_trace(trace: Iterable[MicroOp], path: Union[str, Path]) -> None:
+    """Write a trace to ``path``."""
+    Path(path).write_text(dumps(trace))
+
+
+def load_trace(path: Union[str, Path]) -> List[MicroOp]:
+    """Read a trace from ``path``; sequence numbers are renumbered."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,15 @@
+"""Memory hierarchy: caches, MESI directory coherence, ReCon bit-vectors."""
+
+from repro.memory.cache import CacheArray, CacheLine
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.interconnect import FixedLatencyInterconnect
+
+__all__ = [
+    "AccessResult",
+    "CacheArray",
+    "CacheLine",
+    "FixedLatencyInterconnect",
+    "MainMemory",
+    "MemoryHierarchy",
+]

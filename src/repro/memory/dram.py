@@ -1,0 +1,31 @@
+"""Main-memory model.
+
+DRAM in this reproduction is a flat latency source: ReCon stores no reveal
+bits in memory, so a line refetched from DRAM always arrives fully
+concealed (paper §5.2).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """Fixed-latency DRAM endpoint."""
+
+    def __init__(self, latency: int) -> None:
+        if latency <= 0:
+            raise ValueError("DRAM latency must be positive")
+        self.latency = latency
+        self.reads = 0
+        self.writebacks = 0
+
+    def fetch(self) -> int:
+        """Fetch a line; returns the access latency in cycles."""
+        self.reads += 1
+        return self.latency
+
+    def writeback(self) -> int:
+        """Write a dirty line back; returns the (posted) latency."""
+        self.writebacks += 1
+        return 0  # posted write: does not stall the evicting cache

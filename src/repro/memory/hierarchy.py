@@ -1,0 +1,616 @@
+"""Three-level MESI cache hierarchy with ReCon bit-vector piggybacking.
+
+Structure (Table 2): per-core private L1 and L2 (inclusive), one shared LLC
+holding an in-cache directory.  The protocol is a directory MESI whose
+stable-state transitions are walked synchronously per access; latency is the
+sum of the Table 2 round-trip costs of every agent the transaction touches
+plus interconnect hops.
+
+ReCon metadata rules implemented here (paper §5.2-5.3):
+
+* every line carries a reveal bit-vector (one bit per aligned 8-byte word);
+* a line fetched from DRAM is fully concealed;
+* reveals are performed on the requester's private copy;
+* within one core's private hierarchy the level closest to the core is
+  authoritative: an L1 eviction *overwrites* the L2 copy's vector (an OR
+  would resurrect conceals, because conceals are applied to L1 first);
+* across cores, an S/E eviction *OR-merges* into the directory vector
+  (S/E copies can only have added reveals — concealing requires M — so the
+  OR never resurrects a concealed word);
+* an M writeback/downgrade *overwrites* the directory vector: the writer
+  owned the only coherent copy;
+* invalidated sharers lose their private vectors (paper's footnote 1);
+* levels not listed in ``SystemParams.recon_levels`` store all-concealed
+  vectors, which is how the L1-only / L1+L2 configurations of Fig. 10 lose
+  reveal information on eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.params import SystemParams
+from repro.common.stats import StatSet
+from repro.common.types import CacheLevel, MESIState, line_addr
+from repro.memory import recon_bits
+from repro.memory.cache import CacheArray, CacheLine
+from repro.memory.dram import MainMemory
+from repro.memory.interconnect import FixedLatencyInterconnect, MeshInterconnect
+
+__all__ = ["MemoryHierarchy", "AccessResult"]
+
+
+class AccessResult:
+    """Outcome of one load access."""
+
+    __slots__ = ("latency", "revealed", "level")
+
+    def __init__(self, latency: int, revealed: bool, level: CacheLevel) -> None:
+        self.latency = latency
+        self.revealed = revealed
+        self.level = level
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AccessResult {self.level.name} latency={self.latency}"
+            f" revealed={self.revealed}>"
+        )
+
+
+class _PrivateCaches:
+    """One core's private L1+L2 plus its outstanding-fill (MSHR) table."""
+
+    def __init__(self, params: SystemParams) -> None:
+        self.l1 = CacheArray(params.memory.l1)
+        self.l2 = CacheArray(params.memory.l2)
+        self.fills: Dict[int, int] = {}  # line addr -> cycle the fill lands
+
+
+class MemoryHierarchy:
+    """Shared memory system for ``params.num_cores`` cores."""
+
+    def __init__(self, params: SystemParams) -> None:
+        params.validate()
+        self.params = params
+        if params.memory.topology == "mesh":
+            self.noc: FixedLatencyInterconnect = MeshInterconnect(
+                params.memory.mesh_rows,
+                params.memory.mesh_cols,
+                params.memory.noc_hop_latency,
+            )
+        else:
+            self.noc = FixedLatencyInterconnect(params.memory.noc_hop_latency)
+        self.dram = MainMemory(params.memory.dram_latency)
+        self.llc = CacheArray(params.memory.llc)
+        self._privs = [_PrivateCaches(params) for _ in range(params.num_cores)]
+        self._stats = [StatSet() for _ in range(params.num_cores)]
+        #: Reveal requests dropped because the line had left the private
+        #: hierarchy before the pair committed.
+        self.dropped_reveals = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_stats(self, core: int, stats: StatSet) -> None:
+        """Route this core's hierarchy counters into ``stats``."""
+        self._stats[core] = stats
+
+    def _tracks(self, level: CacheLevel) -> bool:
+        """True if reveal bits are stored at ``level``."""
+        return self.params.recon_visible_at(level)
+
+    def _vector_if_tracked(self, vector: int, level: CacheLevel) -> int:
+        return vector if self._tracks(level) else recon_bits.ALL_CONCEALED
+
+    # ------------------------------------------------------------------
+    # private-hierarchy helpers
+    # ------------------------------------------------------------------
+    def _private_lookup(
+        self, core: int, laddr: int
+    ) -> Tuple[Optional[CacheLine], Optional[CacheLevel]]:
+        priv = self._privs[core]
+        line = priv.l1.lookup(laddr)
+        if line is not None:
+            return line, CacheLevel.L1
+        line = priv.l2.lookup(laddr)
+        if line is not None:
+            return line, CacheLevel.L2
+        return None, None
+
+    def _authoritative_vector(self, core: int, laddr: int) -> int:
+        """The freshest private vector a core holds for ``laddr`` (else 0)."""
+        priv = self._privs[core]
+        line = priv.l1.lookup(laddr, touch=False)
+        if line is None:
+            line = priv.l2.lookup(laddr, touch=False)
+        return line.reveal if line is not None else recon_bits.ALL_CONCEALED
+
+    def _evict_private_l1(self, core: int, victim: CacheLine) -> None:
+        """L1 victim falls back to L2: overwrite (L1 was authoritative)."""
+        l2_line = self._privs[core].l2.lookup(victim.addr, touch=False)
+        if l2_line is None:
+            raise RuntimeError(
+                f"inclusion violated: L1 victim {victim.addr:#x} missing in L2"
+            )
+        l2_line.reveal = self._vector_if_tracked(victim.reveal, CacheLevel.L2)
+        l2_line.state = victim.state
+        if victim.dirty:
+            l2_line.dirty = True
+
+    def _evict_private_l2(self, core: int, victim: CacheLine, stats: StatSet) -> None:
+        """L2 victim leaves the private hierarchy: tell the directory."""
+        priv = self._privs[core]
+        l1_line = priv.l1.remove(victim.addr)
+        if l1_line is not None:
+            # Back-invalidate for inclusion; L1 copy is authoritative.
+            victim.reveal = l1_line.reveal
+            victim.state = l1_line.state
+            victim.dirty = victim.dirty or l1_line.dirty
+        dir_line = self.llc.lookup(victim.addr, touch=False)
+        if dir_line is None:
+            raise RuntimeError(
+                f"inclusion violated: private victim {victim.addr:#x} missing in LLC"
+            )
+        self.noc.hop(
+            carries_bitvector=True,
+            src=core,
+            dst=self.noc.home_node(victim.addr),
+        )
+        stats.coherence_transactions += 1
+        outgoing = self._vector_if_tracked(victim.reveal, CacheLevel.LLC)
+        if victim.state is MESIState.MODIFIED:
+            # PutM: data + vector overwrite the directory copy.
+            dir_line.reveal = outgoing
+            dir_line.dirty = dir_line.dirty or victim.dirty
+        else:
+            # PutS/PutE: OR-merge preserves reveals across serial evictions.
+            dir_line.reveal = recon_bits.merge(dir_line.reveal, outgoing)
+        if dir_line.owner == core:
+            dir_line.owner = None
+        dir_line.sharers.discard(core)
+        stats.bitvector_merges += 1
+
+    def _fill_private(
+        self, core: int, laddr: int, state: MESIState, vector: int, stats: StatSet
+    ) -> None:
+        """Install a line arriving from the directory into L2 then L1."""
+        priv = self._privs[core]
+        l2_vec = self._vector_if_tracked(vector, CacheLevel.L2)
+        _, victim = priv.l2.insert(laddr, state, l2_vec)
+        if victim is not None:
+            self._evict_private_l2(core, victim, stats)
+        l1_vec = self._vector_if_tracked(vector, CacheLevel.L1)
+        _, victim = priv.l1.insert(laddr, state, l1_vec)
+        if victim is not None:
+            self._evict_private_l1(core, victim)
+
+    # ------------------------------------------------------------------
+    # directory-side helpers
+    # ------------------------------------------------------------------
+    def _invalidate_private(self, core: int, laddr: int) -> Tuple[int, bool]:
+        """Remove a line from a core's private hierarchy.
+
+        Returns ``(authoritative_vector, was_dirty)``.  The vector is only
+        meaningful when the invalidated copy was the owner's; for plain
+        sharers the caller discards it (paper footnote 1).
+        """
+        priv = self._privs[core]
+        vector = recon_bits.ALL_CONCEALED
+        dirty = False
+        l1_line = priv.l1.remove(laddr)
+        l2_line = priv.l2.remove(laddr)
+        if l1_line is not None:
+            vector = l1_line.reveal
+            dirty = l1_line.dirty
+        if l2_line is not None:
+            if l1_line is None:
+                vector = l2_line.reveal
+            dirty = dirty or l2_line.dirty
+        return vector, dirty
+
+    def _evict_llc(self, victim: CacheLine) -> None:
+        """Inclusive LLC eviction: recall every private copy, then DRAM."""
+        dirty = victim.dirty
+        holders = set(victim.sharers)
+        if victim.owner is not None:
+            holders.add(victim.owner)
+        home = self.noc.home_node(victim.addr)
+        for core in holders:
+            _, was_dirty = self._invalidate_private(core, victim.addr)
+            dirty = dirty or was_dirty
+            self.noc.hop(src=home, dst=core)
+            self._stats[core].invalidations += 1
+        if dirty:
+            self.dram.writeback()
+        # Reveal information is lost: DRAM stores no bits.
+
+    def _llc_fetch(
+        self, laddr: int, stats: StatSet, core: Optional[int] = None
+    ) -> Tuple[CacheLine, int]:
+        """Ensure ``laddr`` is resident in the LLC; return (line, latency)."""
+        latency = self.llc.params.latency + self.noc.hop(
+            src=core, dst=self.noc.home_node(laddr)
+        )
+        line = self.llc.lookup(laddr)
+        if line is not None:
+            stats.llc_hits += 1
+            return line, latency
+        stats.llc_misses += 1
+        latency += self.dram.fetch()
+        line, victim = self.llc.insert(
+            laddr, MESIState.SHARED, recon_bits.ALL_CONCEALED
+        )
+        if victim is not None:
+            self._evict_llc(victim)
+        return line, latency
+
+    def _downgrade_owner(self, dir_line: CacheLine, stats: StatSet) -> int:
+        """Owner writes data + vector back; becomes a sharer.  Returns cost."""
+        owner = dir_line.owner
+        assert owner is not None
+        latency = self.noc.hop(
+            carries_bitvector=True,
+            src=self.noc.home_node(dir_line.addr),
+            dst=owner,
+        )
+        latency += self.params.memory.l2.latency
+        vector = self._authoritative_vector(owner, dir_line.addr)
+        dir_line.reveal = self._vector_if_tracked(vector, CacheLevel.LLC)
+        priv = self._privs[owner]
+        for array in (priv.l1, priv.l2):
+            held = array.lookup(dir_line.addr, touch=False)
+            if held is not None:
+                if held.dirty:
+                    dir_line.dirty = True
+                    held.dirty = False
+                held.state = MESIState.SHARED
+        dir_line.sharers.add(owner)
+        dir_line.owner = None
+        stats.coherence_transactions += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    # core-facing operations
+    # ------------------------------------------------------------------
+    def read(self, core: int, addr: int, now: int = 0) -> AccessResult:
+        """A load accesses ``addr``; returns latency + the word's reveal bit."""
+        stats = self._stats[core]
+        laddr = line_addr(addr)
+        priv = self._privs[core]
+
+        line, level = self._private_lookup(core, laddr)
+        if level is CacheLevel.L1:
+            stats.l1_hits += 1
+            latency = self._pending_fill_latency(
+                priv, laddr, now, self.params.memory.l1.latency
+            )
+            return AccessResult(
+                latency, recon_bits.is_word_revealed(line.reveal, addr), level
+            )
+        stats.l1_misses += 1
+        if level is CacheLevel.L2:
+            stats.l2_hits += 1
+            assert line is not None
+            vector = line.reveal
+            revealed = recon_bits.is_word_revealed(vector, addr)
+            # Promote into L1 (same coherence state).
+            l1_line, victim = priv.l1.insert(
+                laddr, line.state, self._vector_if_tracked(vector, CacheLevel.L1)
+            )
+            l1_line.dirty = line.dirty
+            if victim is not None:
+                self._evict_private_l1(core, victim)
+            latency = self._pending_fill_latency(
+                priv, laddr, now, self.params.memory.l2.latency
+            )
+            return AccessResult(latency, revealed, level)
+        stats.l2_misses += 1
+
+        # GetS to the directory.
+        stats.coherence_transactions += 1
+        dir_line, latency = self._llc_fetch(laddr, stats, core)
+        if dir_line.owner is not None and dir_line.owner != core:
+            latency += self._downgrade_owner(dir_line, stats)
+        if dir_line.sharers - {core}:
+            state = MESIState.SHARED
+        else:
+            state = MESIState.EXCLUSIVE
+            # The directory tracks an E grant as ownership so a later GetS
+            # knows whom to downgrade (E may silently have become M).
+            dir_line.owner = core
+        dir_line.sharers.add(core)
+        vector = self._vector_if_tracked(dir_line.reveal, CacheLevel.LLC)
+        revealed = recon_bits.is_word_revealed(vector, addr)
+        self._fill_private(core, laddr, state, vector, stats)
+        priv.fills[laddr] = now + latency
+        if self.params.memory.prefetch_next_line:
+            self._prefetch(core, laddr + self.params.memory.l1.line_bytes, stats)
+        return AccessResult(latency, revealed, CacheLevel.LLC)
+
+    def _prefetch(self, core: int, laddr: int, stats: StatSet) -> None:
+        """Pull ``laddr`` into the requester's L2 off the critical path.
+
+        Only clean sharing is prefetched: if another core owns the line in
+        E/M, the prefetch is dropped rather than forcing a downgrade.
+        """
+        line, _ = self._private_lookup(core, laddr)
+        if line is not None:
+            return
+        dir_line = self.llc.lookup(laddr, touch=False)
+        if dir_line is None:
+            dir_line, _ = self._llc_fetch(laddr, stats, core)
+        elif dir_line.owner is not None and dir_line.owner != core:
+            return  # don't disturb a remote owner for a speculative fetch
+        else:
+            self.noc.hop(src=core, dst=self.noc.home_node(laddr))
+        state = (
+            MESIState.EXCLUSIVE
+            if not (dir_line.sharers - {core})
+            else MESIState.SHARED
+        )
+        if state is MESIState.EXCLUSIVE:
+            dir_line.owner = core
+        dir_line.sharers.add(core)
+        vector = self._vector_if_tracked(dir_line.reveal, CacheLevel.LLC)
+        priv = self._privs[core]
+        l2_vec = self._vector_if_tracked(vector, CacheLevel.L2)
+        _, victim = priv.l2.insert(laddr, state, l2_vec)
+        if victim is not None:
+            self._evict_private_l2(core, victim, stats)
+
+    def write(self, core: int, addr: int, now: int = 0) -> int:
+        """A performed store writes ``addr``: obtain M, conceal the word."""
+        stats = self._stats[core]
+        laddr = line_addr(addr)
+        line, level = self._private_lookup(core, laddr)
+
+        if line is not None and line.state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+            # Hit with write permission (E upgrades to M silently).
+            self._set_private_state(core, laddr, MESIState.MODIFIED)
+            latency = self.params.memory.level(level).latency
+        elif line is not None and line.state is MESIState.SHARED:
+            # Upgrade: invalidate other sharers, take the directory vector.
+            latency = self.params.memory.level(level).latency
+            latency += self._acquire_modified(core, laddr, stats, own_vector=line.reveal)
+        else:
+            # Write miss: GetM.
+            stats.l1_misses += 1
+            stats.l2_misses += 1
+            latency = self._acquire_modified(core, laddr, stats, own_vector=None)
+
+        self._conceal_private(core, laddr, addr)
+        stats.words_concealed += 1
+        return latency
+
+    def _acquire_modified(
+        self, core: int, laddr: int, stats: StatSet, own_vector: Optional[int]
+    ) -> int:
+        """GetM/upgrade: invalidate everyone else, install in M state."""
+        stats.coherence_transactions += 1
+        dir_line, latency = self._llc_fetch(laddr, stats, core)
+        vector = dir_line.reveal
+        if dir_line.owner is not None and dir_line.owner != core:
+            # Owner passes data + vector straight to the next writer.
+            owner = dir_line.owner
+            owner_vec, owner_dirty = self._invalidate_private(owner, laddr)
+            latency += self.noc.hop(
+                carries_bitvector=True,
+                src=self.noc.home_node(laddr),
+                dst=owner,
+            )
+            self._stats[owner].invalidations += 1
+            vector = owner_vec
+            dir_line.dirty = dir_line.dirty or owner_dirty
+            dir_line.owner = None
+            dir_line.sharers.discard(owner)
+        for sharer in sorted(dir_line.sharers - {core}):
+            # Invalidated readers lose their private vectors (footnote 1)
+            # unless the preserve-on-invalidation optimization is on, in
+            # which case the ack carries the vector to the writer (safe:
+            # the writer conceals exactly the words it writes).
+            sharer_vec, _ = self._invalidate_private(sharer, laddr)
+            if self.params.preserve_invalidated_reveals:
+                vector = recon_bits.merge(vector, sharer_vec)
+            latency += self.noc.hop(
+                carries_bitvector=self.params.preserve_invalidated_reveals,
+                src=self.noc.home_node(laddr),
+                dst=sharer,
+            )
+            self._stats[sharer].invalidations += 1
+            stats.invalidations += 1
+        dir_line.sharers = {core}
+        dir_line.owner = core
+        if own_vector is not None:
+            # Upgrading sharer: keep its own reveals plus the directory's.
+            vector = recon_bits.merge(own_vector, vector)
+        self._fill_private(
+            core,
+            laddr,
+            MESIState.MODIFIED,
+            self._vector_if_tracked(vector, CacheLevel.LLC)
+            if own_vector is None
+            else vector,
+            stats,
+        )
+        return latency
+
+    def _set_private_state(self, core: int, laddr: int, state: MESIState) -> None:
+        priv = self._privs[core]
+        for array in (priv.l1, priv.l2):
+            held = array.lookup(laddr, touch=False)
+            if held is not None:
+                held.state = state
+                held.dirty = True
+        dir_line = self.llc.lookup(laddr, touch=False)
+        if dir_line is not None and state is MESIState.MODIFIED:
+            dir_line.owner = core
+            dir_line.sharers = {core}
+
+    def _conceal_private(self, core: int, laddr: int, addr: int) -> None:
+        priv = self._privs[core]
+        for array in (priv.l1, priv.l2):
+            held = array.lookup(laddr, touch=False)
+            if held is not None:
+                held.reveal = recon_bits.conceal_word(held.reveal, addr)
+                held.dirty = True
+
+    def read_invisible(self, core: int, addr: int, now: int = 0) -> int:
+        """An invisible (InvisiSpec-style) load: latency without state.
+
+        The value is obtained from wherever the line currently lives, but
+        nothing is installed, no coherence state changes, no MSHR entry is
+        made — so repeated speculative accesses to an uncached line pay
+        the full distance every time.  Returns the latency.
+        """
+        stats = self._stats[core]
+        laddr = line_addr(addr)
+        priv = self._privs[core]
+        line, level = self._private_lookup(core, laddr)
+        if level is CacheLevel.L1:
+            return self._pending_fill_latency(
+                priv, laddr, now, self.params.memory.l1.latency
+            )
+        if level is CacheLevel.L2:
+            return self._pending_fill_latency(
+                priv, laddr, now, self.params.memory.l2.latency
+            )
+        latency = self.params.memory.llc.latency + self.noc.hop(
+            src=core, dst=self.noc.home_node(laddr)
+        )
+        dir_line = self.llc.lookup(laddr, touch=False)
+        if dir_line is None:
+            stats.llc_misses += 1
+            return latency + self.params.memory.dram_latency
+        if dir_line.owner is not None and dir_line.owner != core:
+            # Data comes from the remote owner (no downgrade: invisible).
+            latency += self.noc.hop() + self.params.memory.l2.latency
+        stats.llc_hits += 1
+        return latency
+
+    def peek_access(self, core: int, addr: int) -> "Tuple[bool, bool]":
+        """Non-mutating probe: ``(would_hit_l1, word_revealed)``.
+
+        Used by Delay-on-Miss-style policies that must decide *before*
+        accessing the cache whether the access would be observable, and
+        by ReCon-on-DoM to let revealed words miss under speculation.
+        """
+        laddr = line_addr(addr)
+        priv = self._privs[core]
+        l1_line = priv.l1.lookup(laddr, touch=False)
+        if l1_line is not None:
+            revealed = self._tracks(CacheLevel.L1) and recon_bits.is_word_revealed(
+                l1_line.reveal, addr
+            )
+            return True, revealed
+        return False, self.is_revealed_for(core, addr)
+
+    def reveal(self, core: int, addr: int) -> bool:
+        """Mark ``addr``'s word revealed in the core's private copy.
+
+        Returns False (and drops the request) if the line has left the
+        private hierarchy — always safe, only a lost optimization
+        (paper §5.1.1).
+        """
+        laddr = line_addr(addr)
+        line, level = self._private_lookup(core, laddr)
+        if line is None:
+            self.dropped_reveals += 1
+            return False
+        if level is not None and not self._tracks(level):
+            self.dropped_reveals += 1
+            return False
+        line.reveal = recon_bits.reveal_word(line.reveal, addr)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection (tests, analysis)
+    # ------------------------------------------------------------------
+    def _pending_fill_latency(
+        self, priv: _PrivateCaches, laddr: int, now: int, hit_latency: int
+    ) -> int:
+        """Merge with an in-flight fill of the same line (MSHR behaviour)."""
+        ready = priv.fills.get(laddr)
+        if ready is None:
+            return hit_latency
+        if ready <= now:
+            del priv.fills[laddr]
+            return hit_latency
+        return max(hit_latency, ready - now)
+
+    def private_line(
+        self, core: int, addr: int, level: CacheLevel = CacheLevel.L1
+    ) -> Optional[CacheLine]:
+        """Peek a private line without touching LRU (tests only)."""
+        priv = self._privs[core]
+        array = priv.l1 if level is CacheLevel.L1 else priv.l2
+        return array.lookup(line_addr(addr), touch=False)
+
+    def llc_line(self, addr: int) -> Optional[CacheLine]:
+        """Peek the LLC/directory line without touching LRU (tests only)."""
+        return self.llc.lookup(line_addr(addr), touch=False)
+
+    def is_revealed_for(self, core: int, addr: int) -> bool:
+        """Would a load by ``core`` observe the word revealed right now?
+
+        Non-mutating approximation used by tests: checks the private copy,
+        then the directory copy (which is what a miss would return when no
+        remote owner exists).
+        """
+        laddr = line_addr(addr)
+        line, level = self._private_lookup(core, laddr)
+        if line is not None and level is not None:
+            if not self._tracks(level):
+                return False
+            return recon_bits.is_word_revealed(line.reveal, addr)
+        dir_line = self.llc.lookup(laddr, touch=False)
+        if dir_line is None or not self._tracks(CacheLevel.LLC):
+            return False
+        if dir_line.owner is not None and dir_line.owner != core:
+            vector = self._authoritative_vector(dir_line.owner, laddr)
+            return recon_bits.is_word_revealed(vector, addr)
+        return recon_bits.is_word_revealed(dir_line.reveal, addr)
+
+    def check_coherence_invariants(self) -> None:
+        """Assert MESI safety invariants (property tests call this).
+
+        * a line with an owner has no other sharers' copies in M/E;
+        * at most one private copy is in M or E across all cores;
+        * every private copy is backed by an LLC/directory line (inclusion);
+        * directory sharer sets cover every core holding a copy.
+        """
+        held: Dict[int, List[Tuple[int, MESIState]]] = {}
+        for core, priv in enumerate(self._privs):
+            seen = set()
+            for array in (priv.l1, priv.l2):
+                for line in array:
+                    if line.addr in seen:
+                        continue
+                    seen.add(line.addr)
+                    held.setdefault(line.addr, []).append((core, line.state))
+        for laddr, holders in held.items():
+            dir_line = self.llc.lookup(laddr, touch=False)
+            if dir_line is None:
+                raise AssertionError(f"inclusion violated for {laddr:#x}")
+            exclusive = [
+                (core, st)
+                for core, st in holders
+                if st in (MESIState.MODIFIED, MESIState.EXCLUSIVE)
+            ]
+            if len(exclusive) > 1:
+                raise AssertionError(
+                    f"multiple exclusive copies of {laddr:#x}: {exclusive}"
+                )
+            if exclusive and len(holders) > 1:
+                raise AssertionError(
+                    f"exclusive copy of {laddr:#x} coexists with sharers"
+                )
+            if exclusive and dir_line.owner != exclusive[0][0]:
+                raise AssertionError(
+                    f"directory owner for {laddr:#x} is {dir_line.owner},"
+                    f" but core {exclusive[0][0]} holds {exclusive[0][1].value}"
+                )
+            for core, _ in holders:
+                if core not in dir_line.sharers and dir_line.owner != core:
+                    raise AssertionError(
+                        f"directory does not track core {core} for {laddr:#x}"
+                    )

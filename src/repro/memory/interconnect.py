@@ -1,0 +1,90 @@
+"""On-chip interconnect models.
+
+The paper uses GARNET for cycle-accurate network simulation; here the
+network contributes per-message latency — constant for the default
+crossbar, distance-dependent for the optional 2D mesh.  Both count
+traffic so the coherence benches can report message volumes.
+
+Node numbering: cores are nodes ``0..num_cores-1``; the directory/LLC is
+addressed per line through :meth:`MeshInterconnect.home_node`, modeling
+an address-interleaved banked LLC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["FixedLatencyInterconnect", "MeshInterconnect"]
+
+
+class FixedLatencyInterconnect:
+    """Crossbar-ish network with constant per-message latency."""
+
+    def __init__(self, hop_latency: int) -> None:
+        if hop_latency < 0:
+            raise ValueError("hop latency may not be negative")
+        self.hop_latency = hop_latency
+        self.messages = 0
+        #: Messages that carried a ReCon bit-vector payload.
+        self.bitvector_messages = 0
+
+    def hop(
+        self,
+        carries_bitvector: bool = False,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> int:
+        """Account one message; returns its latency contribution."""
+        self.messages += 1
+        if carries_bitvector:
+            self.bitvector_messages += 1
+        return self._latency(src, dst)
+
+    def _latency(self, src: Optional[int], dst: Optional[int]) -> int:
+        return self.hop_latency
+
+    def home_node(self, line_addr: int) -> Optional[int]:
+        """Directory bank for a line; a crossbar has a single home."""
+        return None
+
+
+class MeshInterconnect(FixedLatencyInterconnect):
+    """A ``rows x cols`` 2D mesh with XY routing.
+
+    Latency of a message is ``link_latency * manhattan_distance`` (with a
+    one-link minimum); messages without endpoints pay the average
+    distance, so protocol code that does not know its endpoints still
+    accounts sanely.
+    """
+
+    def __init__(self, rows: int, cols: int, link_latency: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        super().__init__(link_latency)
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def nodes(self) -> int:
+        return self.rows * self.cols
+
+    def _coords(self, node: int) -> "tuple[int, int]":
+        node %= self.nodes
+        return node // self.cols, node % self.cols
+
+    def distance(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes (minimum one link)."""
+        r1, c1 = self._coords(src)
+        r2, c2 = self._coords(dst)
+        return max(1, abs(r1 - r2) + abs(c1 - c2))
+
+    def home_node(self, line_addr: int) -> int:
+        """Directory bank for a line (address-interleaved)."""
+        return (line_addr >> 6) % self.nodes
+
+    def _latency(self, src: Optional[int], dst: Optional[int]) -> int:
+        if src is None or dst is None:
+            # Average hop distance of a mesh ~ (rows+cols)/3, min 1.
+            avg = max(1, (self.rows + self.cols) // 3)
+            return self.hop_latency * avg
+        return self.hop_latency * self.distance(src, dst)

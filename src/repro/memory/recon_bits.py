@@ -1,0 +1,51 @@
+"""Reveal/conceal bit-vector helpers.
+
+A bit-vector is stored as a plain ``int`` bitmask with one bit per aligned
+8-byte word of a cache line (bit ``i`` set means word ``i`` is *revealed*).
+A freshly fetched line is all zeros — everything concealed (paper §5.2).
+"""
+
+from __future__ import annotations
+
+from repro.common.types import WORDS_PER_LINE, word_index
+
+__all__ = [
+    "ALL_CONCEALED",
+    "FULL_MASK",
+    "reveal_word",
+    "conceal_word",
+    "is_word_revealed",
+    "merge",
+    "popcount",
+]
+
+#: Vector value with every word concealed.
+ALL_CONCEALED = 0
+
+#: Mask with a bit for every word in a line.
+FULL_MASK = (1 << WORDS_PER_LINE) - 1
+
+
+def reveal_word(vector: int, addr: int) -> int:
+    """Return ``vector`` with the bit for ``addr``'s word set."""
+    return vector | (1 << word_index(addr))
+
+
+def conceal_word(vector: int, addr: int) -> int:
+    """Return ``vector`` with the bit for ``addr``'s word cleared."""
+    return vector & ~(1 << word_index(addr)) & FULL_MASK
+
+
+def is_word_revealed(vector: int, addr: int) -> bool:
+    """True if the word containing ``addr`` is revealed in ``vector``."""
+    return bool(vector & (1 << word_index(addr)))
+
+
+def merge(a: int, b: int) -> int:
+    """OR-merge two vectors (the eviction rule of paper §5.3)."""
+    return (a | b) & FULL_MASK
+
+
+def popcount(vector: int) -> int:
+    """Number of revealed words in ``vector``."""
+    return bin(vector & FULL_MASK).count("1")

@@ -1,0 +1,47 @@
+"""Security schemes: unsafe baseline, NDA, STT, and the ReCon optimizer."""
+
+from repro.common.stats import StatSet
+from repro.common.types import SchemeKind
+from repro.security.dom import DomPolicy
+from repro.security.invispec import InvisiSpecPolicy
+from repro.security.lpt import LoadPairTable
+from repro.security.nda import NdaPolicy
+from repro.security.oracle import OracleNdaPolicy, OracleSttPolicy
+from repro.security.policy import EMPTY_TAINT, SecurityPolicy, UnsafePolicy
+from repro.security.spt import SptNdaPolicy, SptSttPolicy
+from repro.security.stt import SttPolicy
+
+__all__ = [
+    "DomPolicy",
+    "EMPTY_TAINT",
+    "InvisiSpecPolicy",
+    "LoadPairTable",
+    "NdaPolicy",
+    "OracleNdaPolicy",
+    "OracleSttPolicy",
+    "SecurityPolicy",
+    "SptNdaPolicy",
+    "SptSttPolicy",
+    "SttPolicy",
+    "UnsafePolicy",
+    "make_policy",
+]
+
+
+def make_policy(kind: SchemeKind, stats: StatSet) -> SecurityPolicy:
+    """Build the policy object for a scheme selector."""
+    if kind is SchemeKind.UNSAFE:
+        return UnsafePolicy(stats)
+    if kind in (SchemeKind.NDA, SchemeKind.NDA_RECON):
+        return NdaPolicy(stats, use_recon=kind.uses_recon)
+    if kind in (SchemeKind.STT, SchemeKind.STT_RECON):
+        return SttPolicy(stats, use_recon=kind.uses_recon)
+    if kind in (SchemeKind.DOM, SchemeKind.DOM_RECON):
+        return DomPolicy(stats, use_recon=kind.uses_recon)
+    if kind in (SchemeKind.INVISPEC, SchemeKind.INVISPEC_RECON):
+        return InvisiSpecPolicy(stats, use_recon=kind.uses_recon)
+    if kind is SchemeKind.NDA_SPT:
+        return SptNdaPolicy(stats)
+    if kind is SchemeKind.STT_SPT:
+        return SptSttPolicy(stats)
+    raise ValueError(f"unknown scheme {kind}")

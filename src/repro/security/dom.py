@@ -1,0 +1,37 @@
+"""Delay-on-Miss (Sakalis et al., ISCA 2019; paper §7).
+
+DoM closes cache timing channels directly: a speculative load may
+execute only if it *hits in the L1* (a hit produces no observable timing
+difference); speculative misses are delayed until the load becomes
+non-speculative.  No taint tracking is needed — hits return values that
+are free to propagate.
+
+The paper names DoM as the scheme most throttled by delayed misses and
+points at InvarSpec-style lifting as its remedy; ReCon provides the same
+kind of lift from the other direction: a speculative load to a
+**revealed** word may miss — the line fill's timing discloses only an
+address that already leaked non-speculatively.
+"""
+
+from __future__ import annotations
+
+from repro.security.policy import SecurityPolicy
+
+__all__ = ["DomPolicy"]
+
+
+class DomPolicy(SecurityPolicy):
+    """Delay-on-Miss, optionally optimized by ReCon."""
+
+    name = "dom"
+
+    #: Tells the pipeline to consult :meth:`may_issue_load` with an L1 probe.
+    gates_on_miss = True
+
+    def may_issue_load(
+        self, speculative: bool, l1_hit: bool, revealed: bool
+    ) -> bool:
+        """May this load access the memory system right now?"""
+        if not speculative or l1_hit:
+            return True
+        return self.use_recon and revealed

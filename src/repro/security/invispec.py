@@ -1,0 +1,38 @@
+"""InvisiSpec-style invisible speculation (Yan et al., MICRO 2018; §7).
+
+The hide-don't-delay family: speculative loads execute and their values
+propagate freely, but the access leaves **no cache footprint** — no
+fill, no coherence transition, no MSHR — until the load reaches its
+visibility point, at which moment the line is *exposed* (fetched for
+real).  The performance cost is the lost caching: a speculative pointer
+chase pays the full memory distance on every hop, every time.
+
+ReCon composes naturally: a load to a **revealed** word may execute
+*visibly* even while speculative — installing the line and using the
+MSHRs — because the address it discloses already leaked
+non-speculatively.  This is the same lift the paper applies to NDA/STT,
+pointed at a different base scheme.
+"""
+
+from __future__ import annotations
+
+from repro.security.policy import SecurityPolicy
+
+__all__ = ["InvisiSpecPolicy"]
+
+
+class InvisiSpecPolicy(SecurityPolicy):
+    """Invisible speculative loads, optionally optimized by ReCon."""
+
+    name = "invispec"
+
+    #: Tells the pipeline to route speculative loads through
+    #: :meth:`~repro.memory.hierarchy.MemoryHierarchy.read_invisible` and
+    #: expose them at the visibility point.
+    invisible_speculation = True
+
+    def load_must_be_invisible(self, speculative: bool, revealed: bool) -> bool:
+        """Must this load avoid touching the cache hierarchy?"""
+        if not speculative:
+            return False
+        return not (self.use_recon and revealed)

@@ -1,0 +1,35 @@
+"""NDA with permissive propagation (Weisse et al., MICRO 2019; paper §2.1).
+
+A speculative load may access the cache, but its result is not broadcast
+to dependents until the load becomes non-speculative.  No taint tracking
+is needed: potential secrets simply never enter the rest of the core.
+
+With ReCon (§5.4), a speculative load whose word is revealed propagates
+immediately — the value is already public.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.security.policy import EMPTY_TAINT, SecurityPolicy
+
+__all__ = ["NdaPolicy"]
+
+
+class NdaPolicy(SecurityPolicy):
+    """Permissive-propagation NDA, optionally optimized by ReCon."""
+
+    name = "nda"
+
+    def on_load_value(
+        self,
+        seq: int,
+        speculative: bool,
+        revealed: bool,
+        forwarded_taint: FrozenSet[int],
+    ) -> Tuple[bool, FrozenSet[int]]:
+        if speculative and not revealed:
+            self.stats.deferred_broadcasts += 1
+            return False, EMPTY_TAINT
+        return True, EMPTY_TAINT

@@ -1,0 +1,52 @@
+"""Oracle-optimized policies (ablation only — not implementable hardware).
+
+These wrap NDA/STT with perfect knowledge of non-speculative leakage: a
+speculative load to any word that global DIFT says has already leaked is
+treated as revealed, regardless of what the LPT detected or what the
+caches still remember.  They bound from above what *any*
+leakage-reuse optimization (ReCon, SPT untainting, ...) could recover.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from repro.common.stats import StatSet
+from repro.security.nda import NdaPolicy
+from repro.security.stt import SttPolicy
+
+__all__ = ["OracleSttPolicy", "OracleNdaPolicy"]
+
+
+class _OracleMixin:
+    """Overrides the reveal decision with the precomputed oracle set."""
+
+    def __init__(
+        self, stats: StatSet, oracle_revealed: Set[int]
+    ) -> None:  # type: ignore[override]
+        super().__init__(stats, use_recon=True)  # type: ignore[call-arg]
+        self._oracle = oracle_revealed
+
+    def on_load_value(
+        self,
+        seq: int,
+        speculative: bool,
+        revealed: bool,
+        forwarded_taint: FrozenSet[int],
+    ) -> Tuple[bool, FrozenSet[int]]:
+        oracle_says = revealed or (seq in self._oracle)
+        return super().on_load_value(  # type: ignore[misc]
+            seq, speculative, oracle_says, forwarded_taint
+        )
+
+
+class OracleSttPolicy(_OracleMixin, SttPolicy):
+    """STT with perfect non-speculative-leakage knowledge."""
+
+    name = "stt+oracle"
+
+
+class OracleNdaPolicy(_OracleMixin, NdaPolicy):
+    """NDA with perfect non-speculative-leakage knowledge."""
+
+    name = "nda+oracle"

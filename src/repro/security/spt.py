@@ -1,0 +1,67 @@
+"""SPT-lite: continuous leakage tracking in the core (paper §2.3).
+
+Speculative Privacy Tracking (Choudhary et al., MICRO 2021) proposed the
+security definition ReCon builds on, and realizes it with a global,
+continuous taint-tracking mechanism spanning non-speculative and
+speculative execution.  This module reproduces the *leakage-reuse* side
+of SPT as a policy ablation:
+
+* a DIFT engine is fed the committed (architectural) instruction stream,
+  so the policy knows at all times which memory words have leaked their
+  contents through *any* dependence chain — not just direct load pairs;
+* a speculative load to such a word is handled as public (untainted for
+  STT, immediately propagated for NDA), which is SPT's forward untaint.
+
+Differences from full SPT, kept for scope (documented in DESIGN.md):
+
+* no *backward* untaint: values already tainted in flight stay tainted
+  until their root reaches visibility;
+* no register protection for pre-speculation secrets (the paper's ReCon
+  evaluation also excludes it, §1/§3.1);
+* the leak map is unbounded, while SPT mirrors the L1 (our variant is
+  therefore an idealized-storage SPT — an upper bound together with the
+  oracle policies in :mod:`repro.security.oracle`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dift import DiftEngine
+from repro.common.stats import StatSet
+from repro.common.types import word_addr
+from repro.isa.microop import MicroOp
+from repro.security.nda import NdaPolicy
+from repro.security.stt import SttPolicy
+
+__all__ = ["SptSttPolicy", "SptNdaPolicy"]
+
+
+class _SptMixin:
+    """Commit-time DIFT feeding the public-word check."""
+
+    def __init__(self, stats: StatSet, arch_regs: int = 32) -> None:  # type: ignore[override]
+        # use_recon stays False: pure SPT uses no LPT and no cache reveal
+        # bits; its knowledge comes entirely from the commit-time DIFT.
+        super().__init__(stats, use_recon=False)  # type: ignore[call-arg]
+        self._dift = DiftEngine(arch_regs)
+
+    def on_commit(self, uop: MicroOp) -> None:
+        self._dift.step(uop)
+
+    def word_is_public(self, addr: int) -> bool:
+        return word_addr(addr) in self._dift.leaked
+
+    @property
+    def leaked_words(self) -> int:
+        return len(self._dift.leaked)
+
+
+class SptSttPolicy(_SptMixin, SttPolicy):
+    """STT whose untaint source is SPT-style continuous DIFT."""
+
+    name = "stt+spt"
+
+
+class SptNdaPolicy(_SptMixin, NdaPolicy):
+    """NDA whose propagation release is SPT-style continuous DIFT."""
+
+    name = "nda+spt"

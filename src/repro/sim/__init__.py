@@ -1,0 +1,40 @@
+"""Simulation driving: system assembly, runners, sweeps, reporting."""
+
+from repro.sim.charts import bar_chart, grouped_bar_chart
+from repro.sim.reporting import (
+    format_table,
+    geomean,
+    normalized_ipc,
+    overhead,
+    overhead_reduction,
+    suite_normalized_rows,
+)
+from repro.sim.runner import (
+    RunResult,
+    TraceCache,
+    default_trace_length,
+    run_benchmark,
+    run_suite,
+)
+from repro.sim.sweep import lpt_size_variants, recon_level_variants
+from repro.sim.system import System, SystemResult
+
+__all__ = [
+    "RunResult",
+    "System",
+    "bar_chart",
+    "grouped_bar_chart",
+    "SystemResult",
+    "TraceCache",
+    "default_trace_length",
+    "format_table",
+    "geomean",
+    "lpt_size_variants",
+    "normalized_ipc",
+    "overhead",
+    "overhead_reduction",
+    "recon_level_variants",
+    "run_benchmark",
+    "run_suite",
+    "suite_normalized_rows",
+]

@@ -1,0 +1,105 @@
+"""ASCII chart rendering.
+
+The paper's figures are bar charts; the benches print their numeric
+series, and this module renders them as terminal bar charts so a
+reproduction run *looks* like the figure it regenerates — without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_PARTIAL = (" ", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render ``value`` (0..scale) as a bar of at most ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value / scale) * width
+    whole = int(cells)
+    frac = cells - whole
+    bar = _FULL * min(whole, width)
+    if whole < width:
+        eighths = int(round(frac * 8))
+        if eighths >= 8:
+            bar += _FULL
+        elif eighths > 0:
+            bar += _PARTIAL[eighths]
+    return bar
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 46,
+    max_value: Optional[float] = None,
+    fmt: str = "{:.3f}",
+    reference: Optional[float] = None,
+) -> str:
+    """One horizontal bar per entry, labels left, values right.
+
+    ``reference`` draws a vertical tick at that value (e.g. 1.0 for
+    normalized-IPC charts).
+    """
+    if not series:
+        return "(empty chart)"
+    scale = max_value if max_value is not None else max(series.values())
+    if scale <= 0:
+        scale = 1.0
+    label_w = max(len(label) for label in series)
+    ref_col = None
+    if reference is not None and 0 < reference <= scale:
+        ref_col = min(width - 1, int(round(reference / scale * width)))
+    lines = []
+    for label, value in series.items():
+        bar = _bar(value, scale, width)
+        row = list(bar.ljust(width))
+        if ref_col is not None and 0 <= ref_col < width and row[ref_col] == " ":
+            row[ref_col] = "|"
+        lines.append(
+            f"{label.ljust(label_w)}  {''.join(row)}  {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Mapping[str, float]]],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    fmt: str = "{:.3f}",
+    reference: Optional[float] = None,
+) -> str:
+    """Bar chart with one sub-bar per series within each group.
+
+    ``groups`` is a sequence of (group label, {series label: value}).
+    """
+    if not groups:
+        return "(empty chart)"
+    scale = max_value
+    if scale is None:
+        scale = max(
+            (v for _, series in groups for v in series.values()), default=1.0
+        )
+    if scale <= 0:
+        scale = 1.0
+    series_w = max(
+        (len(name) for _, series in groups for name in series), default=0
+    )
+    blocks = []
+    for group, series in groups:
+        lines = [f"{group}"]
+        lines.append(
+            bar_chart(
+                {name.ljust(series_w): value for name, value in series.items()},
+                width=width,
+                max_value=scale,
+                fmt=fmt,
+                reference=reference,
+            )
+        )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -1,0 +1,99 @@
+"""Reporting helpers: normalized metrics and plain-text tables.
+
+The figure benches print the same *rows/series* the paper's figures plot;
+these helpers compute the normalized quantities (IPC relative to the
+unsafe baseline, overheads, overhead reductions) and render aligned text
+tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.common.types import SchemeKind
+from repro.sim.runner import RunResult
+
+__all__ = [
+    "geomean",
+    "normalized_ipc",
+    "overhead",
+    "overhead_reduction",
+    "format_table",
+    "suite_normalized_rows",
+]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (0.0 for an empty input)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized_ipc(
+    results: Mapping[Tuple[str, SchemeKind], RunResult],
+    name: str,
+    scheme: SchemeKind,
+    baseline: SchemeKind = SchemeKind.UNSAFE,
+) -> float:
+    """IPC of (name, scheme) relative to (name, baseline)."""
+    base = results[(name, baseline)].ipc
+    if base == 0:
+        return 0.0
+    return results[(name, scheme)].ipc / base
+
+
+def overhead(normalized: float) -> float:
+    """Performance overhead of a scheme given its normalized IPC."""
+    return 1.0 - normalized
+
+
+def overhead_reduction(base_overhead: float, optimized_overhead: float) -> float:
+    """How much of the base scheme's overhead the optimization removed.
+
+    This is the paper's headline metric, e.g. "ReCon reduces the loss by
+    45.1%": (base - optimized) / base.
+    """
+    if base_overhead <= 0:
+        return 0.0
+    return (base_overhead - optimized_overhead) / base_overhead
+
+
+def suite_normalized_rows(
+    results: Mapping[Tuple[str, SchemeKind], RunResult],
+    names: Sequence[str],
+    schemes: Sequence[SchemeKind],
+    baseline: SchemeKind = SchemeKind.UNSAFE,
+) -> List[List[str]]:
+    """Rows of normalized IPC per benchmark plus a geomean row."""
+    rows: List[List[str]] = []
+    columns: Dict[SchemeKind, List[float]] = {s: [] for s in schemes}
+    for name in names:
+        row = [name]
+        for scheme in schemes:
+            value = normalized_ipc(results, name, scheme, baseline)
+            columns[scheme].append(value)
+            row.append(f"{value:.3f}")
+        rows.append(row)
+    mean_row = ["geomean"]
+    for scheme in schemes:
+        mean_row.append(f"{geomean(columns[scheme]):.3f}")
+    rows.append(mean_row)
+    return rows
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned plain-text table."""
+    table = [list(headers)] + [list(r) for r in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(table):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

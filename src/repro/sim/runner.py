@@ -1,0 +1,204 @@
+"""Experiment runner: benchmarks x schemes, with trace caching.
+
+This is the layer the figure benches and examples drive.  Trace
+generation is deterministic and independent of the scheme, so traces are
+built once per (profile, length) and reused across every scheme — both
+for speed and so that scheme comparisons are literally run on identical
+micro-op streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.params import SystemParams
+from repro.common.stats import StatSet
+from repro.common.types import SchemeKind
+from repro.isa.microop import MicroOp
+from repro.sim.system import System, SystemResult
+from repro.workloads.kernels import build_parallel_traces, build_trace
+from repro.workloads.profile import BenchmarkProfile
+
+__all__ = [
+    "RunResult",
+    "SeededResult",
+    "default_trace_length",
+    "run_benchmark",
+    "run_benchmark_seeds",
+    "run_suite",
+    "TraceCache",
+]
+
+#: Environment variable scaling every bench's trace length.
+TRACE_LEN_ENV = "REPRO_TRACE_LEN"
+
+
+def default_trace_length(fallback: int = 12_000) -> int:
+    """Trace length for benches; override with ``REPRO_TRACE_LEN``."""
+    value = os.environ.get(TRACE_LEN_ENV)
+    if value is None:
+        return fallback
+    return max(500, int(value))
+
+
+@dataclasses.dataclass
+class RunResult:
+    """One (benchmark, scheme) measurement."""
+
+    profile: BenchmarkProfile
+    scheme: SchemeKind
+    cycles: int
+    stats: StatSet
+    per_core: List[StatSet]
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.stats.committed_uops / self.cycles
+
+
+class TraceCache:
+    """Builds and memoizes workload traces per (profile, seed, threads, length)."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, int, int, int], List[List[MicroOp]]] = {}
+
+    def get(
+        self, profile: BenchmarkProfile, threads: int, length: int
+    ) -> List[List[MicroOp]]:
+        """Return (building if needed) the trace list for this request."""
+        key = (profile.label, profile.seed, threads, length)
+        if key not in self._cache:
+            if threads == 1:
+                self._cache[key] = [build_trace(profile, length).trace()]
+            else:
+                self._cache[key] = [
+                    prog.trace()
+                    for prog in build_parallel_traces(profile, threads, length)
+                ]
+        return self._cache[key]
+
+
+_GLOBAL_CACHE = TraceCache()
+
+
+def run_benchmark(
+    profile: BenchmarkProfile,
+    scheme: SchemeKind,
+    length: int,
+    params: Optional[SystemParams] = None,
+    threads: int = 1,
+    cache: Optional[TraceCache] = None,
+    warmup_uops: Optional[int] = None,
+) -> RunResult:
+    """Run one benchmark under one scheme; returns the measurement.
+
+    ``warmup_uops`` excludes a detailed-warm-up prefix from the reported
+    stats (paper §6.1: detailed warm-up so that the mechanism itself is
+    warmed); the default warms up over the first 40% of the trace.
+    """
+    cache = cache or _GLOBAL_CACHE
+    traces = cache.get(profile, threads, length)
+    if params is None:
+        params = SystemParams(num_cores=threads)
+    if warmup_uops is None:
+        warmup_uops = (length * 2) // 5
+    result: SystemResult = System(
+        params, traces, scheme, warmup_uops=warmup_uops
+    ).run()
+    return RunResult(
+        profile=profile,
+        scheme=scheme,
+        cycles=result.cycles,
+        stats=result.aggregate,
+        per_core=result.per_core,
+    )
+
+
+@dataclasses.dataclass
+class SeededResult:
+    """Multi-seed measurement: per-seed results plus summary statistics."""
+
+    profile: BenchmarkProfile
+    scheme: SchemeKind
+    runs: List[RunResult]
+
+    @property
+    def ipcs(self) -> List[float]:
+        return [run.ipc for run in self.runs]
+
+    @property
+    def mean_ipc(self) -> float:
+        return sum(self.ipcs) / len(self.ipcs)
+
+    @property
+    def std_ipc(self) -> float:
+        if len(self.runs) < 2:
+            return 0.0
+        mean = self.mean_ipc
+        var = sum((v - mean) ** 2 for v in self.ipcs) / (len(self.ipcs) - 1)
+        return var ** 0.5
+
+
+def run_benchmark_seeds(
+    profile: BenchmarkProfile,
+    scheme: SchemeKind,
+    length: int,
+    seeds: Sequence[int],
+    params: Optional[SystemParams] = None,
+    threads: int = 1,
+    cache: Optional[TraceCache] = None,
+    warmup_uops: Optional[int] = None,
+) -> SeededResult:
+    """Run one benchmark over several workload seeds.
+
+    Synthetic-workload noise is seed noise; reporting mean and standard
+    deviation over seeds is the honest way to quote a number from this
+    reproduction.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cache = cache or _GLOBAL_CACHE
+    runs = []
+    for seed in seeds:
+        seeded = dataclasses.replace(profile, seed=seed)
+        runs.append(
+            run_benchmark(
+                seeded,
+                scheme,
+                length,
+                params=params,
+                threads=threads,
+                cache=cache,
+                warmup_uops=warmup_uops,
+            )
+        )
+    return SeededResult(profile=profile, scheme=scheme, runs=runs)
+
+
+def run_suite(
+    profiles: Iterable[BenchmarkProfile],
+    schemes: Sequence[SchemeKind],
+    length: int,
+    params: Optional[SystemParams] = None,
+    threads: int = 1,
+    cache: Optional[TraceCache] = None,
+    warmup_uops: Optional[int] = None,
+) -> Dict[Tuple[str, SchemeKind], RunResult]:
+    """Run a full benchmarks x schemes grid on identical traces."""
+    results: Dict[Tuple[str, SchemeKind], RunResult] = {}
+    for profile in profiles:
+        for scheme in schemes:
+            results[(profile.name, scheme)] = run_benchmark(
+                profile,
+                scheme,
+                length,
+                params=params,
+                threads=threads,
+                cache=cache,
+                warmup_uops=warmup_uops,
+            )
+    return results

@@ -1,0 +1,50 @@
+"""Parameter-sweep helpers for the sensitivity figures.
+
+Builds the :class:`~repro.common.params.SystemParams` variants that the
+paper sweeps: reveal-bit cache levels (Fig. 10) and load-pair-table sizes
+(Fig. 11).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.common.params import SystemParams
+from repro.common.types import CacheLevel
+
+__all__ = ["recon_level_variants", "lpt_size_variants"]
+
+
+def recon_level_variants(
+    base: SystemParams = SystemParams(),
+) -> "List[Tuple[str, SystemParams]]":
+    """(label, params) for ReCon applied at L1 / L1+L2 / all levels."""
+    return [
+        (
+            "L1",
+            dataclasses.replace(base, recon_levels=(CacheLevel.L1,)),
+        ),
+        (
+            "L1+L2",
+            dataclasses.replace(
+                base, recon_levels=(CacheLevel.L1, CacheLevel.L2)
+            ),
+        ),
+        ("all-levels", dataclasses.replace(base, recon_levels=None)),
+    ]
+
+
+def lpt_size_variants(
+    base: SystemParams = SystemParams(),
+    divisors: "Tuple[int, ...]" = (1, 4, 16, 64),
+) -> "List[Tuple[str, SystemParams]]":
+    """(label, params) for LPT sizes of #physregs / divisor (Fig. 11)."""
+    variants = []
+    for divisor in divisors:
+        entries = max(1, base.core.phys_regs // divisor)
+        label = "LPT" if divisor == 1 else f"LPT/{divisor}"
+        variants.append(
+            (label, dataclasses.replace(base, lpt_entries=entries))
+        )
+    return variants

@@ -1,0 +1,98 @@
+"""System assembly: cores + shared memory hierarchy under one scheme."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.common.params import SystemParams
+from repro.common.stats import StatSet
+from repro.common.types import SchemeKind
+from repro.core.pipeline import Core
+from repro.isa.microop import MicroOp
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.security import make_policy
+
+__all__ = ["System", "SystemResult"]
+
+
+@dataclasses.dataclass
+class SystemResult:
+    """Outcome of one system run."""
+
+    scheme: SchemeKind
+    cycles: int
+    per_core: List[StatSet]
+
+    @property
+    def aggregate(self) -> StatSet:
+        total = StatSet()
+        for stats in self.per_core:
+            total.merge(stats)
+        total.cycles = self.cycles
+        return total
+
+    @property
+    def ipc(self) -> float:
+        """Total committed micro-ops over parallel execution time."""
+        if self.cycles == 0:
+            return 0.0
+        return sum(s.committed_uops for s in self.per_core) / self.cycles
+
+
+class System:
+    """One or more cores sharing a coherent memory hierarchy."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        traces: Sequence[Sequence[MicroOp]],
+        scheme: SchemeKind,
+        warmup_uops: int = 0,
+    ) -> None:
+        if len(traces) > params.num_cores:
+            params = dataclasses.replace(params, num_cores=len(traces))
+        params.validate()
+        self.params = params
+        self.scheme = scheme
+        self.hierarchy = MemoryHierarchy(params)
+        self.cores: List[Core] = []
+        for core_id, trace in enumerate(traces):
+            stats = StatSet()
+            policy = make_policy(scheme, stats)
+            self.cores.append(
+                Core(
+                    core_id,
+                    params,
+                    list(trace),
+                    self.hierarchy,
+                    policy,
+                    stats,
+                    warmup_uops=warmup_uops,
+                )
+            )
+
+    def run(self, max_cycles: int = 50_000_000) -> SystemResult:
+        """Run all cores to completion (lockstep with idle fast-forward)."""
+        if len(self.cores) == 1:
+            core = self.cores[0]
+            core.run(max_cycles=max_cycles)
+            measured = core.measured
+            return SystemResult(self.scheme, measured.cycles, [measured])
+        cycle = 0
+        while True:
+            pending = [core for core in self.cores if not core.done]
+            if not pending:
+                break
+            if cycle > max_cycles:
+                raise RuntimeError(f"exceeded {max_cycles} cycles; likely hang")
+            active = False
+            for core in pending:
+                active |= core.step(cycle)
+            if active:
+                cycle += 1
+            else:
+                cycle = min(core.next_wake(cycle) for core in pending)
+        measured = [core.measured for core in self.cores]
+        end = max(stats.cycles for stats in measured)
+        return SystemResult(self.scheme, end, measured)

@@ -1,0 +1,28 @@
+"""Synthetic workload suites standing in for SPEC2017/SPEC2006/PARSEC."""
+
+from repro.workloads.kernels import (
+    WorkloadBuilder,
+    build_parallel_traces,
+    build_trace,
+)
+from repro.workloads.profile import KERNEL_NAMES, BenchmarkProfile
+from repro.workloads.suites import (
+    all_benchmarks,
+    get_benchmark,
+    parsec_suite,
+    spec2006_suite,
+    spec2017_suite,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "KERNEL_NAMES",
+    "WorkloadBuilder",
+    "all_benchmarks",
+    "build_parallel_traces",
+    "build_trace",
+    "get_benchmark",
+    "parsec_suite",
+    "spec2006_suite",
+    "spec2017_suite",
+]

@@ -1,0 +1,108 @@
+"""Benchmark profile descriptions.
+
+A :class:`BenchmarkProfile` parameterizes the synthetic workload generator
+so that each named benchmark reproduces the *qualitative* behaviour the
+paper reports for its real counterpart (leakage composition in Fig. 4,
+overhead and recovery in Figs. 5-9): how much pointer dereferencing it
+does, how far apart the two loads of a pair sit, how large its working
+set is, how branchy it is, and how much independent compute can hide
+delayed loads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Tuple
+
+__all__ = ["BenchmarkProfile", "KERNEL_NAMES"]
+
+#: Kernel mix keys accepted in ``kernel_weights``.
+KERNEL_NAMES: Tuple[str, ...] = (
+    "pointer_chase",
+    "indexed",
+    "tree",
+    "hash",
+    "stream",
+    "stencil",
+    "compute",
+    "branchy",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkProfile:
+    """Tuning knobs for one synthetic benchmark.
+
+    Attributes:
+        name: benchmark name (e.g. ``"mcf"``).
+        suite: ``"spec2017"``, ``"spec2006"``, or ``"parsec"``.
+        kernel_weights: relative frequency of each kernel chunk type.
+        seed: RNG seed; layout and op stream are fully deterministic.
+        chains: interleaved pointer chains (pair distance — drives LPT
+            sensitivity, Fig. 11).
+        chain_nodes: nodes per chain (pointer working set & reuse period).
+        node_stride_bytes: spacing of chain node slots.  16 packs four
+            nodes per cache line (locality-friendly); 64+ gives every node
+            its own line, producing miss-heavy chases whose reveal bits
+            live mostly in the L2/LLC — the regime where ReCon's
+            directory-level tracking matters (Fig. 10).
+        array_words: size of the index/target arrays (indexed/hash kernels).
+        chase_steps: chain steps per pointer-chase chunk.
+        mispredict_rate: branch mispredict probability.
+        value_branch_rate: probability a chase/tree step branches on a
+            loaded value (keeps speculation shadows long under STT/NDA).
+        data_branch_fraction: of those branches, the fraction that test a
+            plain *data* word (never dereferenced, so never revealed —
+            ReCon cannot lift them) rather than a pointer word (revealed
+            on reuse).  High values model benchmarks whose ReCon recovery
+            is small despite many tainted loads (deepsjeng, cactuBSSN).
+        indirect_fraction: probability a dereference goes through an ALU
+            copy, breaking the *direct* pair (DIFT-only leakage, Fig. 4).
+        store_rate: probability a step rewrites the pointer it followed
+            (conceals it, limiting ReCon reuse).
+        compute_depth: dependent ALU/FP ops chained after loaded values.
+        independent_compute: independent ops per chunk that can hide
+            delayed loads (taint criticality — ``nab`` vs ``leela``).
+        shared_fraction: (parallel only) probability a chunk works on the
+            process-shared region instead of thread-private data.
+        lock_rate: (parallel only) probability a chunk performs a lock
+            acquire/release on a shared line.
+    """
+
+    name: str
+    suite: str
+    kernel_weights: Mapping[str, float]
+    seed: int = 1
+    chains: int = 4
+    chain_nodes: int = 64
+    node_stride_bytes: int = 16
+    array_words: int = 512
+    chase_steps: int = 6
+    mispredict_rate: float = 0.04
+    value_branch_rate: float = 0.6
+    data_branch_fraction: float = 0.2
+    #: ALU ops (a compare chain) between a loaded value and the branch
+    #: that tests it.  Differentiates NDA from STT: STT computes the
+    #: condition under speculation and resolves the moment the root turns
+    #: safe, while NDA starts computing only at the visibility point and
+    #: pays the chain latency on top of every epoch.
+    branch_compute_depth: int = 1
+    indirect_fraction: float = 0.10
+    store_rate: float = 0.02
+    compute_depth: int = 2
+    independent_compute: int = 0
+    shared_fraction: float = 0.0
+    lock_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kernel_weights) - set(KERNEL_NAMES)
+        if unknown:
+            raise ValueError(f"unknown kernels in profile {self.name}: {unknown}")
+        if not self.kernel_weights:
+            raise ValueError(f"profile {self.name} has an empty kernel mix")
+        if self.chains <= 0 or self.chain_nodes <= 1:
+            raise ValueError(f"profile {self.name}: invalid chain geometry")
+
+    @property
+    def label(self) -> str:
+        return f"{self.suite}/{self.name}"

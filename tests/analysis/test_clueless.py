@@ -1,0 +1,165 @@
+"""Unit tests for the Clueless leakage analyzer."""
+
+from repro.analysis import Clueless, DiftEngine
+from repro.isa import Program
+
+
+def analyze(prog):
+    return Clueless().run(prog.trace())
+
+
+class TestDirectLoadPairs:
+    def test_simple_pair_leaks_first_address(self):
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2)
+        report = analyze(prog)
+        assert report.pair_leaked_words == 1
+        assert report.dift_leaked_words == 1
+        assert report.pair_coverage == 1.0
+
+    def test_offset_still_a_pair(self):
+        """Paper section 4.3: immediate offsets do not break a pair."""
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2, offset=0x10)
+        report = analyze(prog)
+        assert report.pair_leaked_words == 1
+
+    def test_indirect_dependence_not_a_pair(self):
+        """The PC1..PC5 example of section 4.3."""
+        prog = Program()
+        prog.poke(0x13 * 8, 0x3000)
+        prog.poke(0x7 * 8, 0x4000)
+        prog.li(1, 0x13 * 8)
+        prog.li(2, 0x7 * 8)
+        prog.load(3, base=1)      # PC1
+        prog.load(4, base=2)      # PC2
+        prog.alu(5, 3, 4)         # PC3
+        prog.load(6, base=5)      # PC4: leaks both, but NOT a direct pair
+        report = analyze(prog)
+        assert report.dift_leaked_words == 2
+        assert report.pair_leaked_words == 0
+
+    def test_direct_and_indirect_mixed(self):
+        prog = Program()
+        prog.poke(0x1000, 0x3000)
+        prog.poke(0x1008, 0x4000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)             # value of 0x1000
+        prog.load(3, base=1, offset=8)   # value of 0x1008
+        prog.alu(4, 3)                   # manipulated
+        prog.load(5, base=2)             # direct pair: leaks 0x1000
+        prog.load(6, base=4)             # indirect: leaks 0x1008 (DIFT only)
+        report = analyze(prog)
+        assert report.pair_leaked_words == 1
+        assert report.dift_leaked_words == 2
+        assert 0.0 < report.pair_coverage < 1.0
+
+    def test_store_conceals_pair_leak(self):
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2)     # 0x1000 leaked
+        prog.li(4, 7)
+        prog.store(4, base=1)    # new value at 0x1000: concealed again
+        report = analyze(prog)
+        assert report.pair_leaked_words == 0
+        assert report.dift_leaked_words == 0
+
+
+class TestGlobalDift:
+    def test_leak_through_memory(self):
+        """A value copied through memory still leaks its original home."""
+        prog = Program()
+        prog.poke(0x1000, 0x5000)
+        prog.li(1, 0x1000)
+        prog.li(2, 0x2000)
+        prog.load(3, base=1)    # r3 = [0x1000]
+        prog.store(3, base=2)   # [0x2000] = r3
+        prog.load(4, base=2)    # r4 = [0x2000] (same value)
+        prog.load(5, base=4)    # dereference: leaks 0x2000 AND 0x1000
+        report = analyze(prog)
+        assert report.dift_leaked_words == 2
+        # The 0x2000 hop IS a direct pair; 0x1000 is not.
+        assert report.pair_leaked_words == 1
+
+    def test_store_address_leaks_sources_too(self):
+        """Using a loaded value as a *store* address leaks it (DIFT)."""
+        prog = Program()
+        prog.poke(0x1000, 0x6000)
+        prog.li(1, 0x1000)
+        prog.li(2, 9)
+        prog.load(3, base=1)
+        prog.store(2, base=3)   # store to [r3]: r3's home leaks
+        report = analyze(prog)
+        assert report.dift_leaked_words == 1
+        assert report.pair_leaked_words == 0  # pairs are load-load only
+
+    def test_untouched_program_leaks_nothing(self):
+        prog = Program()
+        for i in range(8):
+            prog.li(i, i)
+            prog.alu(i, i)
+        report = analyze(prog)
+        assert report.footprint_words == 0
+        assert report.dift_fraction == 0.0
+        assert report.pair_fraction == 0.0
+
+    def test_branches_do_not_leak(self):
+        prog = Program()
+        prog.poke(0x1000, 3)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.branch(2)  # control dependence: not explicit leakage
+        report = analyze(prog)
+        assert report.dift_leaked_words == 0
+
+    def test_peak_tracks_transient_leaks(self):
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2)     # leaked: peak 1
+        prog.li(4, 7)
+        prog.store(4, base=1)    # concealed again
+        engine = DiftEngine()
+        for uop in prog.trace():
+            engine.step(uop)
+        assert engine.peak_leaked == 1
+        assert len(engine.leaked) == 0
+
+    def test_fractions_use_footprint(self):
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2)         # footprint: 0x1000, 0x2000; leak 0x1000
+        prog.li(5, 0x3000)
+        prog.load(6, base=5)         # footprint: 0x3000
+        report = analyze(prog)
+        assert report.footprint_words == 3
+        assert abs(report.dift_fraction - 1 / 3) < 1e-9
+
+
+class TestReconLptAgreement:
+    def test_clueless_pairs_match_lpt_detection(self):
+        """The trace-level pair tracker and the commit-stage LPT agree."""
+        from repro.common import SchemeKind
+        from tests.helpers import run_program
+
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.poke(0x2000, 0x3000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2)
+        prog.load(4, base=3)
+        report = Clueless().run(prog.trace())
+        core = run_program(prog, SchemeKind.STT_RECON)
+        assert core.stats.load_pairs_detected == report.pair_leaked_words == 2

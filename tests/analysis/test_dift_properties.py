@@ -1,0 +1,102 @@
+"""Property-based tests for the Clueless/DIFT invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Clueless
+from repro.common import word_addr
+from repro.isa import Program
+
+# Random little programs over a small register/address universe.
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["li", "load", "load_off", "alu", "store", "branch"]),
+        st.integers(min_value=1, max_value=7),  # dest-ish register
+        st.integers(min_value=1, max_value=7),  # src-ish register
+        st.integers(min_value=0, max_value=15),  # address slot
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def build_program(ops):
+    """Interpret the op tuples into a valid program.
+
+    Registers are pre-seeded with valid addresses so loads always have a
+    plausible target; slots map to a 16-word arena holding pointers into
+    itself.
+    """
+    prog = Program()
+    arena = 0x8000
+    for i in range(16):
+        prog.poke(arena + i * 8, arena + ((i * 5 + 3) % 16) * 8)
+    for reg in range(1, 8):
+        prog.li(reg, arena + (reg % 16) * 8)
+    for kind, dest, src, slot in ops:
+        if kind == "li":
+            prog.li(dest, arena + slot * 8)
+        elif kind == "load":
+            prog.load(dest, base=src)
+        elif kind == "load_off":
+            prog.load(dest, base=src, offset=8)
+        elif kind == "alu":
+            prog.alu(dest, src)
+        elif kind == "store":
+            prog.store(src, base=dest)
+        else:
+            prog.branch(src)
+        # Keep register contents pointing into the arena so the *next*
+        # load dereferences something sane.
+        for reg in range(1, 8):
+            value = prog.regs[reg]
+            if not arena <= value < arena + 16 * 8:
+                prog.li(reg, arena + ((value + reg) % 16) * 8)
+    return prog
+
+
+class TestDiftProperties:
+    @given(ops=op_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_pairs_are_a_subset_of_dift(self, ops):
+        """Every pair-leaked word must also be DIFT-leaked (§6.1)."""
+        prog = build_program(ops)
+        report = Clueless().run(prog.trace())
+        assert report.pair_leaked_words <= report.dift_leaked_words
+        assert report.pair_fraction <= report.dift_fraction + 1e-9
+
+    @given(ops=op_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_leaked_words_within_footprint(self, ops):
+        prog = build_program(ops)
+        report = Clueless().run(prog.trace())
+        assert report.dift_leaked_words <= report.footprint_words
+        assert 0.0 <= report.dift_fraction <= 1.0
+        assert 0.0 <= report.pair_fraction <= 1.0
+
+    @given(ops=op_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_final_store_conceals_everything_it_wrote(self, ops):
+        """Storing to every leaked word at the end conceals them all."""
+        prog = build_program(ops)
+        analyzer = Clueless()
+        for uop in prog.trace():
+            analyzer.step(uop)
+        report = analyzer.report()
+        # Overwrite the whole arena non-dependently.
+        closing = Program()
+        closing.li(1, 0)
+        for i in range(16):
+            closing.store_abs(1, 0x8000 + i * 8)
+        for uop in closing.trace():
+            analyzer.step(uop)
+        final = analyzer.report()
+        assert final.dift_leaked_words == 0
+        assert final.pair_leaked_words == 0
+
+    @given(ops=op_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_analysis_is_deterministic(self, ops):
+        a = Clueless().run(build_program(ops).trace())
+        b = Clueless().run(build_program(ops).trace())
+        assert a == b

@@ -1,0 +1,67 @@
+"""Unit tests for leakage timelines."""
+
+import pytest
+
+from repro.analysis import leakage_timeline
+from repro.isa import Program
+from repro.workloads import build_trace, get_benchmark
+
+
+class TestLeakageTimeline:
+    def test_samples_at_interval(self):
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        for _ in range(10):
+            prog.load(2, base=1)
+            prog.load(3, base=2)
+        timeline = leakage_timeline(prog.trace(), interval=5)
+        assert timeline.samples[0][0] == 5
+        assert timeline.samples[-1][0] == len(prog)
+
+    def test_leak_then_conceal_visible_in_series(self):
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2)      # leaked after uop 3
+        prog.li(4, 9)
+        prog.store(4, base=1)     # concealed after uop 5
+        prog.nop()
+        timeline = leakage_timeline(prog.trace(), interval=1)
+        dift = [s[1] for s in timeline.samples]
+        assert max(dift) == 1
+        assert dift[-1] == 0
+        assert timeline.peak_dift == 1
+        assert timeline.final == (0, 0)
+
+    def test_pairs_never_exceed_dift(self):
+        trace = build_trace(get_benchmark("spec2017", "omnetpp"), 3000).trace()
+        timeline = leakage_timeline(trace, interval=250)
+        for _, dift, pairs in timeline.samples:
+            assert pairs <= dift
+
+    def test_pointer_benchmark_accumulates_leakage(self):
+        trace = build_trace(get_benchmark("spec2017", "mcf"), 3000).trace()
+        timeline = leakage_timeline(trace, interval=500)
+        dift = [s[1] for s in timeline.samples]
+        assert dift[-1] > dift[0]
+        assert timeline.peak_dift > 50
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            leakage_timeline([], interval=0)
+
+    def test_empty_trace(self):
+        timeline = leakage_timeline([], interval=10)
+        assert timeline.samples == ()
+        assert timeline.final == (0, 0)
+        assert timeline.peak_dift == 0
+
+    def test_as_rows(self):
+        prog = Program()
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        rows = leakage_timeline(prog.trace(), interval=1).as_rows()
+        assert len(rows) == 2
+        assert all(len(row) == 3 for row in rows)

@@ -1,0 +1,54 @@
+"""Unit tests for StatSet snapshot/delta and merge semantics."""
+
+from repro.common import StatSet
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_independent_copy(self):
+        stats = StatSet()
+        stats.l1_hits = 5
+        snap = stats.snapshot()
+        stats.l1_hits = 9
+        assert snap.l1_hits == 5
+
+    def test_delta_subtracts_everything(self):
+        stats = StatSet()
+        stats.cycles, stats.committed_uops, stats.reveal_hits = 100, 50, 7
+        snap = stats.snapshot()
+        stats.cycles, stats.committed_uops, stats.reveal_hits = 180, 90, 10
+        delta = stats.delta(snap)
+        assert delta.cycles == 80
+        assert delta.committed_uops == 40
+        assert delta.reveal_hits == 3
+
+    def test_delta_ipc(self):
+        stats = StatSet()
+        stats.cycles, stats.committed_uops = 100, 100
+        snap = stats.snapshot()
+        stats.cycles, stats.committed_uops = 150, 300
+        assert abs(stats.delta(snap).ipc - 4.0) < 1e-12
+
+    def test_delta_of_self_is_zero(self):
+        stats = StatSet()
+        stats.l2_misses = 3
+        delta = stats.delta(stats.snapshot())
+        assert all(v == 0 for v in delta.as_dict().values())
+
+
+class TestMerge:
+    def test_merge_is_commutative_for_counters(self):
+        a, b = StatSet(), StatSet()
+        a.tainted_loads, b.tainted_loads = 3, 4
+        a.cycles, b.cycles = 10, 20
+        a2, b2 = a.snapshot(), b.snapshot()
+        a.merge(b)
+        b2.merge(a2)
+        assert a.tainted_loads == b2.tainted_loads == 7
+        assert a.cycles == b2.cycles == 20
+
+    def test_as_dict_round_trips_fields(self):
+        stats = StatSet()
+        stats.load_pairs_detected = 12
+        d = stats.as_dict()
+        assert d["load_pairs_detected"] == 12
+        assert "cycles" in d and "ipc" not in d

@@ -1,0 +1,74 @@
+"""Unit tests for the shared vocabulary types."""
+
+import pytest
+
+from repro.common import (
+    LINE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+    CacheLevel,
+    OpClass,
+    SchemeKind,
+    line_addr,
+    word_addr,
+    word_index,
+)
+
+
+class TestAddressHelpers:
+    def test_line_addr_masks_low_bits(self):
+        assert line_addr(0x1234) == 0x1200
+        assert line_addr(0x1200) == 0x1200
+        assert line_addr(0x123F) == 0x1200
+
+    def test_word_index_spans_line(self):
+        assert word_index(0x1200) == 0
+        assert word_index(0x1208) == 1
+        assert word_index(0x1238) == 7
+
+    def test_word_index_sub_word_offsets(self):
+        # Any byte of a word maps to that word's index.
+        assert word_index(0x1209) == 1
+        assert word_index(0x120F) == 1
+
+    def test_word_addr_aligns_down(self):
+        assert word_addr(0x1209) == 0x1208
+        assert word_addr(0x1208) == 0x1208
+
+    def test_constants_consistent(self):
+        assert LINE_BYTES == WORD_BYTES * WORDS_PER_LINE
+        assert WORDS_PER_LINE == 8
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.ALU.is_memory
+        assert not OpClass.BRANCH.is_memory
+
+
+class TestSchemeKind:
+    @pytest.mark.parametrize(
+        "scheme,expected",
+        [
+            (SchemeKind.UNSAFE, False),
+            (SchemeKind.NDA, False),
+            (SchemeKind.STT, False),
+            (SchemeKind.NDA_RECON, True),
+            (SchemeKind.STT_RECON, True),
+        ],
+    )
+    def test_uses_recon(self, scheme, expected):
+        assert scheme.uses_recon is expected
+
+    def test_base_strips_recon(self):
+        assert SchemeKind.NDA_RECON.base is SchemeKind.NDA
+        assert SchemeKind.STT_RECON.base is SchemeKind.STT
+        assert SchemeKind.STT.base is SchemeKind.STT
+        assert SchemeKind.UNSAFE.base is SchemeKind.UNSAFE
+
+
+class TestCacheLevel:
+    def test_ordering_by_distance(self):
+        assert CacheLevel.L1 < CacheLevel.L2 < CacheLevel.LLC < CacheLevel.MEMORY

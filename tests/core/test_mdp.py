@@ -1,0 +1,45 @@
+"""Unit tests for the memory-dependence predictor."""
+
+from repro.common import MemPrediction
+from repro.core import MemoryDependencePredictor
+
+
+class TestMemoryDependencePredictor:
+    def test_default_predicts_mem(self):
+        mdp = MemoryDependencePredictor()
+        assert mdp.predict(0x100) is MemPrediction.MEM
+
+    def test_violation_trains_to_stf(self):
+        mdp = MemoryDependencePredictor()
+        mdp.train_violation(0x100)
+        assert mdp.predict(0x100) is MemPrediction.STF
+        assert mdp.violations == 1
+
+    def test_training_is_per_pc(self):
+        mdp = MemoryDependencePredictor()
+        mdp.train_violation(0x100)
+        assert mdp.predict(0x200) is MemPrediction.MEM
+
+    def test_false_dependence_trains_back_to_mem(self):
+        mdp = MemoryDependencePredictor()
+        mdp.train_violation(0x100)
+        mdp.train_no_dependence(0x100)
+        mdp.train_no_dependence(0x100)
+        assert mdp.predict(0x100) is MemPrediction.MEM
+        assert mdp.false_dependencies == 2
+
+    def test_hysteresis_keeps_stf_after_one_miss(self):
+        mdp = MemoryDependencePredictor()
+        mdp.train_violation(0x100)
+        mdp.train_violation(0x100)
+        mdp.train_no_dependence(0x100)
+        assert mdp.predict(0x100) is MemPrediction.STF
+
+    def test_counter_saturates(self):
+        mdp = MemoryDependencePredictor()
+        for _ in range(10):
+            mdp.train_violation(0x100)
+        for _ in range(2):
+            mdp.train_no_dependence(0x100)
+        # From saturation (3), two decrements leave 1: back to MEM.
+        assert mdp.predict(0x100) is MemPrediction.MEM

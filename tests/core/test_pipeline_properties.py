@@ -1,0 +1,145 @@
+"""Property-based tests of whole-pipeline invariants.
+
+Random small programs are run under every scheme; regardless of policy,
+the pipeline must commit the whole trace, keep counters consistent, and
+never let a secure scheme observe more than the unsafe baseline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import OpClass, SchemeKind
+from repro.isa import Program
+from tests.helpers import make_core
+
+ARENA = 0x8000
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["li", "load", "alu", "store", "branch", "mispredict", "chase"]),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=15),
+    ),
+    min_size=3,
+    max_size=80,
+)
+
+ALL_SCHEMES = (
+    SchemeKind.UNSAFE,
+    SchemeKind.NDA,
+    SchemeKind.STT,
+    SchemeKind.NDA_RECON,
+    SchemeKind.STT_RECON,
+)
+
+
+def build(ops):
+    prog = Program()
+    for i in range(16):
+        prog.poke(ARENA + i * 8, ARENA + ((i * 7 + 5) % 16) * 8)
+    for reg in range(1, 8):
+        prog.li(reg, ARENA + (reg % 16) * 8)
+    for kind, reg, slot in ops:
+        if kind == "li":
+            prog.li(reg, ARENA + slot * 8)
+        elif kind == "load":
+            prog.load(reg, base=((reg % 7) or 1))
+        elif kind == "alu":
+            prog.alu(reg, ((reg % 7) or 1))
+        elif kind == "store":
+            prog.store(reg, base=((slot % 7) or 1))
+        elif kind == "branch":
+            prog.branch(reg)
+        elif kind == "mispredict":
+            prog.branch(reg, mispredict=True)
+        else:  # chase: guarantee a dereference pair
+            prog.load(reg, base=((reg % 7) or 1))
+            other = (reg % 7) + 1
+            prog.load(other, base=reg)
+        # Re-point wandering registers back into the arena.
+        for r in range(1, 8):
+            if not ARENA <= prog.regs[r] < ARENA + 16 * 8:
+                prog.li(r, ARENA + ((prog.regs[r] + r) % 16) * 8)
+    return prog
+
+
+def run_all(ops):
+    cores = {}
+    for scheme in ALL_SCHEMES:
+        core = make_core(build(ops), scheme)
+        core.run()
+        cores[scheme] = core
+    return cores
+
+
+class TestPipelineProperties:
+    @given(ops=op_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_every_scheme_commits_everything(self, ops):
+        cores = run_all(ops)
+        lengths = {s: c.stats.committed_uops for s, c in cores.items()}
+        assert len(set(lengths.values())) == 1
+        for core in cores.values():
+            assert core.done
+            assert core.lsq.sb_depth == 0
+
+    @given(ops=op_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_unsafe_is_never_slower(self, ops):
+        cores = run_all(ops)
+        unsafe = cores[SchemeKind.UNSAFE].stats.cycles
+        for scheme in ALL_SCHEMES[1:]:
+            # Allow tiny slack: reveal-driven timing shifts can perturb
+            # memory-order-violation penalties by a few cycles.
+            assert cores[scheme].stats.cycles >= unsafe - 30
+
+    @given(ops=op_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_counter_consistency(self, ops):
+        for scheme, core in run_all(ops).items():
+            stats = core.stats
+            trace = core.trace
+            assert stats.committed_loads == sum(
+                1 for u in trace if u.opclass is OpClass.LOAD
+            )
+            assert stats.committed_stores == sum(
+                1 for u in trace if u.opclass is OpClass.STORE
+            )
+            assert stats.committed_branches == sum(
+                1 for u in trace if u.opclass is OpClass.BRANCH
+            )
+            # Observations are a subset of loads; forwarded loads are not
+            # observed.
+            assert len(core.observations) <= stats.committed_loads
+            assert stats.reveal_hits + stats.reveal_misses <= stats.committed_loads
+
+    @given(ops=op_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_secure_schemes_observe_no_more_speculatively(self, ops):
+        """No secure scheme speculatively observes an address the unsafe
+        baseline would not (they only ever delay)."""
+        cores = run_all(ops)
+        unsafe_addrs = {
+            obs.addr for obs in cores[SchemeKind.UNSAFE].observations
+        }
+        for scheme in (SchemeKind.NDA, SchemeKind.STT):
+            spec = {
+                obs.addr
+                for obs in cores[scheme].observations
+                if obs.speculative
+            }
+            assert spec <= unsafe_addrs
+
+    @given(ops=op_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_recon_reveals_only_after_pairs(self, ops):
+        core = run_all(ops)[SchemeKind.STT_RECON]
+        if core.stats.load_pairs_detected == 0:
+            assert core.stats.reveal_hits == 0
+
+    @given(ops=op_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_hierarchy_invariants_after_run(self, ops):
+        for core in run_all(ops).values():
+            core.hierarchy.check_coherence_invariants()

@@ -1,0 +1,74 @@
+"""Unit tests for register renaming."""
+
+import pytest
+
+from repro.core import RegisterFile
+
+
+class TestRegisterFile:
+    def test_initial_identity_map_ready(self):
+        rf = RegisterFile(arch_regs=4, phys_regs=8)
+        result = rf.rename(srcs=(0, 3), dest=None)
+        assert result.src_phys == (0, 3)
+        assert all(rf.ready[p] for p in result.src_phys)
+
+    def test_rename_allocates_fresh_dest(self):
+        rf = RegisterFile(arch_regs=4, phys_regs=8)
+        result = rf.rename(srcs=(), dest=1)
+        assert result.dest_phys == 4  # first free
+        assert result.freed_on_commit == 1  # the old mapping
+        assert not rf.ready[4]
+
+    def test_consumer_sees_latest_mapping(self):
+        rf = RegisterFile(arch_regs=4, phys_regs=8)
+        first = rf.rename(srcs=(), dest=1)
+        second = rf.rename(srcs=(1,), dest=2)
+        assert second.src_phys == (first.dest_phys,)
+
+    def test_free_list_exhaustion_and_release(self):
+        rf = RegisterFile(arch_regs=2, phys_regs=4)
+        assert rf.can_rename(True)
+        rf.rename(srcs=(), dest=0)
+        rf.rename(srcs=(), dest=1)
+        assert not rf.can_rename(True)
+        assert rf.can_rename(False)  # dest-less ops never stall on regs
+        rf.release(0)
+        assert rf.can_rename(True)
+
+    def test_broadcast_marks_ready_and_returns_waiters(self):
+        rf = RegisterFile(arch_regs=2, phys_regs=4)
+        result = rf.rename(srcs=(), dest=0)
+        sentinel = object()
+        rf.waiters.setdefault(result.dest_phys, []).append(sentinel)
+        waiters = rf.broadcast(result.dest_phys, frozenset({7}))
+        assert waiters == [sentinel]
+        assert rf.ready[result.dest_phys]
+        assert rf.taint[result.dest_phys] == frozenset({7})
+        # Waiter list is consumed.
+        assert rf.broadcast(result.dest_phys) == []
+
+    def test_union_taint(self):
+        rf = RegisterFile(arch_regs=2, phys_regs=4)
+        a = rf.rename(srcs=(), dest=0).dest_phys
+        b = rf.rename(srcs=(), dest=1).dest_phys
+        rf.broadcast(a, frozenset({1}))
+        rf.broadcast(b, frozenset({2}))
+        assert rf.union_taint((a, b)) == frozenset({1, 2})
+        assert rf.union_taint(()) == frozenset()
+
+    def test_rejects_too_few_phys(self):
+        with pytest.raises(ValueError):
+            RegisterFile(arch_regs=8, phys_regs=8)
+
+    def test_rename_clears_stale_taint(self):
+        rf = RegisterFile(arch_regs=2, phys_regs=4)
+        a = rf.rename(srcs=(), dest=0).dest_phys
+        rf.broadcast(a, frozenset({9}))
+        rf.release(a)
+        # Reallocate the same physical register: taint must not leak over.
+        rf.rename(srcs=(), dest=1)
+        b = rf.rename(srcs=(), dest=0).dest_phys
+        while b != a:  # drain until `a` comes back around
+            rf.release(b)
+            b = rf.rename(srcs=(), dest=0).dest_phys
+        assert rf.taint[b] == frozenset()

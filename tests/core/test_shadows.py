@@ -1,0 +1,53 @@
+"""Unit tests for speculation-shadow tracking."""
+
+from repro.core import NO_SHADOW, ShadowTracker
+
+
+class TestShadowTracker:
+    def test_empty_tracker_nothing_speculative(self):
+        tracker = ShadowTracker()
+        assert tracker.frontier == NO_SHADOW
+        assert not tracker.is_speculative(0)
+        assert not tracker.is_speculative(10**9)
+
+    def test_caster_covers_younger_only(self):
+        tracker = ShadowTracker()
+        tracker.cast(5)
+        assert not tracker.is_speculative(3)
+        assert not tracker.is_speculative(5)  # the caster itself
+        assert tracker.is_speculative(6)
+
+    def test_resolution_advances_frontier(self):
+        tracker = ShadowTracker()
+        tracker.cast(5)
+        tracker.cast(9)
+        assert tracker.frontier == 5
+        tracker.resolve(5)
+        assert tracker.frontier == 9
+        tracker.resolve(9)
+        assert tracker.frontier == NO_SHADOW
+
+    def test_out_of_order_resolution(self):
+        tracker = ShadowTracker()
+        tracker.cast(5)
+        tracker.cast(9)
+        tracker.resolve(9)  # younger resolves first
+        assert tracker.frontier == 5
+        assert tracker.is_speculative(7)
+        tracker.resolve(5)
+        assert tracker.frontier == NO_SHADOW
+
+    def test_resolve_is_idempotent(self):
+        tracker = ShadowTracker()
+        tracker.cast(5)
+        tracker.resolve(5)
+        tracker.resolve(5)
+        assert tracker.frontier == NO_SHADOW
+
+    def test_len_counts_unresolved(self):
+        tracker = ShadowTracker()
+        tracker.cast(1)
+        tracker.cast(2)
+        assert len(tracker) == 2
+        tracker.resolve(1)
+        assert len(tracker) == 1

@@ -1,0 +1,60 @@
+"""Shared factories for pipeline-level tests."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common import (
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    SchemeKind,
+    StatSet,
+    SystemParams,
+)
+from repro.core import Core
+from repro.isa import Program
+from repro.memory import MemoryHierarchy
+from repro.security import make_policy
+
+__all__ = ["small_system_params", "make_core", "run_program"]
+
+
+def small_system_params(num_cores: int = 1, **overrides) -> SystemParams:
+    """System with tiny caches so tests can provoke misses and evictions."""
+    memory = MemoryParams(
+        l1=CacheParams(size_bytes=16 * 64, ways=2, latency=2),
+        l2=CacheParams(size_bytes=64 * 64, ways=4, latency=6),
+        llc=CacheParams(size_bytes=256 * 64, ways=4, latency=16),
+        dram_latency=60,
+        noc_hop_latency=2,
+    )
+    return SystemParams(
+        core=CoreParams(),
+        memory=memory,
+        num_cores=num_cores,
+        **overrides,
+    )
+
+
+def make_core(
+    program: Program,
+    scheme: SchemeKind = SchemeKind.UNSAFE,
+    params: Optional[SystemParams] = None,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    core_id: int = 0,
+) -> Core:
+    if params is None:
+        params = small_system_params()
+    if hierarchy is None:
+        hierarchy = MemoryHierarchy(params)
+    stats = StatSet()
+    policy = make_policy(scheme, stats)
+    return Core(core_id, params, program.trace(), hierarchy, policy, stats)
+
+
+def run_program(program: Program, scheme: SchemeKind = SchemeKind.UNSAFE, **kw):
+    """Run a program to completion; returns the finished Core."""
+    core = make_core(program, scheme, **kw)
+    core.run()
+    return core

@@ -1,0 +1,90 @@
+"""Integration: unusual-but-supported configurations run end to end."""
+
+import dataclasses
+
+import pytest
+
+from repro.common import (
+    MemoryParams,
+    SchemeKind,
+    SpeculationModel,
+    SystemParams,
+)
+from repro.sim.runner import TraceCache, run_benchmark
+from repro.workloads import get_benchmark
+
+LENGTH = 1_500
+
+
+def run_with(params, scheme=SchemeKind.STT_RECON, threads=1, name="omnetpp"):
+    suite = "parsec" if threads > 1 else "spec2017"
+    bench = "canneal" if threads > 1 else name
+    return run_benchmark(
+        get_benchmark(suite, bench),
+        scheme,
+        LENGTH,
+        params=params,
+        threads=threads,
+        cache=TraceCache(),
+        warmup_uops=0,
+    )
+
+
+class TestConfigMatrix:
+    def test_mesh_multicore_recon(self):
+        params = SystemParams(
+            num_cores=4,
+            memory=dataclasses.replace(
+                SystemParams().memory, topology="mesh", mesh_rows=2, mesh_cols=2
+            ),
+        )
+        result = run_with(params, threads=4)
+        assert result.stats.committed_uops >= 4 * LENGTH
+        assert result.stats.load_pairs_detected > 0
+
+    def test_prefetch_plus_recon(self):
+        params = SystemParams(
+            memory=dataclasses.replace(
+                SystemParams().memory, prefetch_next_line=True
+            )
+        )
+        result = run_with(params)
+        assert result.stats.committed_uops >= LENGTH
+
+    def test_futuristic_plus_recon(self):
+        params = SystemParams(speculation_model=SpeculationModel.FUTURISTIC)
+        result = run_with(params)
+        assert result.stats.committed_uops >= LENGTH
+        # Futuristic shadows make almost every load speculative.
+        assert result.stats.reveal_hits + result.stats.reveal_misses > 0
+
+    def test_dom_on_mesh_with_prefetch(self):
+        params = SystemParams(
+            memory=dataclasses.replace(
+                SystemParams().memory,
+                topology="mesh",
+                prefetch_next_line=True,
+            )
+        )
+        result = run_with(params, scheme=SchemeKind.DOM_RECON)
+        assert result.stats.committed_uops >= LENGTH
+
+    def test_tiny_lpt_futuristic_l1_only(self):
+        from repro.common import CacheLevel
+
+        params = SystemParams(
+            speculation_model=SpeculationModel.FUTURISTIC,
+            recon_levels=(CacheLevel.L1,),
+            lpt_entries=2,
+        )
+        result = run_with(params)
+        assert result.stats.committed_uops >= LENGTH
+
+    def test_all_schemes_on_one_config(self):
+        params = SystemParams()
+        cycles = {}
+        for scheme in SchemeKind:
+            result = run_with(params, scheme=scheme, name="xalancbmk")
+            cycles[scheme] = result.cycles
+            assert result.stats.committed_uops >= LENGTH
+        assert cycles[SchemeKind.UNSAFE] == min(cycles.values())

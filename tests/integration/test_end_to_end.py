@@ -1,0 +1,144 @@
+"""End-to-end integration tests across the whole stack.
+
+These are the behaviours the figure benches depend on, checked at small
+scale so the main suite stays fast.
+"""
+
+import pytest
+
+from repro import SchemeKind, get_benchmark, run_benchmark
+from repro.sim.runner import TraceCache
+
+LENGTH = 4_000
+ALL_SCHEMES = (
+    SchemeKind.UNSAFE,
+    SchemeKind.NDA,
+    SchemeKind.NDA_RECON,
+    SchemeKind.STT,
+    SchemeKind.STT_RECON,
+)
+
+
+@pytest.fixture(scope="module")
+def pointer_results():
+    """xalancbmk-like run under every scheme, on identical traces."""
+    profile = get_benchmark("spec2017", "xalancbmk")
+    cache = TraceCache()
+    return {
+        scheme: run_benchmark(profile, scheme, LENGTH, cache=cache)
+        for scheme in ALL_SCHEMES
+    }
+
+
+class TestSchemeOrdering:
+    def test_every_scheme_commits_the_whole_trace(self, pointer_results):
+        counts = {
+            s: r.stats.committed_uops for s, r in pointer_results.items()
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_unsafe_is_fastest(self, pointer_results):
+        unsafe = pointer_results[SchemeKind.UNSAFE].cycles
+        for scheme in ALL_SCHEMES[1:]:
+            assert pointer_results[scheme].cycles >= unsafe
+
+    def test_recon_recovers_on_pointer_code(self, pointer_results):
+        assert (
+            pointer_results[SchemeKind.STT_RECON].cycles
+            <= pointer_results[SchemeKind.STT].cycles
+        )
+        assert (
+            pointer_results[SchemeKind.NDA_RECON].cycles
+            <= pointer_results[SchemeKind.NDA].cycles
+        )
+
+    def test_recon_reduces_tainted_loads(self, pointer_results):
+        stt = pointer_results[SchemeKind.STT].stats.tainted_loads
+        recon = pointer_results[SchemeKind.STT_RECON].stats.tainted_loads
+        assert stt > 0
+        assert recon < stt
+
+    def test_recon_detects_pairs_and_hits(self, pointer_results):
+        stats = pointer_results[SchemeKind.STT_RECON].stats
+        assert stats.load_pairs_detected > 0
+        assert stats.reveal_hits > 0
+
+
+class TestStreamingBenchmark:
+    def test_no_overhead_without_pointer_leakage(self):
+        profile = get_benchmark("spec2017", "lbm")
+        cache = TraceCache()
+        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, LENGTH, cache=cache)
+        stt = run_benchmark(profile, SchemeKind.STT, LENGTH, cache=cache)
+        assert stt.cycles <= unsafe.cycles * 1.03
+
+
+class TestMulticoreCoherentReveals:
+    def test_parallel_pointer_benchmark_recovers(self):
+        profile = get_benchmark("parsec", "canneal")
+        cache = TraceCache()
+        results = {
+            scheme: run_benchmark(
+                profile, scheme, 1500, threads=4, cache=cache
+            )
+            for scheme in (SchemeKind.UNSAFE, SchemeKind.STT, SchemeKind.STT_RECON)
+        }
+        assert results[SchemeKind.STT].cycles > results[SchemeKind.UNSAFE].cycles
+        assert (
+            results[SchemeKind.STT_RECON].cycles
+            <= results[SchemeKind.STT].cycles
+        )
+        assert results[SchemeKind.STT_RECON].stats.reveal_hits > 0
+
+    def test_coherence_invariants_after_full_parallel_run(self):
+        from repro.common import SystemParams
+        from repro.sim import System
+        from repro.workloads import build_parallel_traces
+
+        profile = get_benchmark("parsec", "dedup")
+        traces = [
+            p.trace() for p in build_parallel_traces(profile, 4, 1200)
+        ]
+        system = System(SystemParams(num_cores=4), traces, SchemeKind.STT_RECON)
+        system.run()
+        system.hierarchy.check_coherence_invariants()
+
+
+class TestLptSizeSafety:
+    def test_tiny_lpt_only_loses_performance_never_pairs_from_wrong_reg(self):
+        import dataclasses
+
+        from repro.common import SystemParams
+
+        profile = get_benchmark("spec2017", "mcf")
+        cache = TraceCache()
+        full = run_benchmark(profile, SchemeKind.STT_RECON, LENGTH, cache=cache)
+        tiny = run_benchmark(
+            profile,
+            SchemeKind.STT_RECON,
+            LENGTH,
+            params=SystemParams(lpt_entries=4),
+            cache=cache,
+        )
+        # Fewer (never more) pairs detected with a conflict-prone table.
+        assert tiny.stats.load_pairs_detected <= full.stats.load_pairs_detected
+        assert tiny.stats.lpt_conflicts > 0
+
+
+class TestReconLevelsEndToEnd:
+    def test_restricting_levels_reduces_hits(self):
+        import dataclasses
+
+        from repro.common import CacheLevel, SystemParams
+
+        profile = get_benchmark("spec2017", "omnetpp")
+        cache = TraceCache()
+        full = run_benchmark(profile, SchemeKind.STT_RECON, LENGTH, cache=cache)
+        l1only = run_benchmark(
+            profile,
+            SchemeKind.STT_RECON,
+            LENGTH,
+            params=SystemParams(recon_levels=(CacheLevel.L1,)),
+            cache=cache,
+        )
+        assert l1only.stats.reveal_hits <= full.stats.reveal_hits

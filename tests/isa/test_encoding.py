@@ -1,0 +1,138 @@
+"""Unit and property tests for trace serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import MemPrediction, OpClass
+from repro.isa import Program
+from repro.isa.encoding import dumps, load_trace, loads, save_trace
+
+
+def sample_program():
+    prog = Program()
+    prog.poke(0x1000, 0x2000)
+    prog.li(1, 0x1000)
+    prog.load(2, base=1)
+    prog.load(3, base=2, forced_prediction=MemPrediction.STF)
+    prog.load_indexed(4, base=2, index=1)
+    prog.alu(5, 3, 4)
+    prog.store(5, base=1, offset=8)
+    prog.store_abs(5, 0x9000)
+    prog.branch(5, mispredict=True)
+    prog.nop()
+    return prog
+
+
+def assert_equivalent(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.opclass == y.opclass
+        assert x.pc == y.pc
+        assert x.dest == y.dest
+        assert x.srcs == y.srcs
+        assert x.data_srcs == y.data_srcs
+        assert x.addr == y.addr
+        assert x.value == y.value
+        assert x.mispredict == y.mispredict
+        assert x.forced_prediction == y.forced_prediction
+        assert x.seq == y.seq
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        trace = sample_program().trace()
+        assert_equivalent(trace, loads(dumps(trace)))
+
+    def test_file_round_trip(self, tmp_path):
+        trace = sample_program().trace()
+        path = tmp_path / "trace.txt"
+        save_trace(trace, path)
+        assert_equivalent(trace, load_trace(path))
+
+    def test_empty_trace(self):
+        assert loads(dumps([])) == []
+
+    def test_workload_trace_round_trip(self):
+        from repro.workloads import build_trace, get_benchmark
+
+        trace = build_trace(get_benchmark("spec2017", "gcc"), 600).trace()
+        assert_equivalent(trace, loads(dumps(trace)))
+
+    def test_loaded_trace_simulates_identically(self):
+        from repro.common import SchemeKind, StatSet, SystemParams
+        from repro.core import Core
+        from repro.memory import MemoryHierarchy
+        from repro.security import make_policy
+        from repro.workloads import build_trace, get_benchmark
+
+        trace = build_trace(get_benchmark("spec2017", "xalancbmk"), 800).trace()
+        reloaded = loads(dumps(trace))
+
+        def run(t):
+            params = SystemParams()
+            stats = StatSet()
+            core = Core(
+                0, params, t, MemoryHierarchy(params),
+                make_policy(SchemeKind.STT_RECON, stats), stats,
+            )
+            core.run()
+            return stats
+
+        assert run(trace).as_dict() == run(reloaded).as_dict()
+
+
+class TestErrors:
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            loads("")
+        with pytest.raises(ValueError):
+            loads('{"format": "other"}\n')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError):
+            loads('{"format": "repro-trace", "version": 99, "count": 0}\n')
+
+    def test_rejects_count_mismatch(self):
+        text = dumps(sample_program().trace())
+        truncated = "\n".join(text.splitlines()[:-2]) + "\n"
+        with pytest.raises(ValueError):
+            loads(truncated)
+
+    def test_rejects_malformed_line(self):
+        header = '{"format": "repro-trace", "version": 1, "count": 1}'
+        with pytest.raises(ValueError):
+            loads(header + "\nnot enough fields\n")
+        with pytest.raises(ValueError):
+            loads(header + "\nwarp 0 - - - - 0 -\n")
+
+
+class TestPropertyRoundTrip:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["li", "load", "store", "branch", "alu"]),
+                st.integers(min_value=1, max_value=7),
+                st.integers(min_value=0, max_value=0xFFFF),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_programs_round_trip(self, ops):
+        prog = Program()
+        prog.li(1, 0x1000)
+        for kind, reg, value in ops:
+            if kind == "li":
+                prog.li(reg, value * 8)
+            elif kind == "load":
+                prog.load(reg, base=1)
+            elif kind == "store":
+                prog.store(reg, base=1)
+            elif kind == "branch":
+                prog.branch(reg, mispredict=value % 2 == 0)
+            else:
+                prog.alu(reg, 1)
+        trace = prog.trace()
+        assert_equivalent(trace, loads(dumps(trace)))

@@ -1,0 +1,92 @@
+"""Unit tests for the set-associative cache array."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import CacheParams, MESIState
+from repro.memory import CacheArray
+
+
+def small_cache(ways=2, sets=4):
+    return CacheArray(CacheParams(size_bytes=64 * ways * sets, ways=ways, latency=1))
+
+
+class TestCacheArray:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0x1000) is None
+        cache.insert(0x1000, MESIState.SHARED)
+        line = cache.lookup(0x1000)
+        assert line is not None and line.state is MESIState.SHARED
+
+    def test_lru_victim_is_least_recent(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0x0000, MESIState.SHARED)
+        cache.insert(0x0040, MESIState.SHARED)
+        cache.lookup(0x0000)  # touch: 0x0040 becomes LRU
+        _, victim = cache.insert(0x0080, MESIState.SHARED)
+        assert victim is not None and victim.addr == 0x0040
+        assert cache.lookup(0x0000) is not None
+
+    def test_untouched_lookup_does_not_refresh_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0x0000, MESIState.SHARED)
+        cache.insert(0x0040, MESIState.SHARED)
+        cache.lookup(0x0000, touch=False)  # 0x0000 stays LRU
+        _, victim = cache.insert(0x0080, MESIState.SHARED)
+        assert victim is not None and victim.addr == 0x0000
+
+    def test_reinsert_updates_in_place(self):
+        cache = small_cache()
+        cache.insert(0x1000, MESIState.SHARED, reveal=0x3)
+        line, victim = cache.insert(0x1000, MESIState.MODIFIED, reveal=0x1)
+        assert victim is None
+        assert line.state is MESIState.MODIFIED and line.reveal == 0x1
+        assert len(cache) == 1
+
+    def test_remove(self):
+        cache = small_cache()
+        cache.insert(0x1000, MESIState.SHARED)
+        removed = cache.remove(0x1000)
+        assert removed is not None and removed.addr == 0x1000
+        assert cache.lookup(0x1000) is None
+        assert cache.remove(0x1000) is None
+
+    def test_sets_isolate_addresses(self):
+        cache = small_cache(ways=1, sets=4)
+        # Same set index only every 4 lines (0x100 apart).
+        cache.insert(0x0000, MESIState.SHARED)
+        _, victim = cache.insert(0x0040, MESIState.SHARED)
+        assert victim is None
+        _, victim = cache.insert(0x0100, MESIState.SHARED)
+        assert victim is not None and victim.addr == 0x0000
+
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=63).map(lambda i: i * 64),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_and_associativity_never_exceeded(self, addrs):
+        """Property: occupancy never exceeds ways per set nor total lines."""
+        cache = small_cache(ways=2, sets=4)
+        for addr in addrs:
+            cache.insert(addr, MESIState.SHARED)
+            assert len(cache) <= 8
+            assert cache.set_occupancy(addr) <= 2
+
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=31).map(lambda i: i * 64),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_insert_always_resident(self, addrs):
+        cache = small_cache(ways=2, sets=2)
+        for addr in addrs:
+            cache.insert(addr, MESIState.SHARED)
+            assert cache.lookup(addr, touch=False) is not None

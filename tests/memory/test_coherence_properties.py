@@ -1,0 +1,105 @@
+"""Property-based tests for MESI + reveal/conceal soundness.
+
+The central security property of ReCon's storage layer: once a word has
+been stored to, **no core may ever observe it as revealed** until a new
+load pair reveals it again.  A violation would let a secure scheme lift
+defenses for a value that is still secret.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import CacheParams, MemoryParams, SystemParams, word_addr
+from repro.memory import MemoryHierarchy
+
+
+def tiny_params(num_cores):
+    memory = MemoryParams(
+        l1=CacheParams(size_bytes=4 * 64, ways=2, latency=2),
+        l2=CacheParams(size_bytes=8 * 64, ways=2, latency=6),
+        llc=CacheParams(size_bytes=16 * 64, ways=2, latency=16),
+        dram_latency=50,
+        noc_hop_latency=2,
+    )
+    return SystemParams(memory=memory, num_cores=num_cores)
+
+
+# An operation: (kind, core, word index in a small pool)
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "reveal"]),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=23),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def word_pool(index):
+    """24 words spread over 12 lines so evictions and sharing both happen."""
+    line = index // 2
+    word = index % 2
+    return line * 64 + word * 8
+
+
+class TestConcealSoundness:
+    @given(ops=ops_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_no_read_observes_a_concealed_word_as_revealed(self, ops):
+        hier = MemoryHierarchy(tiny_params(num_cores=2))
+        # Oracle: a word may be observed revealed only if some reveal
+        # succeeded after the most recent store to it.
+        may_be_revealed = {}
+        now = 0
+        for kind, core, index in ops:
+            addr = word_pool(index)
+            now += 200  # generous spacing: fills always land
+            if kind == "read":
+                result = hier.read(core, addr, now=now)
+                if result.revealed:
+                    assert may_be_revealed.get(word_addr(addr), False), (
+                        f"word {addr:#x} observed revealed after a store"
+                    )
+            elif kind == "write":
+                hier.write(core, addr, now=now)
+                may_be_revealed[word_addr(addr)] = False
+            else:  # reveal
+                if hier.reveal(core, addr):
+                    may_be_revealed[word_addr(addr)] = True
+        hier.check_coherence_invariants()
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_mesi_invariants_hold_throughout(self, ops):
+        hier = MemoryHierarchy(tiny_params(num_cores=2))
+        now = 0
+        for kind, core, index in ops:
+            addr = word_pool(index)
+            now += 200
+            if kind == "read":
+                hier.read(core, addr, now=now)
+            elif kind == "write":
+                hier.write(core, addr, now=now)
+            else:
+                hier.reveal(core, addr)
+            hier.check_coherence_invariants()
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_latencies_are_always_positive_and_bounded(self, ops):
+        hier = MemoryHierarchy(tiny_params(num_cores=2))
+        now = 0
+        # Upper bound: DRAM + all levels + invalidating every other core
+        # + a handful of hops can never exceed this.
+        bound = 50 + 16 + 6 + 2 + 2 * 6 + 10 * 2
+        for kind, core, index in ops:
+            addr = word_pool(index)
+            now += 500
+            if kind == "read":
+                latency = hier.read(core, addr, now=now).latency
+            elif kind == "write":
+                latency = hier.write(core, addr, now=now)
+            else:
+                continue
+            assert 0 < latency <= bound

@@ -1,0 +1,99 @@
+"""Edge-case tests for hierarchy introspection and odd configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.common import CacheLevel, StatSet
+from repro.memory import MemoryHierarchy
+from tests.memory.test_hierarchy import small_params
+
+
+class TestIsRevealedFor:
+    def test_remote_owner_vector_consulted(self):
+        hier = MemoryHierarchy(small_params(num_cores=2))
+        hier.read(0, 0x0)         # core 0 gets E
+        hier.reveal(0, 0x0)
+        # Core 1 holds nothing; a read would be served via a downgrade of
+        # core 0, whose authoritative vector has the bit.
+        assert hier.is_revealed_for(1, 0x0)
+
+    def test_uncached_line_not_revealed(self):
+        hier = MemoryHierarchy(small_params())
+        assert not hier.is_revealed_for(0, 0xDEAD00)
+
+    def test_private_copy_wins_over_directory(self):
+        hier = MemoryHierarchy(small_params(num_cores=2))
+        hier.read(0, 0x0)
+        hier.read(1, 0x0)
+        hier.reveal(0, 0x0)
+        # Core 1's own (concealed) copy answers for core 1.
+        assert not hier.is_revealed_for(1, 0x0)
+        assert hier.is_revealed_for(0, 0x0)
+
+
+class TestPeekAccess:
+    def test_peek_does_not_mutate(self):
+        hier = MemoryHierarchy(small_params())
+        hit, revealed = hier.peek_access(0, 0x1000)
+        assert not hit and not revealed
+        # Still a cold miss afterwards — peek inserted nothing.
+        assert hier.llc_line(0x1000) is None
+
+    def test_peek_sees_l1_hit_and_bit(self):
+        hier = MemoryHierarchy(small_params())
+        hier.read(0, 0x1000)
+        hier.reveal(0, 0x1000)
+        hit, revealed = hier.peek_access(0, 0x1000)
+        assert hit and revealed
+        hit2, revealed2 = hier.peek_access(0, 0x1008)
+        assert hit2 and not revealed2
+
+    def test_peek_reports_l2_resident_reveal(self):
+        from tests.memory.test_hierarchy import l1_conflicts
+
+        hier = MemoryHierarchy(small_params())
+        hier.read(0, 0x0)
+        hier.reveal(0, 0x0)
+        for addr in l1_conflicts(0x0, 3)[1:]:
+            hier.read(0, addr)
+        hit, revealed = hier.peek_access(0, 0x0)
+        assert not hit  # evicted from L1
+        assert revealed  # but the L2 still knows
+
+
+class TestEmptyReconLevels:
+    def test_no_levels_tracked_means_never_revealed(self):
+        params = dataclasses.replace(small_params(), recon_levels=())
+        hier = MemoryHierarchy(params)
+        hier.read(0, 0x0)
+        assert not hier.reveal(0, 0x0)  # dropped: nowhere to store the bit
+        assert not hier.read(0, 0x0, now=500).revealed
+
+    def test_pipeline_runs_with_no_tracked_levels(self):
+        from repro.common import SchemeKind
+        from repro.isa import Program
+        from tests.helpers import make_core
+
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        for _ in range(10):
+            prog.load(2, base=1)
+            prog.load(3, base=2)
+        params = dataclasses.replace(
+            small_params(), recon_levels=()
+        )
+        core = make_core(prog, SchemeKind.STT_RECON, params=params)
+        core.run()
+        # ReCon degenerates gracefully to plain STT behaviour.
+        assert core.stats.reveal_hits == 0
+        assert core.stats.committed_uops == len(prog)
+
+
+class TestDroppedRevealAccounting:
+    def test_counts_accumulate(self):
+        hier = MemoryHierarchy(small_params())
+        for i in range(5):
+            hier.reveal(0, 0x9000 + i * 64)
+        assert hier.dropped_reveals == 5

@@ -1,0 +1,137 @@
+"""Unit tests for the interconnect models."""
+
+import dataclasses
+
+import pytest
+
+from repro.common import CacheParams, MemoryParams, SystemParams
+from repro.memory import FixedLatencyInterconnect, MemoryHierarchy
+from repro.memory.interconnect import MeshInterconnect
+
+
+class TestFixedLatency:
+    def test_constant_latency(self):
+        noc = FixedLatencyInterconnect(4)
+        assert noc.hop() == 4
+        assert noc.hop(src=0, dst=3) == 4
+        assert noc.messages == 2
+
+    def test_bitvector_accounting(self):
+        noc = FixedLatencyInterconnect(2)
+        noc.hop(carries_bitvector=True)
+        noc.hop()
+        assert noc.bitvector_messages == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatencyInterconnect(-1)
+
+    def test_no_home_node(self):
+        assert FixedLatencyInterconnect(1).home_node(0x1000) is None
+
+
+class TestMesh:
+    def test_distance_xy(self):
+        mesh = MeshInterconnect(rows=2, cols=2, link_latency=3)
+        # node layout: 0 1 / 2 3
+        assert mesh.distance(0, 1) == 1
+        assert mesh.distance(0, 3) == 2
+        assert mesh.distance(1, 2) == 2
+        assert mesh.distance(0, 0) == 1  # one-link minimum
+
+    def test_hop_latency_scales_with_distance(self):
+        mesh = MeshInterconnect(rows=2, cols=2, link_latency=3)
+        assert mesh.hop(src=0, dst=3) == 6
+        assert mesh.hop(src=0, dst=1) == 3
+
+    def test_endpointless_hop_uses_average(self):
+        mesh = MeshInterconnect(rows=4, cols=4, link_latency=2)
+        assert mesh.hop() == 2 * max(1, (4 + 4) // 3)
+
+    def test_home_node_interleaves_lines(self):
+        mesh = MeshInterconnect(rows=2, cols=2, link_latency=1)
+        homes = {mesh.home_node(i * 64) for i in range(8)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            MeshInterconnect(rows=0, cols=2, link_latency=1)
+
+
+def mesh_params():
+    memory = MemoryParams(
+        l1=CacheParams(size_bytes=8 * 64, ways=2, latency=2),
+        l2=CacheParams(size_bytes=16 * 64, ways=4, latency=6),
+        llc=CacheParams(size_bytes=64 * 64, ways=4, latency=16),
+        dram_latency=100,
+        noc_hop_latency=3,
+        topology="mesh",
+        mesh_rows=2,
+        mesh_cols=2,
+    )
+    return SystemParams(memory=memory, num_cores=4)
+
+
+class TestMeshHierarchy:
+    def test_hierarchy_builds_mesh(self):
+        hier = MemoryHierarchy(mesh_params())
+        assert isinstance(hier.noc, MeshInterconnect)
+
+    def test_distance_affects_miss_latency(self):
+        hier = MemoryHierarchy(mesh_params())
+        # Find two lines homed at different distances from core 0.
+        near = next(
+            a for a in range(0, 64 * 64, 64)
+            if hier.noc.distance(0, hier.noc.home_node(a)) == 1
+        )
+        far = next(
+            a for a in range(0, 64 * 64, 64)
+            if hier.noc.distance(0, hier.noc.home_node(a)) == 2
+        )
+        lat_near = hier.read(0, near).latency
+        lat_far = hier.read(0, far).latency
+        assert lat_far > lat_near
+
+    def test_protocol_still_correct_on_mesh(self):
+        hier = MemoryHierarchy(mesh_params())
+        hier.read(0, 0x0)
+        hier.reveal(0, 0x0)
+        hier.write(1, 0x0)
+        assert not hier.read(2, 0x0, now=500).revealed
+        hier.check_coherence_invariants()
+
+    def test_validation_rejects_unknown_topology(self):
+        memory = dataclasses.replace(mesh_params().memory, topology="torus")
+        with pytest.raises(ValueError):
+            SystemParams(memory=memory).validate()
+
+
+class TestSeededRuns:
+    def test_run_benchmark_seeds(self):
+        from repro.common import SchemeKind
+        from repro.sim.runner import TraceCache, run_benchmark_seeds
+        from repro.workloads import get_benchmark
+
+        profile = get_benchmark("spec2017", "gcc")
+        result = run_benchmark_seeds(
+            profile,
+            SchemeKind.UNSAFE,
+            1200,
+            seeds=(1, 2, 3),
+            cache=TraceCache(),
+        )
+        assert len(result.runs) == 3
+        assert result.mean_ipc > 0
+        assert result.std_ipc >= 0
+        # Different seeds give (slightly) different measurements.
+        assert len(set(result.ipcs)) > 1
+
+    def test_requires_seeds(self):
+        from repro.common import SchemeKind
+        from repro.sim.runner import run_benchmark_seeds
+        from repro.workloads import get_benchmark
+
+        with pytest.raises(ValueError):
+            run_benchmark_seeds(
+                get_benchmark("spec2017", "gcc"), SchemeKind.UNSAFE, 500, seeds=()
+            )

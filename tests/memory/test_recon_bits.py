@@ -1,0 +1,38 @@
+"""Unit tests for reveal/conceal bit-vector helpers."""
+
+from repro.memory import recon_bits
+
+
+class TestRevealConceal:
+    def test_fresh_vector_all_concealed(self):
+        vec = recon_bits.ALL_CONCEALED
+        for word in range(8):
+            assert not recon_bits.is_word_revealed(vec, word * 8)
+
+    def test_reveal_sets_only_target_word(self):
+        vec = recon_bits.reveal_word(recon_bits.ALL_CONCEALED, 0x1210)
+        assert recon_bits.is_word_revealed(vec, 0x1210)
+        assert recon_bits.is_word_revealed(vec, 0x1213)  # same word, any byte
+        assert not recon_bits.is_word_revealed(vec, 0x1218)
+        assert not recon_bits.is_word_revealed(vec, 0x1208)
+
+    def test_conceal_clears_target_word(self):
+        vec = recon_bits.FULL_MASK
+        vec = recon_bits.conceal_word(vec, 0x1238)
+        assert not recon_bits.is_word_revealed(vec, 0x1238)
+        assert recon_bits.is_word_revealed(vec, 0x1230)
+
+    def test_conceal_is_idempotent(self):
+        vec = recon_bits.conceal_word(recon_bits.ALL_CONCEALED, 0x100)
+        assert vec == recon_bits.ALL_CONCEALED
+
+    def test_merge_is_or(self):
+        a = recon_bits.reveal_word(0, 0x00)
+        b = recon_bits.reveal_word(0, 0x08)
+        merged = recon_bits.merge(a, b)
+        assert recon_bits.is_word_revealed(merged, 0x00)
+        assert recon_bits.is_word_revealed(merged, 0x08)
+        assert recon_bits.popcount(merged) == 2
+
+    def test_popcount_full(self):
+        assert recon_bits.popcount(recon_bits.FULL_MASK) == 8

@@ -1,0 +1,224 @@
+"""Tests for the paper's extension points implemented in this repo.
+
+* multi-source load pairs (§5.1.1, left as future work by the paper);
+* preservation of invalidated readers' reveal vectors (footnote 1);
+* the speculation-model knob (Spectre / control+store / Futuristic).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common import (
+    SchemeKind,
+    SpeculationModel,
+    StatSet,
+    SystemParams,
+)
+from repro.isa import Program
+from repro.memory import MemoryHierarchy
+from repro.security import LoadPairTable
+from tests.helpers import make_core, run_program, small_system_params
+
+PTR_A = 0x1000
+PTR_B = 0x3000
+SLOW = 0x40000
+
+
+class TestMultiSourceLpt:
+    def test_both_operands_can_reveal(self):
+        lpt = LoadPairTable(entries=16)
+        lpt.on_load_commit(dest_phys=3, src_phys=None, load_addr=PTR_A)
+        lpt.on_load_commit(dest_phys=4, src_phys=None, load_addr=PTR_B)
+        reveals = lpt.on_load_commit_multi(
+            dest_phys=7, src_phys=(3, 4), load_addr=0x9000
+        )
+        assert sorted(reveals) == sorted([PTR_A, PTR_B])
+        assert lpt.pairs_detected == 2
+
+    def test_single_source_config_checks_first_operand_only(self):
+        prog = Program()
+        prog.poke(PTR_A, 0x100)
+        prog.poke(PTR_B, 0x200)
+        prog.li(1, PTR_A)
+        prog.li(2, PTR_B)
+        prog.load(3, base=1)            # r3 = scaled value
+        prog.load(4, base=2)            # r4 = scaled value
+        prog.load_indexed(5, base=3, index=4)  # two load-derived operands
+        single = dataclasses.replace(small_system_params(), lpt_sources=1)
+        core = make_core(prog, SchemeKind.STT_RECON, params=single)
+        core.run()
+        assert core.stats.load_pairs_detected == 1  # only via operand 0
+
+    def test_multi_source_config_detects_both(self):
+        prog = Program()
+        prog.poke(PTR_A, 0x100)
+        prog.poke(PTR_B, 0x200)
+        prog.li(1, PTR_A)
+        prog.li(2, PTR_B)
+        prog.load(3, base=1)
+        prog.load(4, base=2)
+        prog.load_indexed(5, base=3, index=4)
+        multi = dataclasses.replace(small_system_params(), lpt_sources=2)
+        core = make_core(prog, SchemeKind.STT_RECON, params=multi)
+        core.run()
+        assert core.stats.load_pairs_detected == 2
+        assert core.hierarchy.is_revealed_for(0, PTR_A)
+        assert core.hierarchy.is_revealed_for(0, PTR_B)
+
+    def test_clueless_counts_both_operands(self):
+        from repro.analysis import Clueless
+
+        prog = Program()
+        prog.poke(PTR_A, 0x100)
+        prog.poke(PTR_B, 0x200)
+        prog.li(1, PTR_A)
+        prog.li(2, PTR_B)
+        prog.load(3, base=1)
+        prog.load(4, base=2)
+        prog.load_indexed(5, base=3, index=4)
+        report = Clueless().run(prog.trace())
+        assert report.pair_leaked_words == 2
+        assert report.dift_leaked_words == 2
+
+
+class TestPreserveInvalidatedReveals:
+    def _hier(self, preserve):
+        params = dataclasses.replace(
+            small_system_params(num_cores=2),
+            preserve_invalidated_reveals=preserve,
+        )
+        return MemoryHierarchy(params)
+
+    def test_reveal_survives_remote_write_of_other_word(self):
+        hier = self._hier(preserve=True)
+        hier.read(0, 0x0)
+        hier.reveal(0, 0x0)          # core 0 reveals word 0
+        hier.write(1, 0x38)          # core 1 writes word 7
+        assert hier.read(1, 0x0, now=500).revealed  # word 0 preserved
+        assert not hier.read(1, 0x38, now=500).revealed
+
+    def test_written_word_still_concealed(self):
+        hier = self._hier(preserve=True)
+        hier.read(0, 0x0)
+        hier.reveal(0, 0x0)
+        hier.write(1, 0x0)           # the written word itself
+        assert not hier.read(0, 0x0, now=500).revealed
+        assert not hier.read(1, 0x0, now=500).revealed
+
+    def test_default_drops_invalidated_vectors(self):
+        """True S-state sharers lose their vectors on invalidation.
+
+        (A sole E/M holder is different: it answers the GetM with data,
+        and its vector travels with that response in both configs.)
+        """
+        hier = self._hier(preserve=False)
+        hier.read(0, 0x0)
+        hier.read(1, 0x0)   # two sharers: the line is in S everywhere
+        hier.reveal(0, 0x0)
+        hier.write(1, 0x38)
+        assert not hier.read(1, 0x0, now=500).revealed
+
+    def test_preserve_keeps_s_state_sharer_vectors(self):
+        hier = self._hier(preserve=True)
+        hier.read(0, 0x0)
+        hier.read(1, 0x0)
+        hier.reveal(0, 0x0)
+        hier.write(1, 0x38)
+        assert hier.read(1, 0x0, now=500).revealed
+
+    def test_soundness_property_with_preservation(self):
+        """The conceal-soundness oracle still holds with footnote-1 on."""
+        from repro.common import word_addr
+
+        hier = self._hier(preserve=True)
+        may_reveal = {}
+        ops = [
+            ("r", 0, 0x0), ("v", 0, 0x0), ("w", 1, 0x8), ("r", 1, 0x0),
+            ("w", 0, 0x0), ("r", 1, 0x0), ("v", 1, 0x8), ("w", 0, 0x8),
+            ("r", 1, 0x8), ("r", 0, 0x8),
+        ]
+        now = 0
+        for kind, core, addr in ops:
+            now += 300
+            if kind == "r":
+                if hier.read(core, addr, now=now).revealed:
+                    assert may_reveal.get(word_addr(addr), False)
+            elif kind == "w":
+                hier.write(core, addr, now=now)
+                may_reveal[word_addr(addr)] = False
+            else:
+                if hier.reveal(core, addr):
+                    may_reveal[word_addr(addr)] = True
+        hier.check_coherence_invariants()
+
+
+class TestSpeculationModels:
+    def _overhead(self, model):
+        def build():
+            prog = Program()
+            prog.poke(PTR_A, 0x2000)
+            for i in range(25):
+                prog.li(4, SLOW + i * 0x40)
+                prog.load(5, base=4)
+                prog.branch(5)
+                prog.li(1, PTR_A)
+                prog.load(2, base=1)
+                prog.load(3, base=2)
+                prog.li(6, 0x8000 + i * 8)
+                prog.store(3, base=6)
+            return prog
+
+        params = dataclasses.replace(
+            small_system_params(), speculation_model=model
+        )
+        unsafe = make_core(build(), SchemeKind.UNSAFE, params=params)
+        unsafe.run()
+        stt = make_core(build(), SchemeKind.STT, params=params)
+        stt.run()
+        return stt.stats.cycles / unsafe.stats.cycles
+
+    def test_model_ordering(self):
+        """Spectre <= control+store <= Futuristic overhead (paper §6.1)."""
+        control = self._overhead(SpeculationModel.CONTROL_ONLY)
+        default = self._overhead(SpeculationModel.CONTROL_AND_STORE)
+        futuristic = self._overhead(SpeculationModel.FUTURISTIC)
+        assert control <= default + 0.01
+        assert default <= futuristic + 0.01
+        assert futuristic > 1.0
+
+    def test_control_only_ignores_store_shadows(self):
+        prog = Program()
+        prog.li(1, 0x8000)
+        prog.li(2, 5)
+        prog.store(2, base=1)
+        prog.li(3, PTR_A)
+        prog.load(4, base=3)
+        params = dataclasses.replace(
+            small_system_params(),
+            speculation_model=SpeculationModel.CONTROL_ONLY,
+        )
+        core = make_core(prog, SchemeKind.STT, params=params)
+        core.run()
+        # No branch in flight: the load is never speculative.
+        assert core.stats.tainted_loads == 0
+
+    def test_futuristic_taints_under_load_shadows(self):
+        prog = Program()
+        prog.poke(PTR_A, 0x2000)
+        prog.poke(SLOW, SLOW + 0x1000)
+        prog.li(1, PTR_A)
+        prog.load(9, base=1)   # warm the line (non-speculative)
+        prog.alu(9, 9)
+        prog.li(4, SLOW)
+        prog.load(5, base=4)   # DRAM miss...
+        prog.load(6, base=5)   # ...chained into a second one: long shadow
+        prog.load(2, base=1)   # returns well inside the load shadow
+        prog.load(3, base=2)
+        params = dataclasses.replace(
+            small_system_params(),
+            speculation_model=SpeculationModel.FUTURISTIC,
+        )
+        core = make_core(prog, SchemeKind.STT, params=params)
+        core.run()
+        assert core.stats.tainted_loads >= 1

@@ -1,0 +1,83 @@
+"""Unit tests for the load-pair table (paper section 5.1, Figure 3)."""
+
+from repro.security import LoadPairTable
+
+
+class TestFullSizeLpt:
+    def test_pair_detected(self):
+        lpt = LoadPairTable(entries=16)
+        # LD1: load p5, [0x1000]  — writes entry for p5.
+        assert lpt.on_load_commit(dest_phys=5, src_phys=None, load_addr=0x1000) is None
+        # LD2: load p7, [p5]  — source entry active: reveal LD1's address.
+        assert lpt.on_load_commit(dest_phys=7, src_phys=5, load_addr=0x2000) == 0x1000
+        assert lpt.pairs_detected == 1
+
+    def test_chain_of_dereferences(self):
+        lpt = LoadPairTable(entries=16)
+        lpt.on_load_commit(1, None, 0xA0)
+        assert lpt.on_load_commit(2, 1, 0xB0) == 0xA0
+        assert lpt.on_load_commit(3, 2, 0xC0) == 0xB0
+
+    def test_intervening_alu_clears_entry(self):
+        """load r1; add r1, ...; load [r1] is NOT a direct pair."""
+        lpt = LoadPairTable(entries=16)
+        lpt.on_load_commit(dest_phys=5, src_phys=None, load_addr=0x1000)
+        lpt.on_other_commit(dest_phys=9)  # add p9 <- p5, ...
+        # The dependent load's source is p9 (the ALU result), not p5.
+        assert lpt.on_load_commit(dest_phys=7, src_phys=9, load_addr=0x2000) is None
+
+    def test_non_load_commit_deactivates_own_dest(self):
+        lpt = LoadPairTable(entries=16)
+        lpt.on_load_commit(dest_phys=5, src_phys=None, load_addr=0x1000)
+        lpt.on_other_commit(dest_phys=5)  # p5 rewritten by a non-load
+        assert lpt.on_load_commit(dest_phys=7, src_phys=5, load_addr=0x2000) is None
+
+    def test_inactive_source_no_pair(self):
+        lpt = LoadPairTable(entries=16)
+        assert lpt.on_load_commit(dest_phys=7, src_phys=3, load_addr=0x2000) is None
+        assert lpt.pairs_detected == 0
+
+    def test_absolute_load_writes_dest_only(self):
+        lpt = LoadPairTable(entries=16)
+        lpt.on_load_commit(dest_phys=4, src_phys=None, load_addr=0x3000)
+        active, addr = lpt.entry_state(4)
+        assert active and addr == 0x3000
+
+
+class TestHashedLpt:
+    def test_conflict_drops_reveal_safely(self):
+        lpt = LoadPairTable(entries=4)
+        lpt.on_load_commit(dest_phys=1, src_phys=None, load_addr=0x1000)
+        # phys 5 hashes to the same entry as phys 1 (5 % 4 == 1).
+        lpt.on_load_commit(dest_phys=5, src_phys=None, load_addr=0x5000)
+        # A consumer of phys 1 now misses: the entry is tagged 5.
+        assert lpt.on_load_commit(dest_phys=2, src_phys=1, load_addr=0x2000) is None
+        assert lpt.conflicts == 1
+
+    def test_tag_prevents_false_reveal(self):
+        """A conflicting entry must never reveal the wrong address."""
+        lpt = LoadPairTable(entries=2)
+        lpt.on_load_commit(dest_phys=4, src_phys=None, load_addr=0xAAAA)
+        # Consumer of phys 6 (same index as 4): must not reveal 0xAAAA.
+        assert lpt.on_load_commit(dest_phys=1, src_phys=6, load_addr=0x1) is None
+
+    def test_self_aliasing_indices_cannot_fabricate_pair(self):
+        """dest and src hashing to one entry: src checked before overwrite."""
+        lpt = LoadPairTable(entries=1)
+        lpt.on_load_commit(dest_phys=3, src_phys=None, load_addr=0x3000)
+        # This load's dest (7) and src (3) share the single entry.
+        assert lpt.on_load_commit(dest_phys=7, src_phys=3, load_addr=0x7000) == 0x3000
+        # Now the entry is tagged 7; a consumer of 3 must miss.
+        assert lpt.on_load_commit(dest_phys=9, src_phys=3, load_addr=0x9000) is None
+
+    def test_other_commit_with_mismatched_tag_preserves_entry(self):
+        lpt = LoadPairTable(entries=2)
+        lpt.on_load_commit(dest_phys=2, src_phys=None, load_addr=0x2000)
+        lpt.on_other_commit(dest_phys=4)  # same index, different tag
+        assert lpt.on_load_commit(dest_phys=5, src_phys=2, load_addr=0x5) == 0x2000
+
+    def test_rejects_nonpositive_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LoadPairTable(entries=0)

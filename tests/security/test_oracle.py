@@ -1,0 +1,146 @@
+"""Tests for the oracle ablation machinery."""
+
+from repro.analysis.oracle import oracle_revealed_loads
+from repro.common import SchemeKind, StatSet, SystemParams
+from repro.core import Core
+from repro.isa import Program
+from repro.memory import MemoryHierarchy
+from repro.security.oracle import OracleNdaPolicy, OracleSttPolicy
+from tests.helpers import run_program
+
+PTR = 0x1000
+SLOW = 0x40000
+
+
+class TestOracleSet:
+    def test_detects_prior_leak(self):
+        prog = Program()
+        prog.poke(PTR, 0x2000)
+        prog.li(1, PTR)
+        prog.load(2, base=1)       # not leaked yet at this load
+        prog.load(3, base=2)       # leaks PTR
+        third = prog.load(4, base=1)  # PTR already leaked here
+        oracle = oracle_revealed_loads(prog.trace())
+        assert third.seq in oracle
+        assert len(oracle) == 1
+
+    def test_store_conceals_for_oracle(self):
+        prog = Program()
+        prog.poke(PTR, 0x2000)
+        prog.li(1, PTR)
+        prog.load(2, base=1)
+        prog.load(3, base=2)       # leak PTR
+        prog.li(5, 7)
+        prog.store(5, base=1)      # conceal PTR
+        later = prog.load(6, base=1)
+        oracle = oracle_revealed_loads(prog.trace())
+        assert later.seq not in oracle
+
+    def test_indirect_leak_included(self):
+        """The oracle sees DIFT leakage that the LPT cannot."""
+        prog = Program()
+        prog.poke(PTR, 0x2000)
+        prog.li(1, PTR)
+        prog.load(2, base=1)
+        prog.add_imm(3, 2, 0)      # indirect: breaks the pair
+        prog.load(4, base=3)       # leaks PTR via DIFT only
+        later = prog.load(5, base=1)
+        oracle = oracle_revealed_loads(prog.trace())
+        assert later.seq in oracle
+
+
+class TestOraclePolicies:
+    def _run(self, policy_cls, oracle):
+        prog = Program()
+        prog.poke(PTR, 0x2000)
+        prog.li(4, SLOW)
+        prog.load(5, base=4)
+        prog.branch(5)              # long shadow
+        prog.li(1, PTR)
+        prog.load(2, base=1)        # speculative
+        transmit = prog.load(3, base=2)
+        params = SystemParams()
+        stats = StatSet()
+        core = Core(
+            0,
+            params,
+            prog.trace(),
+            MemoryHierarchy(params),
+            policy_cls(stats, oracle),
+            stats,
+        )
+        core.run()
+        return core, transmit.seq
+
+    def test_oracle_lifts_when_word_known_leaked(self):
+        # Pretend the oracle says the pointer load (seq of load r2) leaked.
+        # Build once to find the seq, then run with that oracle set.
+        core, transmit_seq = self._run(OracleSttPolicy, set())
+        pointer_load_seq = transmit_seq - 1
+        core2, transmit_seq2 = self._run(
+            OracleSttPolicy, {pointer_load_seq}
+        )
+        spec2 = [o for o in core2.observations if o.seq == transmit_seq2]
+        assert spec2 and spec2[0].speculative  # lifted
+        spec1 = [o for o in core.observations if o.seq == transmit_seq]
+        assert not spec1 or not spec1[0].speculative  # protected
+
+    def test_oracle_nda_policy_defers_without_knowledge(self):
+        core, _ = self._run(OracleNdaPolicy, set())
+        assert core.stats.deferred_broadcasts >= 1
+
+    def test_oracle_never_slower_than_plain_scheme(self):
+        prog_cycles = {}
+        for label, scheme in (("stt", SchemeKind.STT),):
+            prog = Program()
+            prog.poke(PTR, 0x2000)
+            prog.li(1, PTR)
+            prog.load(2, base=1)
+            prog.load(3, base=2)
+            prog.branch(3, mispredict=True)
+            prog.li(4, SLOW)
+            prog.load(5, base=4)
+            prog.branch(5)
+            prog.li(1, PTR)
+            prog.load(2, base=1)
+            prog.load(3, base=2)
+            oracle = oracle_revealed_loads(prog.trace())
+            params = SystemParams()
+            plain_stats = StatSet()
+            from repro.security import make_policy
+
+            core_plain = Core(
+                0,
+                params,
+                prog.trace(),
+                MemoryHierarchy(params),
+                make_policy(scheme, plain_stats),
+                plain_stats,
+            )
+            core_plain.run()
+            stats = StatSet()
+            prog2 = Program()  # rebuild identical program
+            prog2.poke(PTR, 0x2000)
+            prog2.li(1, PTR)
+            prog2.load(2, base=1)
+            prog2.load(3, base=2)
+            prog2.branch(3, mispredict=True)
+            prog2.li(4, SLOW)
+            prog2.load(5, base=4)
+            prog2.branch(5)
+            prog2.li(1, PTR)
+            prog2.load(2, base=1)
+            prog2.load(3, base=2)
+            core_oracle = Core(
+                0,
+                params,
+                prog2.trace(),
+                MemoryHierarchy(params),
+                OracleSttPolicy(stats, oracle),
+                stats,
+            )
+            core_oracle.run()
+            # Lifting defenses shifts issue timing, which at micro scale
+            # can cost a few cycles through second-order effects (memory
+            # ordering, fetch bubbles); allow that slack.
+            assert core_oracle.stats.cycles <= core_plain.stats.cycles + 30

@@ -1,0 +1,100 @@
+"""Unit tests for the security-policy objects in isolation."""
+
+from repro.common import StatSet
+from repro.security import NdaPolicy, SttPolicy, UnsafePolicy
+
+
+class TestUnsafePolicy:
+    def test_never_blocks(self):
+        policy = UnsafePolicy(StatSet())
+        assert not policy.load_issue_blocked(frozenset({1}))
+        assert not policy.branch_resolution_blocked(frozenset({1}))
+        broadcast, taint = policy.on_load_value(5, True, False, frozenset())
+        assert broadcast and taint == frozenset()
+
+
+class TestNdaPolicy:
+    def test_defers_speculative_load(self):
+        stats = StatSet()
+        policy = NdaPolicy(stats)
+        broadcast, taint = policy.on_load_value(5, True, False, frozenset())
+        assert not broadcast
+        assert stats.deferred_broadcasts == 1
+
+    def test_safe_load_broadcasts(self):
+        policy = NdaPolicy(StatSet())
+        broadcast, _ = policy.on_load_value(5, False, False, frozenset())
+        assert broadcast
+
+    def test_revealed_speculative_load_broadcasts(self):
+        stats = StatSet()
+        policy = NdaPolicy(stats, use_recon=True)
+        broadcast, _ = policy.on_load_value(5, True, True, frozenset())
+        assert broadcast
+        assert stats.deferred_broadcasts == 0
+
+    def test_never_gates_issue(self):
+        policy = NdaPolicy(StatSet())
+        assert not policy.load_issue_blocked(frozenset({3}))
+        assert not policy.branch_resolution_blocked(frozenset({3}))
+
+
+class TestSttPolicy:
+    def test_speculative_load_tainted(self):
+        stats = StatSet()
+        policy = SttPolicy(stats)
+        broadcast, taint = policy.on_load_value(5, True, False, frozenset())
+        assert broadcast  # STT propagates; it gates transmitters instead
+        assert taint == frozenset({5})
+        assert stats.tainted_loads == 1
+        assert policy.effectively_tainted(taint)
+
+    def test_transmitters_blocked_while_root_unsafe(self):
+        policy = SttPolicy(StatSet())
+        _, taint = policy.on_load_value(5, True, False, frozenset())
+        assert policy.load_issue_blocked(taint)
+        assert policy.store_issue_blocked(taint)
+        assert policy.branch_resolution_blocked(taint)
+
+    def test_visibility_untaints(self):
+        policy = SttPolicy(StatSet())
+        _, taint = policy.on_load_value(5, True, False, frozenset())
+        policy.on_visibility(6)
+        assert not policy.effectively_tainted(taint)
+        assert not policy.load_issue_blocked(taint)
+
+    def test_visibility_frontier_is_exclusive(self):
+        policy = SttPolicy(StatSet())
+        _, taint = policy.on_load_value(5, True, False, frozenset())
+        policy.on_visibility(5)  # frontier AT the load: still unsafe
+        assert policy.effectively_tainted(taint)
+
+    def test_revealed_load_not_tainted(self):
+        stats = StatSet()
+        policy = SttPolicy(stats, use_recon=True)
+        broadcast, taint = policy.on_load_value(5, True, True, frozenset())
+        assert broadcast and taint == frozenset()
+        assert stats.tainted_loads == 0
+
+    def test_taint_propagates_through_dataflow(self):
+        policy = SttPolicy(StatSet())
+        _, taint = policy.on_load_value(5, True, False, frozenset())
+        derived = policy.propagate_taint(taint | frozenset())
+        assert policy.effectively_tainted(derived)
+
+    def test_forwarded_taint_carried_through_safe_load(self):
+        policy = SttPolicy(StatSet())
+        _, root = policy.on_load_value(5, True, False, frozenset())
+        # A later load forwards store data derived from root 5.
+        _, taint = policy.on_load_value(9, False, False, root)
+        assert policy.effectively_tainted(taint)
+
+    def test_union_of_roots(self):
+        policy = SttPolicy(StatSet())
+        _, t1 = policy.on_load_value(5, True, False, frozenset())
+        _, t2 = policy.on_load_value(7, True, False, frozenset())
+        both = t1 | t2
+        policy.on_visibility(6)  # only root 5 safe
+        assert policy.effectively_tainted(both)
+        policy.on_visibility(8)
+        assert not policy.effectively_tainted(both)

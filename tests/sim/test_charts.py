@@ -1,0 +1,60 @@
+"""Unit tests for ASCII chart rendering."""
+
+from repro.sim.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"a": 1.0, "b": 0.5}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+        assert lines[0].count("█") == 20
+
+    def test_labels_and_values_present(self):
+        chart = bar_chart({"xalancbmk": 0.786}, width=10)
+        assert "xalancbmk" in chart
+        assert "0.786" in chart
+
+    def test_empty(self):
+        assert "empty" in bar_chart({})
+
+    def test_zero_values_safe(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+    def test_reference_tick(self):
+        chart = bar_chart({"a": 0.5}, width=20, max_value=1.0, reference=1.0)
+        # The tick lands past the bar.
+        assert "|" in chart or chart.count("█") == 20
+
+    def test_max_value_clamps_scale(self):
+        a = bar_chart({"x": 0.9}, width=10, max_value=1.0)
+        b = bar_chart({"x": 0.9}, width=10)  # self-scaled: full width
+        assert a.count("█") <= b.count("█")
+
+    def test_custom_format(self):
+        chart = bar_chart({"a": 0.125}, fmt="{:.1%}")
+        assert "12.5%" in chart
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        chart = grouped_bar_chart(
+            [
+                ("SPEC2017", {"STT": 0.93, "STT+ReCon": 0.97}),
+                ("SPEC2006", {"STT": 0.92, "STT+ReCon": 0.97}),
+            ],
+            max_value=1.0,
+        )
+        assert "SPEC2017" in chart and "SPEC2006" in chart
+        assert chart.count("STT+ReCon") == 2
+
+    def test_common_scale_across_groups(self):
+        chart = grouped_bar_chart(
+            [("g1", {"a": 1.0}), ("g2", {"a": 0.5})], width=20
+        )
+        lines = [l for l in chart.splitlines() if "█" in l]
+        assert lines[0].count("█") == 2 * lines[1].count("█")
+
+    def test_empty(self):
+        assert "empty" in grouped_bar_chart([])

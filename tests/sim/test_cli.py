@@ -1,0 +1,86 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "spec2017/mcf" in out
+        assert "parsec/canneal" in out
+
+
+class TestRun:
+    def test_run_prints_scheme_table(self, capsys):
+        code = main(
+            ["run", "spec2017/gcc", "--length", "800", "--schemes",
+             "unsafe,stt,stt+recon"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stt+recon" in out
+        assert "vs unsafe" in out
+
+    def test_unknown_benchmark_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "spec2017/doom", "--length", "500"])
+
+    def test_malformed_label_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "mcf", "--length", "500"])
+
+    def test_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "spec2017/gcc", "--schemes", "quantum"])
+
+    def test_seed_override(self, capsys):
+        assert main(
+            ["run", "spec2017/gcc", "--length", "600", "--seed", "7",
+             "--schemes", "unsafe"]
+        ) == 0
+
+
+class TestLeakage:
+    def test_leakage_report(self, capsys):
+        assert main(["leakage", "spec2017/mcf", "--length", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "DIFT leaked" in out
+        assert "pairs / DIFT" in out
+
+
+class TestSweeps:
+    def test_sweep_lpt(self, capsys):
+        assert main(["sweep-lpt", "spec2017/gcc", "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "LPT/64" in out
+
+    def test_sweep_levels(self, capsys):
+        assert main(["sweep-levels", "spec2017/gcc", "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "L1+L2" in out
+
+
+class TestTraceWorkflow:
+    def test_save_and_replay(self, capsys, tmp_path):
+        path = str(tmp_path / "t.trace")
+        assert main(["save-trace", "spec2017/gcc", path, "--length", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert main(["replay", path, "--schemes", "unsafe,stt+recon"]) == 0
+        out = capsys.readouterr().out
+        assert "stt+recon" in out
+        assert "pairs" in out
+
+    def test_replay_missing_file_exits(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "/nonexistent.trace"])
+
+    def test_spt_scheme_available(self, capsys):
+        assert main(
+            ["run", "spec2017/gcc", "--length", "600", "--schemes",
+             "unsafe,stt+spt"]
+        ) == 0
+        assert "stt+spt" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Unit tests for reporting helpers and parameter sweeps."""
+
+import math
+
+import pytest
+
+from repro.common import CacheLevel, SchemeKind, SystemParams
+from repro.sim import (
+    format_table,
+    geomean,
+    lpt_size_variants,
+    overhead,
+    overhead_reduction,
+    recon_level_variants,
+)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert abs(geomean([2.0, 8.0]) - 4.0) < 1e-12
+
+    def test_single(self):
+        assert abs(geomean([3.0]) - 3.0) < 1e-12
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_matches_log_definition(self):
+        values = [0.9, 0.95, 1.0, 0.81]
+        expected = math.exp(sum(math.log(v) for v in values) / 4)
+        assert abs(geomean(values) - expected) < 1e-12
+
+
+class TestOverhead:
+    def test_overhead(self):
+        assert abs(overhead(0.9) - 0.1) < 1e-12
+
+    def test_reduction_matches_paper_arithmetic(self):
+        # Paper: STT 8.9% -> 4.9% is a 45% reduction.
+        red = overhead_reduction(0.089, 0.049)
+        assert abs(red - 0.449) < 0.01
+
+    def test_reduction_zero_base(self):
+        assert overhead_reduction(0.0, 0.0) == 0.0
+        assert overhead_reduction(-0.01, 0.0) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["a", "bbb"], [["x", "y"], ["long", "z"]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_cells_align(self):
+        table = format_table(["col"], [["a"], ["bb"]])
+        lines = table.splitlines()
+        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+
+
+class TestSweeps:
+    def test_recon_level_variants(self):
+        variants = dict(recon_level_variants())
+        assert set(variants) == {"L1", "L1+L2", "all-levels"}
+        assert variants["L1"].recon_levels == (CacheLevel.L1,)
+        assert variants["L1+L2"].recon_levels == (
+            CacheLevel.L1,
+            CacheLevel.L2,
+        )
+        assert variants["all-levels"].recon_levels is None
+        for params in variants.values():
+            params.validate()
+
+    def test_lpt_size_variants(self):
+        base = SystemParams()
+        variants = lpt_size_variants(base)
+        labels = [label for label, _ in variants]
+        assert labels[0] == "LPT"
+        assert labels[-1] == "LPT/64"
+        sizes = [p.effective_lpt_entries for _, p in variants]
+        assert sizes[0] == base.core.phys_regs
+        assert sizes == sorted(sizes, reverse=True)
+        for _, params in variants:
+            params.validate()

@@ -1,0 +1,52 @@
+"""Tests for grid runs and normalized-row reporting."""
+
+from repro.common import SchemeKind
+from repro.sim import run_suite, suite_normalized_rows
+from repro.sim.runner import TraceCache
+from repro.workloads import get_benchmark
+
+
+class TestRunSuite:
+    def test_grid_has_every_cell(self):
+        profiles = [
+            get_benchmark("spec2017", "gcc"),
+            get_benchmark("spec2017", "lbm"),
+        ]
+        schemes = (SchemeKind.UNSAFE, SchemeKind.STT)
+        results = run_suite(profiles, schemes, 1000, cache=TraceCache())
+        assert set(results) == {
+            ("gcc", SchemeKind.UNSAFE),
+            ("gcc", SchemeKind.STT),
+            ("lbm", SchemeKind.UNSAFE),
+            ("lbm", SchemeKind.STT),
+        }
+        for result in results.values():
+            assert result.ipc > 0
+
+    def test_normalized_rows_include_geomean(self):
+        profiles = [get_benchmark("spec2017", "gcc")]
+        schemes = (SchemeKind.UNSAFE, SchemeKind.STT, SchemeKind.STT_RECON)
+        results = run_suite(profiles, schemes, 1000, cache=TraceCache())
+        rows = suite_normalized_rows(
+            results, ["gcc"], (SchemeKind.STT, SchemeKind.STT_RECON)
+        )
+        assert rows[-1][0] == "geomean"
+        assert len(rows) == 2
+        for row in rows:
+            assert len(row) == 3
+            for cell in row[1:]:
+                assert 0 < float(cell) <= 1.5
+
+    def test_warmup_passthrough(self):
+        profiles = [get_benchmark("spec2017", "gcc")]
+        cache = TraceCache()
+        warm = run_suite(
+            profiles, (SchemeKind.UNSAFE,), 2000, cache=cache, warmup_uops=1000
+        )
+        cold = run_suite(
+            profiles, (SchemeKind.UNSAFE,), 2000, cache=cache, warmup_uops=0
+        )
+        assert (
+            warm[("gcc", SchemeKind.UNSAFE)].stats.committed_uops
+            < cold[("gcc", SchemeKind.UNSAFE)].stats.committed_uops
+        )

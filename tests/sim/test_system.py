@@ -1,0 +1,128 @@
+"""Unit tests for system assembly and the experiment runner."""
+
+import dataclasses
+
+import pytest
+
+from repro.common import SchemeKind, SystemParams
+from repro.isa import Program
+from repro.sim import System, run_benchmark
+from repro.sim.runner import TraceCache, default_trace_length
+from repro.workloads import get_benchmark
+
+
+def two_programs():
+    progs = []
+    for seed in (1, 2):
+        prog = Program()
+        for i in range(200):
+            prog.li(1, (i * seed * 64) % 0x4000)
+            prog.load(2, base=1)
+            prog.alu(3, 2)
+        progs.append(prog)
+    return [p.trace() for p in progs]
+
+
+class TestSystem:
+    def test_single_core_runs_to_completion(self):
+        traces = two_programs()[:1]
+        result = System(SystemParams(), traces, SchemeKind.UNSAFE).run()
+        assert result.per_core[0].committed_uops == 600
+        assert result.cycles > 0
+
+    def test_multicore_lockstep(self):
+        traces = two_programs()
+        result = System(
+            SystemParams(num_cores=2), traces, SchemeKind.STT
+        ).run()
+        assert len(result.per_core) == 2
+        assert all(s.committed_uops == 600 for s in result.per_core)
+        # Execution time is the slowest core's.
+        assert result.cycles == max(s.cycles for s in result.per_core)
+
+    def test_num_cores_grows_to_fit_traces(self):
+        traces = two_programs()
+        system = System(SystemParams(num_cores=1), traces, SchemeKind.UNSAFE)
+        assert len(system.cores) == 2
+        system.run()
+
+    def test_aggregate_sums_counters(self):
+        traces = two_programs()
+        result = System(
+            SystemParams(num_cores=2), traces, SchemeKind.UNSAFE
+        ).run()
+        assert result.aggregate.committed_uops == 1200
+
+    def test_multicore_determinism(self):
+        def run_once():
+            return System(
+                SystemParams(num_cores=2), two_programs(), SchemeKind.STT_RECON
+            ).run()
+
+        a, b = run_once(), run_once()
+        assert a.cycles == b.cycles
+        for sa, sb in zip(a.per_core, b.per_core):
+            assert sa.as_dict() == sb.as_dict()
+
+
+class TestWarmup:
+    def test_warmup_excludes_prefix(self):
+        traces = two_programs()[:1]
+        full = System(SystemParams(), traces, SchemeKind.UNSAFE).run()
+        warmed = System(
+            SystemParams(), two_programs()[:1], SchemeKind.UNSAFE, warmup_uops=300
+        ).run()
+        assert warmed.per_core[0].committed_uops == 300
+        assert warmed.cycles < full.cycles
+
+    def test_warmup_ipc_excludes_cold_misses(self):
+        prog = Program()
+        for i in range(400):
+            prog.li(1, (i * 64) % 0x800)  # 32 lines: warm quickly
+            prog.load(2, base=1)
+        cold = System(SystemParams(), [prog.trace()], SchemeKind.UNSAFE).run()
+        prog2 = Program()
+        for i in range(400):
+            prog2.li(1, (i * 64) % 0x800)
+            prog2.load(2, base=1)
+        warm = System(
+            SystemParams(), [prog2.trace()], SchemeKind.UNSAFE, warmup_uops=400
+        ).run()
+        assert warm.ipc > cold.ipc
+
+
+class TestRunner:
+    def test_run_benchmark_returns_measurement(self):
+        profile = get_benchmark("spec2017", "gcc")
+        result = run_benchmark(profile, SchemeKind.UNSAFE, 1500)
+        assert result.ipc > 0
+        assert result.stats.committed_uops > 0
+        assert result.scheme is SchemeKind.UNSAFE
+
+    def test_trace_cache_reuses_traces(self):
+        profile = get_benchmark("spec2017", "gcc")
+        cache = TraceCache()
+        first = cache.get(profile, 1, 1200)
+        second = cache.get(profile, 1, 1200)
+        assert first is second
+
+    def test_schemes_see_identical_traces(self):
+        profile = get_benchmark("spec2017", "xalancbmk")
+        cache = TraceCache()
+        a = run_benchmark(profile, SchemeKind.UNSAFE, 1500, cache=cache)
+        b = run_benchmark(profile, SchemeKind.STT, 1500, cache=cache)
+        assert a.stats.committed_uops == b.stats.committed_uops
+
+    def test_default_trace_length_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "4242")
+        assert default_trace_length() == 4242
+        monkeypatch.setenv("REPRO_TRACE_LEN", "10")
+        assert default_trace_length() == 500  # clamped
+        monkeypatch.delenv("REPRO_TRACE_LEN")
+        assert default_trace_length(9999) == 9999
+
+    def test_parallel_run(self):
+        profile = get_benchmark("parsec", "canneal")
+        result = run_benchmark(profile, SchemeKind.STT_RECON, 800, threads=4)
+        assert len(result.per_core) == 4
+        assert result.stats.committed_uops > 0

@@ -1,0 +1,61 @@
+"""Documentation-quality gates.
+
+Every public item (everything exported through a module's ``__all__``)
+must carry a docstring, and every module must have a module docstring —
+deliverable (e) of a credible open-source release.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for meth_name, meth in inspect.getmembers(
+                    obj, inspect.isfunction
+                ):
+                    if meth_name.startswith("_"):
+                        continue
+                    if meth.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited implementation
+                    if meth.__doc__ and meth.__doc__.strip():
+                        continue
+                    # An override may rely on the base class's docstring.
+                    inherited = any(
+                        getattr(base, meth_name, None) is not None
+                        and getattr(base, meth_name).__doc__
+                        for base in obj.__mro__[1:]
+                    )
+                    if not inherited:
+                        undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public items: {undocumented}"
+    )

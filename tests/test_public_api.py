@@ -1,0 +1,73 @@
+"""Public-API surface checks.
+
+Everything a downstream user is documented to import must import, and
+the README's quickstart must execute.
+"""
+
+import importlib
+
+import pytest
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro",
+            "repro.common",
+            "repro.isa",
+            "repro.core",
+            "repro.memory",
+            "repro.security",
+            "repro.analysis",
+            "repro.workloads",
+            "repro.sim",
+            "repro.cli",
+        ],
+    )
+    def test_all_names_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_version_present(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        from repro import SchemeKind, get_benchmark, run_benchmark
+
+        profile = get_benchmark("spec2017", "mcf")
+        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, length=2_000)
+        stt = run_benchmark(profile, SchemeKind.STT, length=2_000)
+        recon = run_benchmark(profile, SchemeKind.STT_RECON, length=2_000)
+        assert 0 < stt.ipc / unsafe.ipc <= 1.2
+        assert 0 < recon.ipc / unsafe.ipc <= 1.2
+
+    def test_micro_program_snippet(self):
+        from repro import Program, SchemeKind, StatSet, SystemParams
+        from repro.core import Core
+        from repro.memory import MemoryHierarchy
+        from repro.security import make_policy
+
+        prog = Program()
+        prog.poke(0x1000, 0x2000)
+        prog.li(1, 0x1000)
+        prog.load(2, base=1)
+        prog.load(3, base=2)
+
+        params = SystemParams()
+        stats = StatSet()
+        core = Core(
+            0,
+            params,
+            prog.trace(),
+            MemoryHierarchy(params),
+            make_policy(SchemeKind.STT_RECON, stats),
+            stats,
+        )
+        core.run()
+        assert stats.load_pairs_detected == 1

@@ -1,0 +1,84 @@
+"""Property-based checks on every benchmark profile's generated traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import OpClass
+from repro.workloads import all_benchmarks, build_trace
+
+PROFILES = {p.label: p for p in all_benchmarks()}
+
+
+@pytest.mark.parametrize("label", sorted(PROFILES))
+def test_trace_is_well_formed(label):
+    """Every profile yields structurally valid micro-ops."""
+    profile = PROFILES[label]
+    trace = build_trace(profile, 1200).trace()
+    assert len(trace) >= 1200
+    for uop in trace:
+        if uop.opclass.is_memory:
+            assert uop.addr is not None and uop.addr >= 0
+        if uop.opclass is OpClass.LOAD:
+            assert uop.dest is not None
+        for reg in uop.srcs + uop.data_srcs:
+            assert 0 <= reg < 32
+        if uop.dest is not None:
+            assert 0 <= uop.dest < 32
+
+
+@pytest.mark.parametrize("label", sorted(PROFILES))
+def test_trace_has_plausible_mix(label):
+    """Loads exist everywhere; branch/store rates stay sane."""
+    trace = build_trace(PROFILES[label], 2000).trace()
+    counts = {}
+    for uop in trace:
+        counts[uop.opclass] = counts.get(uop.opclass, 0) + 1
+    total = len(trace)
+    assert counts.get(OpClass.LOAD, 0) / total > 0.02
+    assert counts.get(OpClass.BRANCH, 0) / total < 0.5
+    assert counts.get(OpClass.STORE, 0) / total < 0.5
+
+
+@given(seed_shift=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_any_seed_generates_and_simulates(seed_shift):
+    """Arbitrary seeds must not break generation or simulation."""
+    import dataclasses
+
+    from repro.common import SchemeKind
+    from repro.sim.runner import TraceCache, run_benchmark
+
+    base = PROFILES["spec2017/xalancbmk"]
+    profile = dataclasses.replace(base, seed=base.seed + seed_shift)
+    result = run_benchmark(
+        profile, SchemeKind.STT_RECON, 600, cache=TraceCache(), warmup_uops=0
+    )
+    assert result.stats.committed_uops >= 600
+
+
+def test_pointer_chains_are_cyclic_and_closed():
+    """Chain layout: following `next` pointers stays inside the chain."""
+    from repro.workloads.kernels import WorkloadBuilder
+
+    profile = PROFILES["spec2017/mcf"]
+    builder = WorkloadBuilder(profile)
+    for chain in builder._chains:
+        node_set = set(chain.nodes)
+        cursor = chain.nodes[0]
+        for _ in range(len(chain.nodes) * 2):
+            cursor = builder.prog.peek(cursor)
+            assert cursor in node_set
+
+
+def test_sticky_indirect_is_deterministic_per_address():
+    from repro.workloads.kernels import WorkloadBuilder
+
+    profile = PROFILES["spec2017/deepsjeng"]
+    builder = WorkloadBuilder(profile)
+    sample = [0x1000 + i * 8 for i in range(200)]
+    first = [builder._sticky_indirect(a) for a in sample]
+    second = [builder._sticky_indirect(a) for a in sample]
+    assert first == second
+    frac = sum(first) / len(first)
+    assert abs(frac - profile.indirect_fraction) < 0.2

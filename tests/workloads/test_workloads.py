@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.analysis import Clueless
+from repro.common import OpClass
+from repro.workloads import (
+    BenchmarkProfile,
+    all_benchmarks,
+    build_parallel_traces,
+    build_trace,
+    get_benchmark,
+    parsec_suite,
+    spec2006_suite,
+    spec2017_suite,
+)
+
+
+class TestSuites:
+    def test_suite_sizes(self):
+        assert len(spec2017_suite()) >= 14
+        assert len(spec2006_suite()) >= 10
+        assert len(parsec_suite()) >= 8
+
+    def test_unique_labels(self):
+        labels = [p.label for p in all_benchmarks()]
+        assert len(labels) == len(set(labels))
+
+    def test_get_benchmark(self):
+        profile = get_benchmark("spec2017", "mcf")
+        assert profile.name == "mcf"
+        with pytest.raises(KeyError):
+            get_benchmark("spec2017", "doom")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="bad", suite="x", kernel_weights={"nope": 1.0})
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="bad", suite="x", kernel_weights={})
+
+
+class TestTraceGeneration:
+    def test_reaches_requested_length(self):
+        profile = get_benchmark("spec2017", "gcc")
+        trace = build_trace(profile, 2000).trace()
+        assert len(trace) >= 2000
+
+    def test_deterministic(self):
+        profile = get_benchmark("spec2017", "xalancbmk")
+        a = build_trace(profile, 1500).trace()
+        b = build_trace(profile, 1500).trace()
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert (x.opclass, x.dest, x.srcs, x.addr, x.mispredict) == (
+                y.opclass,
+                y.dest,
+                y.srcs,
+                y.addr,
+                y.mispredict,
+            )
+
+    def test_different_seeds_differ(self):
+        import dataclasses
+
+        profile = get_benchmark("spec2017", "gcc")
+        other = dataclasses.replace(profile, seed=999)
+        a = build_trace(profile, 1000).trace()
+        b = build_trace(other, 1000).trace()
+        assert any(
+            x.addr != y.addr for x, y in zip(a, b) if x.opclass is OpClass.LOAD
+        )
+
+    def test_pointer_chase_has_real_dereferences(self):
+        """The chase loads real pointers: loaded value == next address."""
+        profile = get_benchmark("spec2017", "mcf")
+        prog = build_trace(profile, 1000)
+        report = Clueless().run(prog.trace())
+        assert report.pair_leaked_words > 10
+
+    def test_streaming_benchmark_has_no_pairs(self):
+        profile = get_benchmark("spec2017", "lbm")
+        prog = build_trace(profile, 2000)
+        report = Clueless().run(prog.trace())
+        assert report.pair_fraction < 0.02
+
+    def test_pair_coverage_ordering_matches_paper(self):
+        """gcc/mcf/xalancbmk: pairs ~= all leakage; deepsjeng: much less."""
+        def coverage(name):
+            profile = get_benchmark("spec2017", name)
+            return Clueless().run(build_trace(profile, 4000).trace()).pair_coverage
+
+        assert coverage("gcc") > 0.85
+        assert coverage("mcf") > 0.85
+        assert coverage("xalancbmk") > 0.85
+        assert coverage("deepsjeng") < coverage("gcc")
+
+    def test_mix_contains_expected_opclasses(self):
+        profile = get_benchmark("spec2017", "xalancbmk")
+        trace = build_trace(profile, 3000).trace()
+        classes = {op.opclass for op in trace}
+        assert OpClass.LOAD in classes
+        assert OpClass.BRANCH in classes
+        assert OpClass.ALU in classes
+
+
+class TestParallelTraces:
+    def test_one_trace_per_thread(self):
+        profile = get_benchmark("parsec", "canneal")
+        traces = build_parallel_traces(profile, num_threads=4, length=800)
+        assert len(traces) == 4
+        assert all(len(t) >= 800 for t in traces)
+
+    def test_threads_share_addresses(self):
+        """canneal threads chase the same shared pointer structures."""
+        profile = get_benchmark("parsec", "canneal")
+        traces = build_parallel_traces(profile, num_threads=2, length=2000)
+
+        def load_addrs(prog):
+            return {
+                op.addr for op in prog.trace() if op.opclass is OpClass.LOAD
+            }
+
+        shared = load_addrs(traces[0]) & load_addrs(traces[1])
+        assert len(shared) > 20
+
+    def test_private_benchmark_shares_little(self):
+        profile = get_benchmark("parsec", "swaptions")
+        traces = build_parallel_traces(profile, num_threads=2, length=2000)
+
+        def mem_addrs(prog):
+            return {op.addr for op in prog.trace() if op.addr is not None}
+
+        shared = mem_addrs(traces[0]) & mem_addrs(traces[1])
+        total = len(mem_addrs(traces[0])) or 1
+        assert len(shared) / total < 0.35
+
+    def test_thread_streams_differ(self):
+        profile = get_benchmark("parsec", "canneal")
+        a, b = build_parallel_traces(profile, num_threads=2, length=1000)
+        ops_a = [(op.opclass, op.addr) for op in a.trace()[:500]]
+        ops_b = [(op.opclass, op.addr) for op in b.trace()[:500]]
+        assert ops_a != ops_b
