@@ -8,10 +8,10 @@ floor.
 """
 
 from repro import SchemeKind
-from repro.sim import format_table
+from repro.sim import RunConfig, format_table
 from repro.sim.runner import TraceCache, run_benchmark_seeds
 
-from benchmarks.common import BENCH_LENGTH, emit
+from benchmarks.common import BENCH_LENGTH, bench_store, emit
 
 SEEDS = (11, 22, 33)
 NAMES = ("xalancbmk", "omnetpp", "gcc")
@@ -25,10 +25,15 @@ def _run():
     effects = {}
     for name in NAMES:
         profile = get_benchmark("spec2017", name)
-        cache = TraceCache()
+        config = RunConfig(cache=TraceCache())
         seeded = {
             scheme: run_benchmark_seeds(
-                profile, scheme, BENCH_LENGTH, seeds=SEEDS, cache=cache
+                profile,
+                scheme,
+                BENCH_LENGTH,
+                seeds=SEEDS,
+                config=config,
+                store=bench_store(),
             )
             for scheme in SCHEMES
         }

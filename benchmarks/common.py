@@ -10,16 +10,18 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro import SchemeKind
-from repro.sim import default_trace_length, run_suite
-from repro.sim.runner import RunResult, TraceCache
+from repro.sim import RunConfig, default_trace_length, run_suite
+from repro.sim.engine import SuiteResult
+from repro.sim.store import STORE_ENV, ResultStore, default_store_root
 from repro.workloads import BenchmarkProfile
 
 __all__ = [
     "BENCH_LENGTH",
     "PARSEC_LENGTH",
+    "bench_store",
     "emit",
     "run_grid",
     "results_dir",
@@ -49,15 +51,40 @@ def emit(name: str, title: str, body: str) -> None:
     (results_dir() / f"{name}.txt").write_text(text)
 
 
+def bench_store() -> Optional[ResultStore]:
+    """The benches' persistent result store (``results/.store``).
+
+    Completed runs are memoized under a content hash of their full
+    configuration, so re-running a bench is near-instant.  Point the
+    ``REPRO_STORE`` environment variable at another directory to move
+    it, or set ``REPRO_STORE=off`` to disable persistence.
+    """
+    if os.environ.get(STORE_ENV) is not None:
+        root = default_store_root()
+        return None if root is None else ResultStore(root)
+    return ResultStore(results_dir() / ".store")
+
+
 def run_grid(
     profiles: Sequence[BenchmarkProfile],
     schemes: Sequence[SchemeKind],
     threads: int = 1,
     length: int = None,
-) -> Dict[Tuple[str, SchemeKind], RunResult]:
-    """Run benchmarks x schemes on identical traces (fresh cache)."""
+    jobs: int = None,
+) -> SuiteResult:
+    """Run benchmarks x schemes on identical traces through the engine.
+
+    Fans out across ``jobs`` worker processes (default: the
+    ``REPRO_JOBS`` environment variable) and memoizes completed runs in
+    :func:`bench_store`.
+    """
     if length is None:
         length = BENCH_LENGTH if threads == 1 else PARSEC_LENGTH
     return run_suite(
-        profiles, schemes, length, threads=threads, cache=TraceCache()
+        profiles,
+        schemes,
+        length,
+        config=RunConfig(threads=threads),
+        jobs=jobs,
+        store=bench_store(),
     )

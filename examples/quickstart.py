@@ -9,7 +9,7 @@ counters — a miniature of the paper's Figures 5-7.
 Run:  python examples/quickstart.py
 """
 
-from repro import SchemeKind, get_benchmark, run_benchmark
+from repro import RunConfig, SchemeKind, get_benchmark, run_benchmark
 from repro.sim import format_table
 from repro.sim.runner import TraceCache
 
@@ -28,9 +28,9 @@ def main() -> None:
     profile = get_benchmark("spec2017", "mcf")
     print(f"benchmark: {profile.label}  trace length: {LENGTH} micro-ops\n")
 
-    cache = TraceCache()  # every scheme runs the identical trace
+    config = RunConfig(cache=TraceCache())  # every scheme: identical trace
     results = {
-        scheme: run_benchmark(profile, scheme, LENGTH, cache=cache)
+        scheme: run_benchmark(profile, scheme, LENGTH, config=config)
         for scheme in SCHEMES
     }
     baseline = results[SchemeKind.UNSAFE].ipc

@@ -1,7 +1,7 @@
 """Calibration driver: prints per-benchmark normalized IPC and ReCon stats."""
 import sys
 import time
-from repro import SchemeKind, run_benchmark, spec2017_suite, spec2006_suite
+from repro import RunConfig, SchemeKind, run_benchmark, spec2017_suite, spec2006_suite
 from repro.sim.runner import TraceCache
 
 suite = spec2017_suite() if "2006" not in sys.argv else spec2006_suite()
@@ -15,7 +15,7 @@ for prof in suite:
     if names and prof.name not in names:
         continue
     cache = TraceCache()
-    res = {s: run_benchmark(prof, s, length, cache=cache)
+    res = {s: run_benchmark(prof, s, length, config=RunConfig(cache=cache))
            for s in (SchemeKind.UNSAFE, SchemeKind.NDA, SchemeKind.NDA_RECON,
                      SchemeKind.STT, SchemeKind.STT_RECON)}
     b = res[SchemeKind.UNSAFE].ipc

@@ -1,12 +1,13 @@
 """PARSEC calibration: 4-core normalized execution time per scheme."""
 import math
-from repro import SchemeKind, run_benchmark, parsec_suite
+from repro import RunConfig, SchemeKind, run_benchmark, parsec_suite
 from repro.sim.runner import TraceCache
 
 rows = []
 for prof in parsec_suite():
     cache = TraceCache()
-    res = {s: run_benchmark(prof, s, 12000, threads=4, cache=cache)
+    res = {s: run_benchmark(prof, s, 12000,
+                            config=RunConfig(threads=4, cache=cache))
            for s in (SchemeKind.UNSAFE, SchemeKind.NDA, SchemeKind.NDA_RECON,
                      SchemeKind.STT, SchemeKind.STT_RECON)}
     b = res[SchemeKind.UNSAFE].cycles

@@ -1,7 +1,7 @@
 """Proportional-control tuner for value_branch_rate per profile."""
 import dataclasses
 import sys
-from repro import SchemeKind, run_benchmark
+from repro import RunConfig, SchemeKind, run_benchmark
 from repro.sim.runner import TraceCache
 from repro.workloads import spec2017_suite, spec2006_suite, parsec_suite
 
@@ -27,8 +27,9 @@ LEN = 30000 if threads == 1 else 8000
 def measure(p, vbr):
     p = dataclasses.replace(p, value_branch_rate=vbr)
     cache = TraceCache()
-    u = run_benchmark(p, SchemeKind.UNSAFE, LEN, threads=threads, cache=cache)
-    s = run_benchmark(p, SchemeKind.STT, LEN, threads=threads, cache=cache)
+    cfg = RunConfig(threads=threads, cache=cache)
+    u = run_benchmark(p, SchemeKind.UNSAFE, LEN, config=cfg)
+    s = run_benchmark(p, SchemeKind.STT, LEN, config=cfg)
     if threads == 1:
         return s.ipc / u.ipc
     return u.cycles / s.cycles  # normalized perf = time ratio

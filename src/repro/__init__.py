@@ -41,10 +41,14 @@ from repro.isa import MicroOp, Program
 from repro.memory import MemoryHierarchy
 from repro.security import LoadPairTable, make_policy
 from repro.sim import (
+    ResultStore,
+    RunConfig,
     RunResult,
+    SuiteResult,
     System,
     default_trace_length,
     run_benchmark,
+    run_benchmark_seeds,
     run_suite,
 )
 from repro.workloads import (
@@ -72,9 +76,12 @@ __all__ = [
     "MemoryParams",
     "MicroOp",
     "Program",
+    "ResultStore",
+    "RunConfig",
     "RunResult",
     "SchemeKind",
     "StatSet",
+    "SuiteResult",
     "System",
     "SystemParams",
     "__version__",
@@ -85,6 +92,7 @@ __all__ = [
     "make_policy",
     "parsec_suite",
     "run_benchmark",
+    "run_benchmark_seeds",
     "run_suite",
     "spec2006_suite",
     "spec2017_suite",

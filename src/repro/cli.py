@@ -13,7 +13,15 @@ Subcommands::
 
 Common options: ``--length`` (trace micro-ops), ``--schemes`` (comma
 list), ``--threads`` (parallel workloads), ``--seed`` (override profile
-seed).
+seed), ``--jobs`` (worker processes; also the ``REPRO_JOBS`` environment
+variable), ``--no-store`` (skip the persistent result store).
+
+Grid commands (``run``, ``suite``) fan out across worker processes and
+memoize completed runs in the on-disk result store (``results/.store``
+by default; move it with ``REPRO_STORE=<dir>`` or disable it with
+``REPRO_STORE=off``), so a repeated invocation is served from disk.
+``suite`` also writes the full structured result (per-run wall times,
+store hit counts, every counter) to ``results/suite_<name>.json``.
 """
 
 from __future__ import annotations
@@ -21,12 +29,14 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import List, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro.analysis import Clueless
 from repro.common import SchemeKind
-from repro.sim import format_table
+from repro.sim import RunConfig, format_table, resolve_jobs, run_suite
 from repro.sim.runner import TraceCache, default_trace_length, run_benchmark
+from repro.sim.store import ResultStore, default_store_root
 from repro.sim.sweep import lpt_size_variants, recon_level_variants
 from repro.workloads import all_benchmarks, build_trace, get_benchmark
 
@@ -70,6 +80,16 @@ def _apply_seed(profile, seed):
     return dataclasses.replace(profile, seed=seed)
 
 
+def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The persistent result store, honouring --no-store and REPRO_STORE."""
+    if getattr(args, "no_store", False):
+        return None
+    root = default_store_root()
+    if root is None:
+        return None
+    return ResultStore(root)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     rows = [
         [p.label, ", ".join(sorted(p.kernel_weights))]
@@ -82,17 +102,18 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     profile = _apply_seed(_resolve(args.benchmark), args.seed)
     schemes = _parse_schemes(args.schemes)
-    cache = TraceCache()
-    results = {
-        scheme: run_benchmark(
-            profile, scheme, args.length, threads=args.threads, cache=cache
-        )
-        for scheme in schemes
-    }
-    baseline = results.get(SchemeKind.UNSAFE)
+    suite = run_suite(
+        [profile],
+        schemes,
+        args.length,
+        config=RunConfig(threads=args.threads),
+        jobs=args.jobs,
+        store=_store_from_args(args),
+    )
+    baseline = suite.get(profile.name, SchemeKind.UNSAFE)
     rows = []
     for scheme in schemes:
-        result = results[scheme]
+        result = suite.get(profile.name, scheme)
         stats = result.stats
         norm = result.ipc / baseline.ipc if baseline else float("nan")
         rows.append(
@@ -113,6 +134,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    print(f"\n{suite.summary()}", file=sys.stderr)
     return 0
 
 
@@ -128,30 +150,33 @@ def cmd_suite(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown suite {args.suite!r}; choose from {sorted(suites)}")
     factory, threads = suites[args.suite]
     schemes = _parse_schemes(args.schemes)
+    profiles = factory()
+    suite = run_suite(
+        profiles,
+        schemes,
+        args.length,
+        config=RunConfig(threads=threads),
+        jobs=args.jobs,
+        store=_store_from_args(args),
+        progress=True,
+    )
     rows = []
-    for profile in factory():
-        cache = TraceCache()
-        results = {
-            scheme: run_benchmark(
-                profile, scheme, args.length, threads=threads, cache=cache
-            )
-            for scheme in schemes
-        }
-        base = results.get(SchemeKind.UNSAFE)
+    for profile in profiles:
+        base = suite.get(profile.name, SchemeKind.UNSAFE)
         row = [profile.name]
         for scheme in schemes:
-            if scheme is SchemeKind.UNSAFE:
-                row.append(f"{results[scheme].ipc:.2f}")
-            elif base is not None:
-                row.append(f"{results[scheme].ipc / base.ipc:.3f}")
+            result = suite.get(profile.name, scheme)
+            if scheme is SchemeKind.UNSAFE or base is None:
+                row.append(f"{result.ipc:.2f}")
             else:
-                row.append(f"{results[scheme].ipc:.2f}")
+                row.append(f"{result.ipc / base.ipc:.3f}")
         rows.append(row)
-        print(f"  finished {profile.label}", file=sys.stderr)
     headers = ["benchmark"] + [
         "IPC" if s is SchemeKind.UNSAFE else s.value for s in schemes
     ]
     print(format_table(headers, rows))
+    out = suite.save(Path("results") / f"suite_{args.suite}.json")
+    print(f"\n{suite.summary()}  ->  {out}", file=sys.stderr)
     return 0
 
 
@@ -176,15 +201,16 @@ def cmd_leakage(args: argparse.Namespace) -> int:
 def _run_sweep(args, variants) -> int:
     profile = _apply_seed(_resolve(args.benchmark), args.seed)
     cache = TraceCache()
-    unsafe = run_benchmark(profile, SchemeKind.UNSAFE, args.length, cache=cache)
+    unsafe = run_benchmark(
+        profile, SchemeKind.UNSAFE, args.length, config=RunConfig(cache=cache)
+    )
     rows = []
     for label, params in variants:
         result = run_benchmark(
             profile,
             SchemeKind.STT_RECON,
             args.length,
-            params=params,
-            cache=cache,
+            config=RunConfig(params=params, cache=cache),
         )
         rows.append(
             [
@@ -278,6 +304,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="comma-separated scheme list",
         )
         p.add_argument("--threads", type=int, default=1)
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
+        )
+        p.add_argument(
+            "--no-store",
+            action="store_true",
+            help="do not read or write the persistent result store",
+        )
 
     sub.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)
 
@@ -327,4 +364,9 @@ def main(argv: Sequence[str] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if hasattr(args, "jobs"):
+        try:
+            resolve_jobs(args.jobs)
+        except ValueError as exc:
+            sys.exit(str(exc))
     return args.func(args)

@@ -1,6 +1,14 @@
-"""Simulation driving: system assembly, runners, sweeps, reporting."""
+"""Simulation driving: system assembly, runners, engine, reporting."""
 
 from repro.sim.charts import bar_chart, grouped_bar_chart
+from repro.sim.config import RunConfig
+from repro.sim.engine import (
+    RunRecord,
+    RunSpec,
+    SuiteResult,
+    resolve_jobs,
+    run_grid,
+)
 from repro.sim.reporting import (
     format_table,
     geomean,
@@ -11,30 +19,44 @@ from repro.sim.reporting import (
 )
 from repro.sim.runner import (
     RunResult,
+    SeededResult,
     TraceCache,
     default_trace_length,
     run_benchmark,
+    run_benchmark_seeds,
     run_suite,
 )
+from repro.sim.store import ResultStore, default_store_root, run_key
 from repro.sim.sweep import lpt_size_variants, recon_level_variants
 from repro.sim.system import System, SystemResult
 
 __all__ = [
+    "ResultStore",
+    "RunConfig",
+    "RunRecord",
     "RunResult",
+    "RunSpec",
+    "SeededResult",
+    "SuiteResult",
     "System",
-    "bar_chart",
-    "grouped_bar_chart",
     "SystemResult",
     "TraceCache",
+    "bar_chart",
+    "default_store_root",
     "default_trace_length",
     "format_table",
     "geomean",
+    "grouped_bar_chart",
     "lpt_size_variants",
     "normalized_ipc",
     "overhead",
     "overhead_reduction",
     "recon_level_variants",
+    "resolve_jobs",
     "run_benchmark",
+    "run_benchmark_seeds",
+    "run_grid",
+    "run_key",
     "run_suite",
     "suite_normalized_rows",
 ]

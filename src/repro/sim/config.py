@@ -1,0 +1,117 @@
+"""Run configuration for the experiment entry points.
+
+A :class:`RunConfig` bundles the knobs that used to be plumbed through
+``run_benchmark`` / ``run_benchmark_seeds`` / ``run_suite`` as separate
+keyword arguments (``params``, ``threads``, ``cache``, ``warmup_uops``).
+The entry points now take ``config: RunConfig`` (keyword-only); the old
+kwargs are still accepted for one release behind a ``DeprecationWarning``
+shim (:func:`coerce_config`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.common.params import SystemParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (runner imports config)
+    from repro.sim.runner import TraceCache
+
+__all__ = ["RunConfig", "UNSET", "coerce_config"]
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<UNSET>"
+
+
+#: Default value of the deprecated legacy kwargs on the public entry points.
+UNSET: Any = _Unset()
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig:
+    """How to run an experiment (everything except *what* to run).
+
+    Attributes:
+        params: system configuration; ``None`` means the Table-2 defaults
+            sized for ``threads`` cores.
+        threads: parallel workload threads (= simulated cores).
+        warmup_uops: detailed-warm-up prefix excluded from reported stats;
+            ``None`` means the default 40% of the trace.
+        cache: trace cache shared across runs; ``None`` uses the
+            process-global cache.  Excluded from equality/hashing — it is
+            an execution detail, not part of the experiment identity.
+    """
+
+    params: Optional[SystemParams] = None
+    threads: int = 1
+    warmup_uops: Optional[int] = None
+    cache: Optional["TraceCache"] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError("threads must be positive")
+        if self.warmup_uops is not None and self.warmup_uops < 0:
+            raise ValueError("warmup_uops cannot be negative")
+
+    def resolved_params(self) -> SystemParams:
+        """The effective :class:`SystemParams` (defaults filled in)."""
+        if self.params is not None:
+            return self.params
+        return SystemParams(num_cores=self.threads)
+
+    def resolved_warmup(self, length: int) -> int:
+        """The effective warm-up prefix for a trace of ``length`` uops."""
+        if self.warmup_uops is not None:
+            return self.warmup_uops
+        return (length * 2) // 5
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        return dataclasses.replace(self, **changes)
+
+
+def coerce_config(
+    config: Optional[RunConfig],
+    *,
+    params: Any = UNSET,
+    threads: Any = UNSET,
+    cache: Any = UNSET,
+    warmup_uops: Any = UNSET,
+) -> RunConfig:
+    """Merge the deprecated per-knob kwargs into a :class:`RunConfig`.
+
+    Passing any legacy kwarg emits a :class:`DeprecationWarning`; passing
+    both a legacy kwarg and ``config`` is an error (ambiguous intent).
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("params", params),
+            ("threads", threads),
+            ("cache", cache),
+            ("warmup_uops", warmup_uops),
+        )
+        if value is not UNSET
+    }
+    if legacy:
+        if config is not None:
+            raise TypeError(
+                "pass either config=RunConfig(...) or the legacy kwargs "
+                f"({', '.join(sorted(legacy))}), not both"
+            )
+        warnings.warn(
+            "the params/threads/cache/warmup_uops kwargs are deprecated; "
+            "pass config=RunConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return RunConfig(**legacy)
+    return config if config is not None else RunConfig()

@@ -1,0 +1,446 @@
+"""Parallel experiment execution engine.
+
+Fans independent ``(profile, scheme, seed, params)`` runs out across a
+``ProcessPoolExecutor``: workers receive a compact, picklable
+:class:`RunSpec` (traces are *not* shipped — they are rebuilt
+deterministically from the profile's seed inside the worker, where the
+per-process trace cache amortizes them across schemes), and send back a
+plain :class:`~repro.sim.runner.RunResult`.
+
+Layered under the engine is the persistent result store
+(:mod:`repro.sim.store`): before a spec is executed its content hash is
+looked up, and completed runs are written back, so repeated invocations
+of the same grid are served from disk and interrupted sweeps resume
+where they stopped.
+
+The worker count comes from the ``jobs`` argument, falling back to the
+``REPRO_JOBS`` environment variable, falling back to 1 (``jobs <= 0``
+means "all cores").  ``jobs=1`` executes inline in the calling process —
+no pool, identical results, and the engine clears its trace cache
+between grid cells so long sweeps stay within memory budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.common.params import SystemParams
+from repro.common.types import SchemeKind
+from repro.sim.config import RunConfig
+from repro.sim.runner import RunResult, TraceCache, run_benchmark
+from repro.sim.store import ResultStore, result_from_dict, result_to_dict, run_key
+from repro.workloads.profile import BenchmarkProfile
+
+__all__ = [
+    "JOBS_ENV",
+    "RunRecord",
+    "RunSpec",
+    "SuiteResult",
+    "execute_specs",
+    "resolve_jobs",
+    "run_grid",
+]
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        value = os.environ.get(JOBS_ENV)
+        if value:
+            try:
+                jobs = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {value!r}"
+                ) from None
+        else:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Everything a worker needs to (re)produce one run.
+
+    All defaults are resolved at construction (:meth:`build`), so a
+    spec's fields — not the calling context — fully determine the
+    result.  That is what makes the result-store content hash sound.
+    """
+
+    profile: BenchmarkProfile
+    scheme: SchemeKind
+    length: int
+    threads: int
+    params: SystemParams
+    warmup_uops: int
+
+    @classmethod
+    def build(
+        cls,
+        profile: BenchmarkProfile,
+        scheme: SchemeKind,
+        length: int,
+        config: RunConfig,
+    ) -> "RunSpec":
+        """A spec with ``config``'s defaults resolved to concrete values."""
+        return cls(
+            profile=profile,
+            scheme=scheme,
+            length=length,
+            threads=config.threads,
+            params=config.resolved_params(),
+            warmup_uops=config.resolved_warmup(length),
+        )
+
+    @property
+    def trace_key(self) -> Tuple[str, int, int, int]:
+        """Grid-cell identity: specs sharing it run on identical traces."""
+        return (self.profile.label, self.profile.seed, self.threads, self.length)
+
+    def key(self) -> str:
+        """Result-store content hash of this spec."""
+        return run_key(
+            self.profile,
+            self.scheme,
+            self.length,
+            self.threads,
+            self.params,
+            self.warmup_uops,
+        )
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """Per-run observability: where a result came from and what it cost."""
+
+    bench: str
+    scheme: SchemeKind
+    seed: int
+    wall_time_s: float
+    uops_per_sec: float
+    from_store: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (scheme as its string value)."""
+        data = dataclasses.asdict(self)
+        data["scheme"] = self.scheme.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`as_dict` output."""
+        data = dict(data)
+        data["scheme"] = SchemeKind(data["scheme"])
+        return cls(**data)
+
+
+def _execute_spec(spec: RunSpec, cache: Optional[TraceCache] = None) -> RunResult:
+    """Run one spec (in a worker this uses the per-process trace cache)."""
+    return run_benchmark(
+        spec.profile,
+        spec.scheme,
+        spec.length,
+        config=RunConfig(
+            params=spec.params,
+            threads=spec.threads,
+            warmup_uops=spec.warmup_uops,
+            cache=cache,
+        ),
+    )
+
+
+def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
+    """Worker entry point: run a spec and measure its wall time."""
+    start = time.perf_counter()
+    result = _execute_spec(spec)
+    return result, time.perf_counter() - start
+
+
+def _record(spec: RunSpec, result: RunResult, wall: float, from_store: bool) -> RunRecord:
+    rate = result.stats.committed_uops / wall if wall > 0 else 0.0
+    return RunRecord(
+        bench=spec.profile.name,
+        scheme=spec.scheme,
+        seed=spec.profile.seed,
+        wall_time_s=wall,
+        uops_per_sec=rate,
+        from_store=from_store,
+    )
+
+
+def _progress_line(done: int, total: int, record: RunRecord) -> str:
+    label = f"[{done}/{total}] {record.bench} {record.scheme.value}"
+    if record.from_store:
+        return f"{label}  (store)"
+    return (
+        f"{label}  {record.wall_time_s:.2f}s"
+        f"  {record.uops_per_sec / 1000:.0f}k uops/s"
+    )
+
+
+def execute_specs(
+    specs: Sequence[RunSpec],
+    *,
+    config: Optional[RunConfig] = None,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: bool = False,
+) -> Tuple[List[RunResult], List[RunRecord]]:
+    """Execute ``specs``, returning results and records in spec order.
+
+    Specs already present in ``store`` are served from disk; the rest run
+    inline (``jobs=1``) or across a process pool, and are written back to
+    the store as they complete — so an interrupted sweep resumes where it
+    stopped.
+    """
+    jobs = resolve_jobs(jobs)
+    total = len(specs)
+    results: List[Optional[RunResult]] = [None] * total
+    records: List[Optional[RunRecord]] = [None] * total
+    done = 0
+
+    def emit(record: RunRecord) -> None:
+        if progress:
+            print(_progress_line(done, total, record), file=sys.stderr)
+
+    pending: List[int] = []
+    keys: List[Optional[str]] = [None] * total
+    for index, spec in enumerate(specs):
+        if store is not None:
+            keys[index] = spec.key()
+            cached = store.get(keys[index])
+            if cached is not None:
+                results[index] = cached
+                records[index] = _record(spec, cached, 0.0, from_store=True)
+                done += 1
+                emit(records[index])
+                continue
+        pending.append(index)
+
+    def finish(index: int, result: RunResult, wall: float) -> None:
+        nonlocal done
+        if store is not None and keys[index] is not None:
+            store.put(keys[index], result)
+        results[index] = result
+        records[index] = _record(specs[index], result, wall, from_store=False)
+        done += 1
+        emit(records[index])
+
+    if pending and jobs == 1:
+        cache = config.cache if config is not None else None
+        own_cache = cache is None
+        if own_cache:
+            cache = TraceCache()
+        current_cell: Optional[Tuple[str, int, int, int]] = None
+        for index in pending:
+            spec = specs[index]
+            if own_cache and current_cell not in (None, spec.trace_key):
+                cache.clear()
+            current_cell = spec.trace_key
+            start = time.perf_counter()
+            result = _execute_spec(spec, cache=cache)
+            finish(index, result, time.perf_counter() - start)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_timed_execute, specs[index]): index
+                for index in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                completed, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    result, wall = future.result()
+                    finish(futures[future], result, wall)
+
+    return list(results), list(records)  # type: ignore[arg-type]
+
+
+class SuiteResult(Mapping):
+    """Results of a benchmarks x schemes grid, plus run observability.
+
+    Behaves as a read-only mapping from ``(benchmark, scheme)`` to
+    :class:`~repro.sim.runner.RunResult` (so the reporting helpers and
+    any pre-existing consumers keep working), and additionally exposes
+    :meth:`get` by (bench, scheme), :meth:`normalized_ipc`, JSON
+    round-tripping, and the engine's per-run records and store counters.
+    """
+
+    def __init__(
+        self,
+        results: Dict[Tuple[str, SchemeKind], RunResult],
+        records: Optional[List[RunRecord]] = None,
+        wall_time_s: float = 0.0,
+    ) -> None:
+        self._results = dict(results)
+        self.records = list(records or [])
+        self.wall_time_s = wall_time_s
+
+    # --- mapping protocol ------------------------------------------------
+    def __getitem__(self, key: Tuple[str, SchemeKind]) -> RunResult:
+        return self._results[key]
+
+    def __iter__(self) -> Iterator[Tuple[str, SchemeKind]]:
+        return iter(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # --- grid access -----------------------------------------------------
+    def get(self, bench, scheme=None, default=None):
+        """``get(bench, scheme)`` for one cell; 1-arg form is dict-style."""
+        key = bench if scheme is None else (bench, scheme)
+        return self._results.get(key, default)
+
+    @property
+    def benches(self) -> List[str]:
+        """Benchmark names in first-seen (grid) order."""
+        seen: Dict[str, None] = {}
+        for name, _ in self._results:
+            seen.setdefault(name)
+        return list(seen)
+
+    @property
+    def schemes(self) -> List[SchemeKind]:
+        """Schemes in first-seen (grid) order."""
+        seen: Dict[SchemeKind, None] = {}
+        for _, scheme in self._results:
+            seen.setdefault(scheme)
+        return list(seen)
+
+    def normalized_ipc(
+        self, base: SchemeKind = SchemeKind.UNSAFE
+    ) -> Dict[Tuple[str, SchemeKind], float]:
+        """Every cell's IPC relative to its benchmark's ``base`` run."""
+        normalized: Dict[Tuple[str, SchemeKind], float] = {}
+        for (name, scheme), result in self._results.items():
+            base_result = self._results.get((name, base))
+            if base_result is None or base_result.ipc == 0:
+                normalized[(name, scheme)] = 0.0
+            else:
+                normalized[(name, scheme)] = result.ipc / base_result.ipc
+        return normalized
+
+    # --- observability ---------------------------------------------------
+    @property
+    def store_hits(self) -> int:
+        return sum(1 for r in self.records if r.from_store)
+
+    @property
+    def store_misses(self) -> int:
+        return sum(1 for r in self.records if not r.from_store)
+
+    def summary(self) -> str:
+        """One-line run summary (runs, store hits, wall time)."""
+        total = len(self.records) or len(self._results)
+        simulated = self.store_misses if self.records else total
+        parts = [f"{total} runs", f"store hits {self.store_hits}/{total}"]
+        if simulated:
+            uops = sum(
+                r.uops_per_sec * r.wall_time_s
+                for r in self.records
+                if not r.from_store
+            )
+            sim_wall = sum(
+                r.wall_time_s for r in self.records if not r.from_store
+            )
+            if sim_wall > 0:
+                parts.append(f"{uops / sim_wall / 1000:.0f}k uops/s")
+        parts.append(f"wall {self.wall_time_s:.2f}s")
+        return "  ".join(parts)
+
+    # --- serialization ---------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize results + records to a JSON string."""
+        payload = {
+            "version": 1,
+            "wall_time_s": self.wall_time_s,
+            "records": [record.as_dict() for record in self.records],
+            "results": [
+                {
+                    "bench": name,
+                    "scheme": scheme.value,
+                    "run": result_to_dict(result),
+                }
+                for (name, scheme), result in self._results.items()
+            ],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SuiteResult":
+        payload = json.loads(text)
+        results = {
+            (cell["bench"], SchemeKind(cell["scheme"])): result_from_dict(
+                cell["run"]
+            )
+            for cell in payload["results"]
+        }
+        records = [RunRecord.from_dict(r) for r in payload.get("records", [])]
+        return cls(
+            results, records, wall_time_s=payload.get("wall_time_s", 0.0)
+        )
+
+    def save(self, path: Path) -> Path:
+        """Write the JSON form under ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "SuiteResult":
+        return cls.from_json(Path(path).read_text())
+
+
+def run_grid(
+    profiles: Iterable[BenchmarkProfile],
+    schemes: Sequence[SchemeKind],
+    length: int,
+    *,
+    config: Optional[RunConfig] = None,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: bool = False,
+) -> SuiteResult:
+    """Run a benchmarks x schemes grid through the engine."""
+    config = config or RunConfig()
+    specs = [
+        RunSpec.build(profile, scheme, length, config)
+        for profile in profiles
+        for scheme in schemes
+    ]
+    start = time.perf_counter()
+    results, records = execute_specs(
+        specs, config=config, jobs=jobs, store=store, progress=progress
+    )
+    wall = time.perf_counter() - start
+    mapping = {
+        (spec.profile.name, spec.scheme): result
+        for spec, result in zip(specs, results)
+    }
+    return SuiteResult(mapping, records, wall_time_s=wall)

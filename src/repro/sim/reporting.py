@@ -4,6 +4,11 @@ The figure benches print the same *rows/series* the paper's figures plot;
 these helpers compute the normalized quantities (IPC relative to the
 unsafe baseline, overheads, overhead reductions) and render aligned text
 tables.
+
+The grid-shaped functions take any mapping from ``(benchmark, scheme)``
+to :class:`~repro.sim.runner.RunResult` — in particular the
+:class:`~repro.sim.engine.SuiteResult` returned by ``run_suite`` /
+``run_grid``.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ __all__ = [
     "overhead",
     "overhead_reduction",
     "format_table",
+    "records_rows",
     "suite_normalized_rows",
 ]
 
@@ -83,6 +89,28 @@ def suite_normalized_rows(
     for scheme in schemes:
         mean_row.append(f"{geomean(columns[scheme]):.3f}")
     rows.append(mean_row)
+    return rows
+
+
+def records_rows(records: Sequence) -> List[List[str]]:
+    """Per-run observability rows (bench, scheme, source, time, rate).
+
+    ``records`` is a sequence of :class:`~repro.sim.engine.RunRecord`
+    (``SuiteResult.records``); pair with :func:`format_table`.
+    """
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                record.bench,
+                record.scheme.value,
+                "store" if record.from_store else "simulated",
+                f"{record.wall_time_s:.2f}s",
+                "-"
+                if record.from_store
+                else f"{record.uops_per_sec / 1000:.0f}k uops/s",
+            ]
+        )
     return rows
 
 

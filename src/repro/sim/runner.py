@@ -5,21 +5,40 @@ generation is deterministic and independent of the scheme, so traces are
 built once per (profile, length) and reused across every scheme — both
 for speed and so that scheme comparisons are literally run on identical
 micro-op streams.
+
+``run_benchmark`` is the single-run primitive; ``run_benchmark_seeds``
+and ``run_suite`` fan their grids out through the parallel experiment
+engine (:mod:`repro.sim.engine`), which adds multiprocessing (``jobs``)
+and persistent result-store memoization on top.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.common.params import SystemParams
 from repro.common.stats import StatSet
 from repro.common.types import SchemeKind
 from repro.isa.microop import MicroOp
+from repro.sim.config import UNSET, RunConfig, coerce_config
 from repro.sim.system import System, SystemResult
 from repro.workloads.kernels import build_parallel_traces, build_trace
 from repro.workloads.profile import BenchmarkProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (engine imports runner)
+    from repro.sim.engine import SuiteResult
+    from repro.sim.store import ResultStore
 
 __all__ = [
     "RunResult",
@@ -60,26 +79,89 @@ class RunResult:
         return self.stats.committed_uops / self.cycles
 
 
-class TraceCache:
-    """Builds and memoizes workload traces per (profile, seed, threads, length)."""
+#: Rough per-uop retained size used for the cache's byte budget.  A
+#: MicroOp is a small dataclass plus list slots; ~200 bytes is within 2x
+#: of measured CPython footprints and errs toward evicting early.
+_UOP_EST_BYTES = 200
 
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple[str, int, int, int], List[List[MicroOp]]] = {}
+
+class TraceCache:
+    """Builds and memoizes workload traces per (profile, seed, threads, length).
+
+    The cache is bounded: at most ``max_entries`` traces and roughly
+    ``max_bytes`` of retained micro-ops, with least-recently-used
+    eviction.  The experiment engine calls :meth:`clear` between grid
+    cells so a long sweep never accumulates every profile's traces.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self._cache: "OrderedDict[Tuple[str, int, int, int], List[List[MicroOp]]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+
+    @staticmethod
+    def _entry_bytes(traces: List[List[MicroOp]]) -> int:
+        return sum(len(trace) for trace in traces) * _UOP_EST_BYTES
 
     def get(
         self, profile: BenchmarkProfile, threads: int, length: int
     ) -> List[List[MicroOp]]:
         """Return (building if needed) the trace list for this request."""
         key = (profile.label, profile.seed, threads, length)
-        if key not in self._cache:
-            if threads == 1:
-                self._cache[key] = [build_trace(profile, length).trace()]
-            else:
-                self._cache[key] = [
-                    prog.trace()
-                    for prog in build_parallel_traces(profile, threads, length)
-                ]
-        return self._cache[key]
+        if key in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self.misses += 1
+        if threads == 1:
+            traces = [build_trace(profile, length).trace()]
+        else:
+            traces = [
+                prog.trace()
+                for prog in build_parallel_traces(profile, threads, length)
+            ]
+        self._cache[key] = traces
+        self._bytes += self._entry_bytes(traces)
+        self._evict()
+        return traces
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until within budget.
+
+        The newest entry always survives — the caller holds a reference
+        to it anyway, so evicting it would only cause rebuild thrash.
+        """
+        while len(self._cache) > 1 and (
+            len(self._cache) > self.max_entries or self._bytes > self.max_bytes
+        ):
+            _, traces = self._cache.popitem(last=False)
+            self._bytes -= self._entry_bytes(traces)
+
+    def clear(self) -> None:
+        """Drop every cached trace (hit/miss counters survive)."""
+        self._cache.clear()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def approx_bytes(self) -> int:
+        """Estimated bytes of retained trace data."""
+        return self._bytes
 
 
 _GLOBAL_CACHE = TraceCache()
@@ -89,25 +171,31 @@ def run_benchmark(
     profile: BenchmarkProfile,
     scheme: SchemeKind,
     length: int,
-    params: Optional[SystemParams] = None,
-    threads: int = 1,
-    cache: Optional[TraceCache] = None,
-    warmup_uops: Optional[int] = None,
+    *,
+    config: Optional[RunConfig] = None,
+    params: Any = UNSET,
+    threads: Any = UNSET,
+    cache: Any = UNSET,
+    warmup_uops: Any = UNSET,
 ) -> RunResult:
     """Run one benchmark under one scheme; returns the measurement.
 
-    ``warmup_uops`` excludes a detailed-warm-up prefix from the reported
-    stats (paper §6.1: detailed warm-up so that the mechanism itself is
-    warmed); the default warms up over the first 40% of the trace.
+    ``config`` carries the system parameters, thread count, trace cache,
+    and warm-up prefix (paper §6.1: detailed warm-up so that the
+    mechanism itself is warmed; the default warms up over the first 40%
+    of the trace).  The old ``params``/``threads``/``cache``/
+    ``warmup_uops`` kwargs still work behind a ``DeprecationWarning``.
     """
-    cache = cache or _GLOBAL_CACHE
-    traces = cache.get(profile, threads, length)
-    if params is None:
-        params = SystemParams(num_cores=threads)
-    if warmup_uops is None:
-        warmup_uops = (length * 2) // 5
+    config = coerce_config(
+        config, params=params, threads=threads, cache=cache, warmup_uops=warmup_uops
+    )
+    trace_cache = config.cache if config.cache is not None else _GLOBAL_CACHE
+    traces = trace_cache.get(profile, config.threads, length)
     result: SystemResult = System(
-        params, traces, scheme, warmup_uops=warmup_uops
+        config.resolved_params(),
+        traces,
+        scheme,
+        warmup_uops=config.resolved_warmup(length),
     ).run()
     return RunResult(
         profile=profile,
@@ -148,57 +236,73 @@ def run_benchmark_seeds(
     scheme: SchemeKind,
     length: int,
     seeds: Sequence[int],
-    params: Optional[SystemParams] = None,
-    threads: int = 1,
-    cache: Optional[TraceCache] = None,
-    warmup_uops: Optional[int] = None,
+    *,
+    config: Optional[RunConfig] = None,
+    jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+    params: Any = UNSET,
+    threads: Any = UNSET,
+    cache: Any = UNSET,
+    warmup_uops: Any = UNSET,
 ) -> SeededResult:
     """Run one benchmark over several workload seeds.
 
     Synthetic-workload noise is seed noise; reporting mean and standard
     deviation over seeds is the honest way to quote a number from this
-    reproduction.
+    reproduction.  Seeds are independent runs, so they fan out across
+    ``jobs`` worker processes and memoize in ``store`` like any grid.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    cache = cache or _GLOBAL_CACHE
-    runs = []
-    for seed in seeds:
-        seeded = dataclasses.replace(profile, seed=seed)
-        runs.append(
-            run_benchmark(
-                seeded,
-                scheme,
-                length,
-                params=params,
-                threads=threads,
-                cache=cache,
-                warmup_uops=warmup_uops,
-            )
+    from repro.sim.engine import RunSpec, execute_specs
+
+    config = coerce_config(
+        config, params=params, threads=threads, cache=cache, warmup_uops=warmup_uops
+    )
+    specs = [
+        RunSpec.build(
+            dataclasses.replace(profile, seed=seed), scheme, length, config
         )
-    return SeededResult(profile=profile, scheme=scheme, runs=runs)
+        for seed in seeds
+    ]
+    results, _ = execute_specs(specs, config=config, jobs=jobs, store=store)
+    return SeededResult(profile=profile, scheme=scheme, runs=results)
 
 
 def run_suite(
     profiles: Iterable[BenchmarkProfile],
     schemes: Sequence[SchemeKind],
     length: int,
-    params: Optional[SystemParams] = None,
-    threads: int = 1,
-    cache: Optional[TraceCache] = None,
-    warmup_uops: Optional[int] = None,
-) -> Dict[Tuple[str, SchemeKind], RunResult]:
-    """Run a full benchmarks x schemes grid on identical traces."""
-    results: Dict[Tuple[str, SchemeKind], RunResult] = {}
-    for profile in profiles:
-        for scheme in schemes:
-            results[(profile.name, scheme)] = run_benchmark(
-                profile,
-                scheme,
-                length,
-                params=params,
-                threads=threads,
-                cache=cache,
-                warmup_uops=warmup_uops,
-            )
-    return results
+    *,
+    config: Optional[RunConfig] = None,
+    jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+    progress: bool = False,
+    params: Any = UNSET,
+    threads: Any = UNSET,
+    cache: Any = UNSET,
+    warmup_uops: Any = UNSET,
+) -> "SuiteResult":
+    """Run a full benchmarks x schemes grid on identical traces.
+
+    Returns a :class:`~repro.sim.engine.SuiteResult` — a mapping from
+    ``(benchmark, scheme)`` to :class:`RunResult` that also carries
+    per-run observability records and store hit/miss counts.  ``jobs``
+    (or the ``REPRO_JOBS`` environment variable) fans independent cells
+    out across worker processes; ``store`` memoizes completed runs on
+    disk so repeated invocations are near-instant.
+    """
+    from repro.sim.engine import run_grid
+
+    config = coerce_config(
+        config, params=params, threads=threads, cache=cache, warmup_uops=warmup_uops
+    )
+    return run_grid(
+        profiles,
+        schemes,
+        length,
+        config=config,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+    )

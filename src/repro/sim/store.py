@@ -1,0 +1,182 @@
+"""Persistent on-disk result store.
+
+Completed runs are memoized under a content hash of everything that
+determines their outcome — ``(profile, scheme, length, threads, seed,
+SystemParams, code-schema version)`` — so repeated bench invocations are
+near-instant and interrupted sweeps resume where they stopped.
+
+Layout: one JSON file per run at ``<root>/<hash[:2]>/<hash>.json``,
+written atomically (tmp file + rename) so a crash mid-write never leaves
+a truncated entry behind.  Unreadable entries are treated as misses.
+
+The store location defaults to ``results/.store`` (relative to the
+current directory); override it with the ``REPRO_STORE`` environment
+variable, or disable persistence entirely with ``REPRO_STORE=off``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.common.params import SystemParams
+from repro.common.stats import StatSet
+from repro.common.types import SchemeKind
+from repro.sim.runner import RunResult
+from repro.workloads.profile import BenchmarkProfile
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STORE_ENV",
+    "ResultStore",
+    "default_store_root",
+    "result_from_dict",
+    "result_to_dict",
+    "run_key",
+]
+
+#: Bump whenever the simulator's semantics change in a way that makes old
+#: stored results stale — every existing key is invalidated at once.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the store directory ("off" disables it).
+STORE_ENV = "REPRO_STORE"
+
+_DISABLED_VALUES = ("", "0", "off", "none", "disabled")
+
+
+def default_store_root() -> Optional[Path]:
+    """The store directory, or ``None`` if persistence is disabled."""
+    value = os.environ.get(STORE_ENV)
+    if value is None:
+        return Path("results") / ".store"
+    if value.strip().lower() in _DISABLED_VALUES:
+        return None
+    return Path(value)
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-safe form of params/profile field values."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def run_key(
+    profile: BenchmarkProfile,
+    scheme: SchemeKind,
+    length: int,
+    threads: int,
+    params: SystemParams,
+    warmup_uops: int,
+) -> str:
+    """Content hash identifying one run's full configuration."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "profile": _jsonable(profile),
+        "scheme": scheme.value,
+        "length": length,
+        "threads": threads,
+        "seed": profile.seed,
+        "params": _jsonable(params),
+        "warmup_uops": warmup_uops,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """JSON-safe dict encoding of a :class:`RunResult`."""
+    return {
+        "profile": _jsonable(result.profile),
+        "scheme": result.scheme.value,
+        "cycles": result.cycles,
+        "stats": result.stats.as_dict(),
+        "per_core": [core.as_dict() for core in result.per_core],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    profile_data = dict(data["profile"])
+    profile_data["kernel_weights"] = dict(profile_data["kernel_weights"])
+    return RunResult(
+        profile=BenchmarkProfile(**profile_data),
+        scheme=SchemeKind(data["scheme"]),
+        cycles=int(data["cycles"]),
+        stats=StatSet(**data["stats"]),
+        per_core=[StatSet(**core) for core in data["per_core"]],
+    )
+
+
+class ResultStore:
+    """File-backed memo of completed runs, keyed by :func:`run_key`."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The stored result for ``key``, or ``None`` (counts hit/miss)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            result = result_from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Persist ``result`` under ``key`` (atomic write)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(result_to_dict(result))
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> None:
+        """Delete every stored entry (the directory itself survives)."""
+        if not self.root.is_dir():
+            return
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass

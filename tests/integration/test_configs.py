@@ -10,6 +10,7 @@ from repro.common import (
     SpeculationModel,
     SystemParams,
 )
+from repro.sim import RunConfig
 from repro.sim.runner import TraceCache, run_benchmark
 from repro.workloads import get_benchmark
 
@@ -23,10 +24,9 @@ def run_with(params, scheme=SchemeKind.STT_RECON, threads=1, name="omnetpp"):
         get_benchmark(suite, bench),
         scheme,
         LENGTH,
-        params=params,
-        threads=threads,
-        cache=TraceCache(),
-        warmup_uops=0,
+        config=RunConfig(
+            params=params, threads=threads, cache=TraceCache(), warmup_uops=0
+        ),
     )
 
 

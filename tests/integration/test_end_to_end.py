@@ -6,7 +6,7 @@ scale so the main suite stays fast.
 
 import pytest
 
-from repro import SchemeKind, get_benchmark, run_benchmark
+from repro import RunConfig, SchemeKind, get_benchmark, run_benchmark
 from repro.sim.runner import TraceCache
 
 LENGTH = 4_000
@@ -25,7 +25,7 @@ def pointer_results():
     profile = get_benchmark("spec2017", "xalancbmk")
     cache = TraceCache()
     return {
-        scheme: run_benchmark(profile, scheme, LENGTH, cache=cache)
+        scheme: run_benchmark(profile, scheme, LENGTH, config=RunConfig(cache=cache))
         for scheme in ALL_SCHEMES
     }
 
@@ -68,8 +68,9 @@ class TestStreamingBenchmark:
     def test_no_overhead_without_pointer_leakage(self):
         profile = get_benchmark("spec2017", "lbm")
         cache = TraceCache()
-        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, LENGTH, cache=cache)
-        stt = run_benchmark(profile, SchemeKind.STT, LENGTH, cache=cache)
+        config = RunConfig(cache=cache)
+        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, LENGTH, config=config)
+        stt = run_benchmark(profile, SchemeKind.STT, LENGTH, config=config)
         assert stt.cycles <= unsafe.cycles * 1.03
 
 
@@ -79,7 +80,7 @@ class TestMulticoreCoherentReveals:
         cache = TraceCache()
         results = {
             scheme: run_benchmark(
-                profile, scheme, 1500, threads=4, cache=cache
+                profile, scheme, 1500, config=RunConfig(threads=4, cache=cache)
             )
             for scheme in (SchemeKind.UNSAFE, SchemeKind.STT, SchemeKind.STT_RECON)
         }
@@ -112,13 +113,14 @@ class TestLptSizeSafety:
 
         profile = get_benchmark("spec2017", "mcf")
         cache = TraceCache()
-        full = run_benchmark(profile, SchemeKind.STT_RECON, LENGTH, cache=cache)
+        full = run_benchmark(
+            profile, SchemeKind.STT_RECON, LENGTH, config=RunConfig(cache=cache)
+        )
         tiny = run_benchmark(
             profile,
             SchemeKind.STT_RECON,
             LENGTH,
-            params=SystemParams(lpt_entries=4),
-            cache=cache,
+            config=RunConfig(params=SystemParams(lpt_entries=4), cache=cache),
         )
         # Fewer (never more) pairs detected with a conflict-prone table.
         assert tiny.stats.load_pairs_detected <= full.stats.load_pairs_detected
@@ -133,12 +135,15 @@ class TestReconLevelsEndToEnd:
 
         profile = get_benchmark("spec2017", "omnetpp")
         cache = TraceCache()
-        full = run_benchmark(profile, SchemeKind.STT_RECON, LENGTH, cache=cache)
+        full = run_benchmark(
+            profile, SchemeKind.STT_RECON, LENGTH, config=RunConfig(cache=cache)
+        )
         l1only = run_benchmark(
             profile,
             SchemeKind.STT_RECON,
             LENGTH,
-            params=SystemParams(recon_levels=(CacheLevel.L1,)),
-            cache=cache,
+            config=RunConfig(
+                params=SystemParams(recon_levels=(CacheLevel.L1,)), cache=cache
+            ),
         )
         assert l1only.stats.reveal_hits <= full.stats.reveal_hits

@@ -109,6 +109,7 @@ class TestMeshHierarchy:
 class TestSeededRuns:
     def test_run_benchmark_seeds(self):
         from repro.common import SchemeKind
+        from repro.sim import RunConfig
         from repro.sim.runner import TraceCache, run_benchmark_seeds
         from repro.workloads import get_benchmark
 
@@ -118,7 +119,7 @@ class TestSeededRuns:
             SchemeKind.UNSAFE,
             1200,
             seeds=(1, 2, 3),
-            cache=TraceCache(),
+            config=RunConfig(cache=TraceCache()),
         )
         assert len(result.runs) == 3
         assert result.mean_ipc > 0

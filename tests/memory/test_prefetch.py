@@ -69,21 +69,24 @@ class TestNextLinePrefetch:
 
     def test_prefetch_improves_streaming_performance(self):
         from repro.common import SchemeKind
+        from repro.sim import RunConfig
         from repro.sim.runner import TraceCache, run_benchmark
         from repro.workloads import get_benchmark
 
         profile = get_benchmark("spec2017", "lbm")
         off = run_benchmark(
             profile, SchemeKind.UNSAFE, 4000,
-            params=SystemParams(), cache=TraceCache(),
+            config=RunConfig(params=SystemParams(), cache=TraceCache()),
         )
         on = run_benchmark(
             profile, SchemeKind.UNSAFE, 4000,
-            params=SystemParams(
-                memory=dataclasses.replace(
-                    SystemParams().memory, prefetch_next_line=True
-                )
+            config=RunConfig(
+                params=SystemParams(
+                    memory=dataclasses.replace(
+                        SystemParams().memory, prefetch_next_line=True
+                    )
+                ),
+                cache=TraceCache(),
             ),
-            cache=TraceCache(),
         )
         assert on.cycles < off.cycles

@@ -102,14 +102,15 @@ class TestDomPipeline:
         assert core.stats.committed_uops == len(prog)
 
     def test_dom_slower_than_unsafe_on_pointer_code(self):
+        from repro.sim import RunConfig
         from repro.sim.runner import TraceCache, run_benchmark
         from repro.workloads import get_benchmark
 
         profile = get_benchmark("spec2017", "xalancbmk")
-        cache = TraceCache()
-        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, 4000, cache=cache)
-        dom = run_benchmark(profile, SchemeKind.DOM, 4000, cache=cache)
-        recon = run_benchmark(profile, SchemeKind.DOM_RECON, 4000, cache=cache)
+        config = RunConfig(cache=TraceCache())
+        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, 4000, config=config)
+        dom = run_benchmark(profile, SchemeKind.DOM, 4000, config=config)
+        recon = run_benchmark(profile, SchemeKind.DOM_RECON, 4000, config=config)
         assert dom.cycles > unsafe.cycles
         # At this short, cold length ReCon has nothing to lift yet;
         # it must simply never be meaningfully slower.

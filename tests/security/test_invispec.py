@@ -119,15 +119,16 @@ class TestInvisiblePipeline:
         assert not any(o.seq == target.seq for o in core.observations)
 
     def test_whole_benchmark_runs(self):
+        from repro.sim import RunConfig
         from repro.sim.runner import TraceCache, run_benchmark
         from repro.workloads import get_benchmark
 
         profile = get_benchmark("spec2017", "xalancbmk")
-        cache = TraceCache()
-        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, 4000, cache=cache)
-        invis = run_benchmark(profile, SchemeKind.INVISPEC, 4000, cache=cache)
+        config = RunConfig(cache=TraceCache())
+        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, 4000, config=config)
+        invis = run_benchmark(profile, SchemeKind.INVISPEC, 4000, config=config)
         recon = run_benchmark(
-            profile, SchemeKind.INVISPEC_RECON, 4000, cache=cache
+            profile, SchemeKind.INVISPEC_RECON, 4000, config=config
         )
         assert invis.cycles > unsafe.cycles
         assert recon.cycles <= invis.cycles + 30
@@ -148,6 +149,7 @@ class TestInvisibleMulticore:
         assert line is not None and line.state is MESIState.MODIFIED
 
     def test_parallel_invispec_benchmark(self):
+        from repro.sim import RunConfig
         from repro.sim.runner import TraceCache, run_benchmark
         from repro.workloads import get_benchmark
 
@@ -155,8 +157,6 @@ class TestInvisibleMulticore:
             get_benchmark("parsec", "canneal"),
             SchemeKind.INVISPEC_RECON,
             1200,
-            threads=4,
-            cache=TraceCache(),
-            warmup_uops=0,
+            config=RunConfig(threads=4, cache=TraceCache(), warmup_uops=0),
         )
         assert result.stats.committed_uops >= 4 * 1200

@@ -138,6 +138,7 @@ class TestSptSchemeKind:
 
     def test_spt_runs_through_system(self):
         from repro.common import SchemeKind
+        from repro.sim import RunConfig
         from repro.sim.runner import TraceCache, run_benchmark
         from repro.workloads import get_benchmark
 
@@ -145,7 +146,6 @@ class TestSptSchemeKind:
             get_benchmark("spec2017", "omnetpp"),
             SchemeKind.STT_SPT,
             1500,
-            cache=TraceCache(),
-            warmup_uops=0,
+            config=RunConfig(cache=TraceCache(), warmup_uops=0),
         )
         assert result.stats.committed_uops >= 1500

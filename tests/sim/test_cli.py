@@ -5,6 +5,12 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_store(tmp_path, monkeypatch):
+    """Keep CLI runs from touching the repo's real result store."""
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "cli-store"))
+
+
 class TestList:
     def test_lists_benchmarks(self, capsys):
         assert main(["list"]) == 0
@@ -41,6 +47,47 @@ class TestRun:
             ["run", "spec2017/gcc", "--length", "600", "--seed", "7",
              "--schemes", "unsafe"]
         ) == 0
+
+
+class TestSuite:
+    def test_suite_table_jobs_and_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        args = [
+            "suite", "spec2017", "--length", "600", "--schemes",
+            "unsafe,stt", "--jobs", "2",
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "benchmark" in captured.out
+        assert "mcf" in captured.out
+        assert "store hits 0/" in captured.err
+        assert (tmp_path / "results" / "suite_spec2017.json").exists()
+        # Second invocation is served from the persistent store.
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        runs = len(captured.out.strip().splitlines()) - 2  # header + rule
+        assert f"store hits {runs * 2}/{runs * 2}" in captured.err
+
+    def test_suite_no_store_skips_memoization(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        args = [
+            "suite", "spec2017", "--length", "600", "--schemes", "unsafe",
+            "--no-store",
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert "store hits 0/" in capsys.readouterr().err
+
+    def test_unknown_suite_exits(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "spec2095", "--length", "500"])
+
+    def test_invalid_jobs_env_exits_cleanly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        with pytest.raises(SystemExit):
+            main(["suite", "spec2017", "--length", "500", "--schemes", "unsafe"])
 
 
 class TestLeakage:

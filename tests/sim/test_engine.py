@@ -1,0 +1,148 @@
+"""Tests for the parallel experiment engine."""
+
+import pytest
+
+from repro.common import SchemeKind, SystemParams
+from repro.sim import RunConfig, run_suite
+from repro.sim.engine import (
+    RunSpec,
+    SuiteResult,
+    execute_specs,
+    resolve_jobs,
+    run_grid,
+)
+from repro.sim.store import ResultStore
+from repro.workloads import get_benchmark
+
+
+def _profiles():
+    return [
+        get_benchmark("spec2017", "gcc"),
+        get_benchmark("spec2017", "lbm"),
+    ]
+
+
+SCHEMES = (SchemeKind.UNSAFE, SchemeKind.STT)
+
+
+class TestResolveJobs:
+    def test_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+
+class TestDeterminism:
+    def test_jobs1_and_jobs4_identical(self):
+        """The acceptance bar: worker fan-out must not change results."""
+        serial = run_grid(_profiles(), SCHEMES, 900, jobs=1)
+        parallel = run_grid(_profiles(), SCHEMES, 900, jobs=4)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert serial[key].cycles == parallel[key].cycles, key
+            assert (
+                serial[key].stats.as_dict() == parallel[key].stats.as_dict()
+            ), key
+            for a, b in zip(serial[key].per_core, parallel[key].per_core):
+                assert a.as_dict() == b.as_dict()
+
+    def test_multithreaded_cells_identical(self):
+        profile = get_benchmark("parsec", "canneal")
+        config = RunConfig(threads=2)
+        serial = run_grid([profile], SCHEMES, 700, config=config, jobs=1)
+        parallel = run_grid([profile], SCHEMES, 700, config=config, jobs=2)
+        for key in serial:
+            assert serial[key].cycles == parallel[key].cycles
+
+
+class TestRunSpec:
+    def test_build_resolves_defaults(self):
+        spec = RunSpec.build(
+            _profiles()[0], SchemeKind.STT, 1000, RunConfig(threads=2)
+        )
+        assert spec.params == SystemParams(num_cores=2)
+        assert spec.warmup_uops == 400
+        assert spec.threads == 2
+
+    def test_trace_key_shared_across_schemes(self):
+        config = RunConfig()
+        profile = _profiles()[0]
+        a = RunSpec.build(profile, SchemeKind.UNSAFE, 1000, config)
+        b = RunSpec.build(profile, SchemeKind.STT, 1000, config)
+        assert a.trace_key == b.trace_key
+        assert a.key() != b.key()
+
+
+class TestExecuteSpecs:
+    def test_results_in_spec_order(self):
+        config = RunConfig()
+        specs = [
+            RunSpec.build(profile, scheme, 700, config)
+            for profile in _profiles()
+            for scheme in SCHEMES
+        ]
+        results, records = execute_specs(specs, config=config, jobs=1)
+        assert [r.profile.name for r in results] == ["gcc", "gcc", "lbm", "lbm"]
+        assert [r.scheme for r in results] == [
+            SchemeKind.UNSAFE,
+            SchemeKind.STT,
+            SchemeKind.UNSAFE,
+            SchemeKind.STT,
+        ]
+        assert len(records) == 4
+        assert all(record.wall_time_s > 0 for record in records)
+        assert all(record.uops_per_sec > 0 for record in records)
+
+    def test_store_short_circuits_execution(self, tmp_path):
+        config = RunConfig()
+        specs = [RunSpec.build(_profiles()[0], SchemeKind.UNSAFE, 700, config)]
+        store = ResultStore(tmp_path)
+        first, _ = execute_specs(specs, config=config, store=store)
+        again, records = execute_specs(specs, config=config, store=store)
+        assert records[0].from_store
+        assert first[0].cycles == again[0].cycles
+
+
+class TestRunSuiteIntegration:
+    def test_run_suite_parallel_matches_serial(self):
+        serial = run_suite(_profiles(), SCHEMES, 800, jobs=1)
+        parallel = run_suite(_profiles(), SCHEMES, 800, jobs=2)
+        assert isinstance(parallel, SuiteResult)
+        for key in serial:
+            assert serial[key].cycles == parallel[key].cycles
+
+    def test_run_suite_reads_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        suite = run_suite(_profiles()[:1], SCHEMES, 700)
+        assert len(suite) == 2
+        assert all(result.ipc > 0 for result in suite.values())
+
+
+class TestSeededFanOut:
+    def test_seeds_parallel_matches_serial(self):
+        from repro.sim import run_benchmark_seeds
+
+        profile = get_benchmark("spec2017", "gcc")
+        serial = run_benchmark_seeds(
+            profile, SchemeKind.UNSAFE, 900, seeds=(1, 2, 3), jobs=1
+        )
+        parallel = run_benchmark_seeds(
+            profile, SchemeKind.UNSAFE, 900, seeds=(1, 2, 3), jobs=3
+        )
+        assert serial.ipcs == parallel.ipcs
+        assert [r.profile.seed for r in serial.runs] == [1, 2, 3]

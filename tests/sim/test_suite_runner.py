@@ -1,8 +1,8 @@
-"""Tests for grid runs and normalized-row reporting."""
+"""Tests for grid runs, SuiteResult, and normalized-row reporting."""
 
 from repro.common import SchemeKind
-from repro.sim import run_suite, suite_normalized_rows
-from repro.sim.runner import TraceCache
+from repro.sim import RunConfig, TraceCache, run_suite, suite_normalized_rows
+from repro.sim.engine import SuiteResult
 from repro.workloads import get_benchmark
 
 
@@ -13,7 +13,10 @@ class TestRunSuite:
             get_benchmark("spec2017", "lbm"),
         ]
         schemes = (SchemeKind.UNSAFE, SchemeKind.STT)
-        results = run_suite(profiles, schemes, 1000, cache=TraceCache())
+        results = run_suite(
+            profiles, schemes, 1000, config=RunConfig(cache=TraceCache())
+        )
+        assert isinstance(results, SuiteResult)
         assert set(results) == {
             ("gcc", SchemeKind.UNSAFE),
             ("gcc", SchemeKind.STT),
@@ -26,7 +29,9 @@ class TestRunSuite:
     def test_normalized_rows_include_geomean(self):
         profiles = [get_benchmark("spec2017", "gcc")]
         schemes = (SchemeKind.UNSAFE, SchemeKind.STT, SchemeKind.STT_RECON)
-        results = run_suite(profiles, schemes, 1000, cache=TraceCache())
+        results = run_suite(
+            profiles, schemes, 1000, config=RunConfig(cache=TraceCache())
+        )
         rows = suite_normalized_rows(
             results, ["gcc"], (SchemeKind.STT, SchemeKind.STT_RECON)
         )
@@ -41,12 +46,71 @@ class TestRunSuite:
         profiles = [get_benchmark("spec2017", "gcc")]
         cache = TraceCache()
         warm = run_suite(
-            profiles, (SchemeKind.UNSAFE,), 2000, cache=cache, warmup_uops=1000
+            profiles,
+            (SchemeKind.UNSAFE,),
+            2000,
+            config=RunConfig(cache=cache, warmup_uops=1000),
         )
         cold = run_suite(
-            profiles, (SchemeKind.UNSAFE,), 2000, cache=cache, warmup_uops=0
+            profiles,
+            (SchemeKind.UNSAFE,),
+            2000,
+            config=RunConfig(cache=cache, warmup_uops=0),
         )
         assert (
             warm[("gcc", SchemeKind.UNSAFE)].stats.committed_uops
             < cold[("gcc", SchemeKind.UNSAFE)].stats.committed_uops
         )
+
+
+class TestSuiteResult:
+    def _suite(self):
+        profiles = [
+            get_benchmark("spec2017", "gcc"),
+            get_benchmark("spec2017", "lbm"),
+        ]
+        schemes = (SchemeKind.UNSAFE, SchemeKind.STT)
+        return run_suite(
+            profiles, schemes, 1000, config=RunConfig(cache=TraceCache())
+        )
+
+    def test_get_by_bench_and_scheme(self):
+        suite = self._suite()
+        cell = suite.get("gcc", SchemeKind.STT)
+        assert cell is suite[("gcc", SchemeKind.STT)]
+        assert suite.get("gcc", SchemeKind.NDA) is None
+        # Dict-style single-key get keeps working.
+        assert suite.get(("gcc", SchemeKind.STT)) is cell
+
+    def test_grid_order_properties(self):
+        suite = self._suite()
+        assert suite.benches == ["gcc", "lbm"]
+        assert suite.schemes == [SchemeKind.UNSAFE, SchemeKind.STT]
+
+    def test_normalized_ipc_against_baseline(self):
+        suite = self._suite()
+        normalized = suite.normalized_ipc(SchemeKind.UNSAFE)
+        assert normalized[("gcc", SchemeKind.UNSAFE)] == 1.0
+        expected = (
+            suite.get("gcc", SchemeKind.STT).ipc
+            / suite.get("gcc", SchemeKind.UNSAFE).ipc
+        )
+        assert abs(normalized[("gcc", SchemeKind.STT)] - expected) < 1e-12
+
+    def test_json_round_trip(self):
+        suite = self._suite()
+        restored = SuiteResult.from_json(suite.to_json())
+        assert set(restored) == set(suite)
+        for key in suite:
+            assert restored[key].cycles == suite[key].cycles
+            assert restored[key].stats.as_dict() == suite[key].stats.as_dict()
+            assert restored[key].profile == suite[key].profile
+        assert len(restored.records) == len(suite.records)
+
+    def test_records_and_summary(self):
+        suite = self._suite()
+        assert len(suite.records) == 4
+        assert suite.store_hits == 0
+        assert suite.store_misses == 4
+        assert all(not record.from_store for record in suite.records)
+        assert "4 runs" in suite.summary()

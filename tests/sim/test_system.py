@@ -6,7 +6,7 @@ import pytest
 
 from repro.common import SchemeKind, SystemParams
 from repro.isa import Program
-from repro.sim import System, run_benchmark
+from repro.sim import RunConfig, System, run_benchmark
 from repro.sim.runner import TraceCache, default_trace_length
 from repro.workloads import get_benchmark
 
@@ -109,8 +109,9 @@ class TestRunner:
     def test_schemes_see_identical_traces(self):
         profile = get_benchmark("spec2017", "xalancbmk")
         cache = TraceCache()
-        a = run_benchmark(profile, SchemeKind.UNSAFE, 1500, cache=cache)
-        b = run_benchmark(profile, SchemeKind.STT, 1500, cache=cache)
+        config = RunConfig(cache=cache)
+        a = run_benchmark(profile, SchemeKind.UNSAFE, 1500, config=config)
+        b = run_benchmark(profile, SchemeKind.STT, 1500, config=config)
         assert a.stats.committed_uops == b.stats.committed_uops
 
     def test_default_trace_length_env_override(self, monkeypatch):
@@ -123,6 +124,8 @@ class TestRunner:
 
     def test_parallel_run(self):
         profile = get_benchmark("parsec", "canneal")
-        result = run_benchmark(profile, SchemeKind.STT_RECON, 800, threads=4)
+        result = run_benchmark(
+            profile, SchemeKind.STT_RECON, 800, config=RunConfig(threads=4)
+        )
         assert len(result.per_core) == 4
         assert result.stats.committed_uops > 0

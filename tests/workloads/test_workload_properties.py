@@ -47,12 +47,16 @@ def test_any_seed_generates_and_simulates(seed_shift):
     import dataclasses
 
     from repro.common import SchemeKind
+    from repro.sim import RunConfig
     from repro.sim.runner import TraceCache, run_benchmark
 
     base = PROFILES["spec2017/xalancbmk"]
     profile = dataclasses.replace(base, seed=base.seed + seed_shift)
     result = run_benchmark(
-        profile, SchemeKind.STT_RECON, 600, cache=TraceCache(), warmup_uops=0
+        profile,
+        SchemeKind.STT_RECON,
+        600,
+        config=RunConfig(cache=TraceCache(), warmup_uops=0),
     )
     assert result.stats.committed_uops >= 600
 
