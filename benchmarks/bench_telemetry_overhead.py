@@ -1,0 +1,85 @@
+"""Telemetry overhead gate.
+
+The event bus promises two things when tracing is *off* (the default):
+the simulated outcome is bit-identical to a run with tracing on, and
+the instrumentation guards (`if self.telemetry.enabled:` at every
+emission site) cost nothing measurable.  This bench checks both: the
+disabled run must match the traced run's stats exactly and must not be
+slower than the traced run beyond a 5% noise allowance — the traced run
+does strictly more work, so this bounds the guards' cost without
+needing an uninstrumented build to compare against.
+"""
+
+import time
+
+from repro import SchemeKind
+from repro.sim import RunConfig, format_table
+from repro.sim.runner import TraceCache, run_benchmark
+from repro.telemetry import TelemetryConfig
+
+from benchmarks.common import emit
+
+LENGTH = 12_000
+ROUNDS = 3
+NAME = "mcf"
+SCHEME = SchemeKind.STT_RECON
+
+
+def _time_run(config):
+    """Best-of-N wall time and the final RunResult for one config."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = run_benchmark(
+            get_profile(), SCHEME, LENGTH, config=config
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def get_profile():
+    from repro.workloads import get_benchmark
+
+    return get_benchmark("spec2017", NAME)
+
+
+def _run():
+    # One shared trace cache: both configurations simulate the exact
+    # same micro-op stream and neither pays trace construction twice.
+    cache = TraceCache()
+    disabled_s, plain = _time_run(RunConfig(cache=cache))
+    enabled_s, traced = _time_run(
+        RunConfig(cache=cache, telemetry=TelemetryConfig())
+    )
+    rows = [
+        ["disabled", f"{disabled_s * 1e3:.1f} ms", str(plain.cycles)],
+        ["enabled", f"{enabled_s * 1e3:.1f} ms", str(traced.cycles)],
+        [
+            "ratio",
+            f"{disabled_s / enabled_s:.3f}",
+            "events: %d" % traced.telemetry.emitted_events,
+        ],
+    ]
+    return rows, disabled_s, enabled_s, plain, traced
+
+
+def test_disabled_telemetry_costs_nothing(benchmark):
+    rows, disabled_s, enabled_s, plain, traced = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    emit(
+        "telemetry_overhead",
+        f"Telemetry overhead ({NAME}, {SCHEME.value}, {LENGTH} uops, "
+        f"best of {ROUNDS})",
+        format_table(["config", "wall time", "cycles"], rows),
+    )
+    # Tracing observes the run without perturbing it.
+    assert plain.cycles == traced.cycles
+    assert plain.stats.as_dict() == traced.stats.as_dict()
+    assert traced.telemetry.emitted_events > 0
+    # The disabled path may not cost more than the enabled path plus a
+    # 5% wall-clock noise allowance.
+    assert disabled_s <= enabled_s * 1.05, (
+        f"disabled {disabled_s:.3f}s vs enabled {enabled_s:.3f}s"
+    )

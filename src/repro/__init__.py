@@ -23,7 +23,8 @@ Package map:
 * :mod:`repro.security` — unsafe/NDA/STT policies and the load-pair table;
 * :mod:`repro.analysis` — the Clueless leakage characterizer;
 * :mod:`repro.workloads` — synthetic SPEC/PARSEC-like suites;
-* :mod:`repro.sim` — system assembly, experiment runners, reporting.
+* :mod:`repro.sim` — system assembly, experiment runners, reporting;
+* :mod:`repro.telemetry` — event tracing, metrics, trace exporters.
 """
 
 from repro.analysis import Clueless, LeakageReport
@@ -51,6 +52,7 @@ from repro.sim import (
     run_benchmark_seeds,
     run_suite,
 )
+from repro.telemetry import TelemetryCollector, TelemetryConfig, TelemetryResult
 from repro.workloads import (
     BenchmarkProfile,
     build_parallel_traces,
@@ -84,6 +86,9 @@ __all__ = [
     "SuiteResult",
     "System",
     "SystemParams",
+    "TelemetryCollector",
+    "TelemetryConfig",
+    "TelemetryResult",
     "__version__",
     "build_parallel_traces",
     "build_trace",

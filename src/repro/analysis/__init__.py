@@ -3,13 +3,14 @@
 from repro.analysis.clueless import Clueless, LeakageReport
 from repro.analysis.dift import DiftEngine
 from repro.analysis.oracle import oracle_revealed_loads
-from repro.analysis.timeline import LeakageTimeline, leakage_timeline
+from repro.analysis.timeline import LeakageTimeline, TimelineSink, leakage_timeline
 
 __all__ = [
     "Clueless",
     "DiftEngine",
     "LeakageReport",
     "LeakageTimeline",
+    "TimelineSink",
     "leakage_timeline",
     "oracle_revealed_loads",
 ]

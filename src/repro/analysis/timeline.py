@@ -6,17 +6,28 @@ series: the number of currently-leaked words (global DIFT and direct
 load pairs) sampled every N micro-ops, which is useful for
 understanding the reveal/conceal churn a workload produces — e.g. why a
 benchmark with heavy pointer rewriting recovers less under ReCon.
+
+Two ways to build one:
+
+* :func:`leakage_timeline` re-runs Clueless over a trace after the fact
+  (the legacy path — no simulator needed);
+* :class:`TimelineSink` rides the telemetry event bus
+  (:mod:`repro.telemetry.events`): attached to a live collector, it
+  consumes the pipeline's commit events during the simulation itself,
+  so the timeline comes out of a normal ``--trace`` run for free.  For
+  a correct-path simulation the two are equivalent — commit order *is*
+  architectural order.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Tuple
+from typing import Any, Iterable, List, Tuple
 
 from repro.analysis.clueless import Clueless
 from repro.isa.microop import MicroOp
 
-__all__ = ["LeakageTimeline", "leakage_timeline"]
+__all__ = ["LeakageTimeline", "TimelineSink", "leakage_timeline"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +58,58 @@ class LeakageTimeline:
             [str(index), str(dift), str(pairs)]
             for index, dift, pairs in self.samples
         ]
+
+
+class TimelineSink:
+    """Event-bus consumer building a leakage timeline from commits.
+
+    Attach to a :class:`~repro.telemetry.events.TelemetryCollector`:
+    every ``pipeline``/``commit`` event carries the committed micro-op,
+    which is fed to Clueless in architectural (commit) order, sampling
+    leaked-word counts every ``interval`` committed micro-ops.  The sink
+    streams — it sees every event before sampling and ring-buffer
+    truncation, so the timeline is exact even when the event trace is
+    bounded.  It follows one core's commit stream (``core``): Clueless
+    models one architectural register file.
+    """
+
+    def __init__(
+        self, interval: int = 1000, arch_regs: int = 32, core: int = 0
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.core = core
+        self._analyzer = Clueless(arch_regs)
+        self._samples: List[Tuple[int, int, int]] = []
+        self._count = 0
+
+    def on_event(self, event: Any) -> None:
+        """Consume one telemetry event (non-commit events are ignored)."""
+        if (
+            event.category != "pipeline"
+            or event.kind != "commit"
+            or event.core != self.core
+            or event.uop is None
+        ):
+            return
+        self._analyzer.step(event.uop)
+        self._count += 1
+        if self._count % self.interval == 0:
+            report = self._analyzer.report()
+            self._samples.append(
+                (self._count, report.dift_leaked_words, report.pair_leaked_words)
+            )
+
+    def timeline(self) -> LeakageTimeline:
+        """The timeline so far (with a tail sample if one is pending)."""
+        samples = list(self._samples)
+        if self._count % self.interval != 0:
+            report = self._analyzer.report()
+            samples.append(
+                (self._count, report.dift_leaked_words, report.pair_leaked_words)
+            )
+        return LeakageTimeline(interval=self.interval, samples=tuple(samples))
 
 
 def leakage_timeline(

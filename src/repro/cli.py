@@ -10,11 +10,20 @@ Subcommands::
     python -m repro sweep-levels spec2017/omnetpp   # Fig. 10-style sweep
     python -m repro save-trace spec2017/mcf mcf.trace   # export a trace
     python -m repro replay mcf.trace          # run a saved trace file
+    python -m repro telemetry trace.json      # summarize an event trace
 
 Common options: ``--length`` (trace micro-ops), ``--schemes`` (comma
 list), ``--threads`` (parallel workloads), ``--seed`` (override profile
 seed), ``--jobs`` (worker processes; also the ``REPRO_JOBS`` environment
 variable), ``--no-store`` (skip the persistent result store).
+
+Observability options on ``run``/``suite`` (see ``docs/observability.md``):
+``--trace PATH`` collects the telemetry event stream and writes a Chrome
+trace-event JSON (plus a Konata pipeline view and leakage CSV per grid
+cell next to it), ``--trace-filter CATS`` restricts collection to a
+comma list of event categories, and ``--metrics-out PATH`` writes the
+metrics registry (counters/gauges/histograms) as JSON.  Telemetry runs
+bypass the result store — a memoized result has no event stream.
 
 Grid commands (``run``, ``suite``) fan out across worker processes and
 memoize completed runs in the on-disk result store (``results/.store``
@@ -32,12 +41,24 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+import json
+
 from repro.analysis import Clueless
 from repro.common import SchemeKind
 from repro.sim import RunConfig, format_table, resolve_jobs, run_suite
 from repro.sim.runner import TraceCache, default_trace_length, run_benchmark
 from repro.sim.store import ResultStore, default_store_root
 from repro.sim.sweep import lpt_size_variants, recon_level_variants
+from repro.telemetry import (
+    TelemetryConfig,
+    leakage_csv,
+    metrics_to_json,
+    parse_filter,
+    to_chrome_trace,
+    to_konata,
+    trace_summary_rows,
+    validate_chrome_trace,
+)
 from repro.workloads import all_benchmarks, build_trace, get_benchmark
 
 __all__ = ["main"]
@@ -90,6 +111,69 @@ def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
     return ResultStore(root)
 
 
+def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
+    """Build the run's TelemetryConfig from --trace/--trace-filter/--metrics-out."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics_out", None)):
+        return None
+    try:
+        categories = parse_filter(getattr(args, "trace_filter", None))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return TelemetryConfig(categories=categories, timeline_interval=1000)
+
+
+def _export_telemetry(args: argparse.Namespace, cells) -> None:
+    """Write the trace/metrics files for traced grid cells.
+
+    ``cells`` is ``[(label, RunResult), ...]`` in spec order; cells whose
+    results carry no telemetry (e.g. deserialized ones) are skipped.
+    The merged Chrome trace is validated before it is written, so a bad
+    payload fails the command instead of producing a corrupt file.
+    """
+    cells = [
+        (label, result)
+        for label, result in cells
+        if result is not None and result.telemetry is not None
+    ]
+    if not cells:
+        return
+    written = []
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        combined = {"traceEvents": [], "displayTimeUnit": "ns"}
+        for pid, (label, result) in enumerate(cells):
+            payload = to_chrome_trace(
+                result.telemetry.events, pid=pid, label=label
+            )
+            combined["traceEvents"].extend(payload["traceEvents"])
+        validate_chrome_trace(combined)
+        trace_path = Path(trace_path)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(json.dumps(combined))
+        written.append(trace_path)
+        for label, result in cells:
+            stem = label.replace("/", "_").replace("+", "")
+            konata_path = Path(f"{trace_path}.{stem}.kanata")
+            konata_path.write_text(to_konata(result.telemetry.events))
+            written.append(konata_path)
+            if result.telemetry.timeline is not None:
+                csv_path = Path(f"{trace_path}.{stem}.leakage.csv")
+                csv_path.write_text(leakage_csv(result.telemetry.timeline))
+                written.append(csv_path)
+    metrics_path = getattr(args, "metrics_out", None)
+    if metrics_path:
+        metrics_path = Path(metrics_path)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            metrics_to_json(
+                {label: result.telemetry.metrics for label, result in cells}
+            )
+        )
+        written.append(metrics_path)
+    for path in written:
+        print(f"telemetry -> {path}", file=sys.stderr)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     rows = [
         [p.label, ", ".join(sorted(p.kernel_weights))]
@@ -106,9 +190,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         [profile],
         schemes,
         args.length,
-        config=RunConfig(threads=args.threads),
+        config=RunConfig(
+            threads=args.threads, telemetry=_telemetry_from_args(args)
+        ),
         jobs=args.jobs,
         store=_store_from_args(args),
+    )
+    _export_telemetry(
+        args,
+        [
+            (f"{profile.name}/{scheme.value}", suite.get(profile.name, scheme))
+            for scheme in schemes
+        ],
     )
     baseline = suite.get(profile.name, SchemeKind.UNSAFE)
     rows = []
@@ -155,10 +248,18 @@ def cmd_suite(args: argparse.Namespace) -> int:
         profiles,
         schemes,
         args.length,
-        config=RunConfig(threads=threads),
+        config=RunConfig(threads=threads, telemetry=_telemetry_from_args(args)),
         jobs=args.jobs,
         store=_store_from_args(args),
         progress=True,
+    )
+    _export_telemetry(
+        args,
+        [
+            (f"{profile.name}/{scheme.value}", suite.get(profile.name, scheme))
+            for profile in profiles
+            for scheme in schemes
+        ],
     )
     rows = []
     for profile in profiles:
@@ -274,6 +375,23 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Summarize a Chrome trace-event JSON written by ``--trace``."""
+    try:
+        payload = json.loads(Path(args.path).read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load trace: {exc}")
+    try:
+        validate_chrome_trace(payload)
+    except ValueError as exc:
+        raise SystemExit(f"invalid trace: {exc}")
+    rows = trace_summary_rows(payload)
+    total = sum(int(row[2]) for row in rows)
+    print(f"{args.path}: {total} events, {len(rows)} kinds\n")
+    print(format_table(["category", "kind", "count", "first", "last"], rows))
+    return 0
+
+
 def cmd_sweep_lpt(args: argparse.Namespace) -> int:
     return _run_sweep(args, lpt_size_variants())
 
@@ -314,6 +432,26 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-store",
             action="store_true",
             help="do not read or write the persistent result store",
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="collect telemetry and write a Chrome trace-event JSON "
+            "(plus Konata and leakage-CSV views) to PATH",
+        )
+        p.add_argument(
+            "--trace-filter",
+            default=None,
+            metavar="CATS",
+            help="comma list of event categories to collect "
+            "(pipeline,cache,coherence,recon,security,shadow; default all)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the telemetry metrics registry as JSON to PATH",
         )
 
     sub.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)
@@ -356,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scheme list",
     )
     p_replay.set_defaults(func=cmd_replay)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="summarize a Chrome trace written by --trace"
+    )
+    p_tel.add_argument("path", help="trace JSON file from --trace")
+    p_tel.set_defaults(func=cmd_telemetry)
 
     return parser
 

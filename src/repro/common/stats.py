@@ -34,6 +34,8 @@ class StatSet:
     delay_cycles: int = 0
     #: Loads whose broadcast was deferred (NDA family).
     deferred_broadcasts: int = 0
+    #: Memory-order violations (load read stale data past an older store).
+    mem_order_violations: int = 0
 
     # --- ReCon ---------------------------------------------------------
     #: Load pairs detected at commit (reveal requests sent to L1).

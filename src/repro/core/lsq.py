@@ -12,6 +12,7 @@ import collections
 from typing import Deque, Dict, FrozenSet, List, Optional
 
 from repro.common.types import word_addr
+from repro.telemetry.events import CAT_PIPELINE, NULL_TELEMETRY
 
 __all__ = ["StoreEntry", "LoadEntry", "LoadStoreUnit"]
 
@@ -62,6 +63,9 @@ class LoadStoreUnit:
         self._sq: Deque[StoreEntry] = collections.deque()
         self._sb: Deque[StoreEntry] = collections.deque()
         self._lq: Dict[int, LoadEntry] = {}
+        #: Telemetry sink + core id (wired by the owning core).
+        self.telemetry = NULL_TELEMETRY
+        self.telemetry_core = 0
 
     # ------------------------------------------------------------------
     # capacity
@@ -103,11 +107,21 @@ class LoadStoreUnit:
         if entry is None:
             raise KeyError(f"store #{seq} not in SQ")
         entry.resolved = True
-        return [
+        violated = [
             load
             for load in self._lq.values()
             if load.seq > seq and load.word == entry.word and load.went_to_memory
         ]
+        if self.telemetry.enabled:
+            for load in violated:
+                self.telemetry.emit(
+                    CAT_PIPELINE,
+                    "mem_violation",
+                    core=self.telemetry_core,
+                    seq=load.seq,
+                    value=seq,
+                )
+        return violated
 
     def set_store_data(self, seq: int, taint: FrozenSet[int]) -> None:
         """The store's data register became available (with its taint)."""

@@ -40,6 +40,13 @@ from repro.isa.microop import MicroOp
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.security.policy import EMPTY_TAINT, SecurityPolicy
 from repro.security.lpt import LoadPairTable
+from repro.telemetry.events import (
+    CAT_PIPELINE,
+    CAT_RECON,
+    CAT_SECURITY,
+    CAT_SHADOW,
+    NULL_TELEMETRY,
+)
 
 __all__ = ["Core", "Observation"]
 
@@ -116,6 +123,7 @@ class Core:
         policy: SecurityPolicy,
         stats: Optional[StatSet] = None,
         warmup_uops: int = 0,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         params.validate()
         self.core_id = core_id
@@ -125,6 +133,14 @@ class Core:
         self.policy = policy
         self.stats = stats if stats is not None else StatSet()
         hierarchy.attach_stats(core_id, self.stats)
+        #: Telemetry collector (the null object when tracing is off); a
+        #: live collector is propagated to every owned subcomponent so the
+        #: whole core emits into one stream.
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            hierarchy.telemetry = telemetry
+            policy.telemetry = telemetry
+            policy.telemetry_core = core_id
         #: After this many committed micro-ops, a stats snapshot is taken;
         #: :attr:`measured` excludes everything before it (detailed warm-up,
         #: paper §6.1).
@@ -141,6 +157,12 @@ class Core:
             if policy.use_recon
             else None
         )
+        if telemetry.enabled:
+            self.lsq.telemetry = telemetry
+            self.lsq.telemetry_core = core_id
+            if self.lpt is not None:
+                self.lpt.telemetry = telemetry
+                self.lpt.telemetry_core = core_id
 
         self._latency = {
             OpClass.ALU: core.alu_latency,
@@ -196,6 +218,10 @@ class Core:
         """Advance one cycle; returns True if any pipeline activity occurred."""
         if self.done:
             return False
+        if self.telemetry.enabled:
+            # Cycle-less subcomponents (LSQ, LPT, hierarchy, policies)
+            # stamp their events with the collector's current cycle.
+            self.telemetry.now = cycle
         activity = self._process_events(cycle)
         activity |= self._resolve_blocked_branches(cycle)
         self._advance_visibility(cycle)
@@ -250,18 +276,24 @@ class Core:
 
     def _complete(self, inst: _Inst, cycle: int) -> None:
         uop = inst.uop
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                CAT_PIPELINE, "complete", core=self.core_id, seq=inst.seq
+            )
         if uop.opclass is OpClass.STORE:
             violated = self.lsq.resolve_store(inst.seq)
             for load in violated:
                 # Squash-lite: train the predictor and charge a flush-like
                 # bubble for the memory-order violation.
+                self.stats.mem_order_violations += 1
                 self.mdp.train_violation(load.pc)
                 self._fetch_resume_cycle = max(
                     self._fetch_resume_cycle,
                     cycle + self.params.core.mispredict_penalty,
                 )
             if self.params.speculation_model is not SpeculationModel.CONTROL_ONLY:
-                self.shadows.resolve(inst.seq)
+                self._shadow_exit(inst.seq)
             inst.agen_done = True
             if inst.data_pending == 0:
                 inst.completed = True
@@ -274,6 +306,18 @@ class Core:
             taint = self.policy.propagate_taint(inst.captured_taint)
             self._broadcast(inst, taint)
             inst.completed = True
+
+    def _shadow_cast(self, seq: int) -> None:
+        """Cast a speculation shadow, emitting the telemetry enter event."""
+        self.shadows.cast(seq)
+        if self.telemetry.enabled:
+            self.telemetry.emit(CAT_SHADOW, "enter", core=self.core_id, seq=seq)
+
+    def _shadow_exit(self, seq: int) -> None:
+        """Resolve a speculation shadow, emitting the telemetry exit event."""
+        self.shadows.resolve(seq)
+        if self.telemetry.enabled:
+            self.telemetry.emit(CAT_SHADOW, "exit", core=self.core_id, seq=seq)
 
     def _resolve_blocked_branches(self, cycle: int) -> bool:
         if not self._blocked_branches:
@@ -290,10 +334,16 @@ class Core:
         return resolved_any
 
     def _resolve_branch(self, inst: _Inst, cycle: int) -> None:
-        self.shadows.resolve(inst.seq)
+        self._shadow_exit(inst.seq)
         inst.completed = True
         if inst.uop.mispredict:
             self.stats.mispredicted_branches += 1
+            if self.telemetry.enabled:
+                # The wrong-path fetch bubble is the squash in this
+                # correct-path model.
+                self.telemetry.emit(
+                    CAT_PIPELINE, "squash", core=self.core_id, seq=inst.seq
+                )
             if self._fetch_blocked_by == inst.seq:
                 self._fetch_blocked_by = None
                 self._fetch_resume_cycle = max(
@@ -338,6 +388,16 @@ class Core:
                 if self.lpt is not None:
                     self.lpt.on_other_commit(inst.dest_phys)
             self.policy.on_commit(uop)
+            if self.telemetry.enabled:
+                # The uop reference rides the event for streaming sinks
+                # (leakage timeline); it is stripped before storage.
+                self.telemetry.emit(
+                    CAT_PIPELINE,
+                    "commit",
+                    core=self.core_id,
+                    seq=inst.seq,
+                    uop=uop,
+                )
             if inst.freed_on_commit is not None:
                 self.regfile.release(inst.freed_on_commit)
             self._rob[self._rob_head] = None  # type: ignore[call-overload]
@@ -404,6 +464,10 @@ class Core:
             if outcome:
                 issued += 1
                 self._iq_count -= 1
+                if self.telemetry.enabled:
+                    self.telemetry.emit(
+                        CAT_PIPELINE, "issue", core=self.core_id, seq=inst.seq
+                    )
             else:
                 self._note_blocked(inst, cycle)
                 kept.append(inst)
@@ -413,6 +477,13 @@ class Core:
     def _note_blocked(self, inst: _Inst, cycle: int) -> None:
         if inst.first_blocked < 0:
             inst.first_blocked = cycle
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_SECURITY,
+                    "delay_start",
+                    core=self.core_id,
+                    seq=inst.seq,
+                )
         if not inst.counted_delayed and inst.uop.opclass is OpClass.LOAD:
             inst.counted_delayed = True
             self.stats.delayed_loads += 1
@@ -508,13 +579,24 @@ class Core:
 
     def _finish_delay_stat(self, inst: _Inst, cycle: int) -> None:
         if inst.first_blocked >= 0:
-            self.stats.delay_cycles += cycle - inst.first_blocked
+            delay = cycle - inst.first_blocked
+            self.stats.delay_cycles += delay
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_SECURITY,
+                    "delay_end",
+                    core=self.core_id,
+                    seq=inst.seq,
+                    value=delay,
+                )
+                self.telemetry.observe("delay_cycles", delay)
 
     def _load_return(self, inst: _Inst, cycle: int) -> None:
+        telemetry = self.telemetry
         if self.params.speculation_model is SpeculationModel.FUTURISTIC:
             # The load can no longer squash (functionally): release its
             # shadow when the value arrives.
-            self.shadows.resolve(inst.seq)
+            self._shadow_exit(inst.seq)
         speculative = self.shadows.is_speculative(inst.seq)
         revealed = inst.mem_revealed and self.policy.use_recon
         if not revealed and inst.went_to_memory:
@@ -525,13 +607,29 @@ class Core:
                 self.stats.reveal_hits += 1
             else:
                 self.stats.reveal_misses += 1
+            if telemetry.enabled:
+                telemetry.emit(
+                    CAT_RECON,
+                    "reveal_hit" if revealed else "reveal_miss",
+                    core=self.core_id,
+                    seq=inst.seq,
+                    addr=inst.uop.addr,
+                )
         broadcast_now, taint = self.policy.on_load_value(
             inst.seq, speculative, revealed, inst.fwd_taint
         )
         inst.completed = True
+        if telemetry.enabled:
+            telemetry.emit(
+                CAT_PIPELINE, "complete", core=self.core_id, seq=inst.seq
+            )
         if broadcast_now:
             self._broadcast(inst, taint)
         else:
+            if telemetry.enabled:
+                telemetry.emit(
+                    CAT_PIPELINE, "defer", core=self.core_id, seq=inst.seq
+                )
             heapq.heappush(self._deferred, (inst.seq, inst))
 
     def _broadcast(self, inst: _Inst, taint: FrozenSet[int]) -> None:
@@ -585,19 +683,27 @@ class Core:
             self._rob.append(inst)
             rob_occupancy += 1
             self._iq_count += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_PIPELINE,
+                    "dispatch",
+                    core=self.core_id,
+                    seq=uop.seq,
+                    addr=uop.pc,
+                )
             model = self.params.speculation_model
             if uop.opclass is OpClass.LOAD:
                 assert uop.addr is not None
                 self.lsq.add_load(uop.seq, uop.pc, uop.addr)
                 if model is SpeculationModel.FUTURISTIC:
-                    self.shadows.cast(uop.seq)
+                    self._shadow_cast(uop.seq)
             elif uop.opclass is OpClass.STORE:
                 assert uop.addr is not None
                 self.lsq.add_store(uop.seq, uop.pc, uop.addr)
                 if model is not SpeculationModel.CONTROL_ONLY:
-                    self.shadows.cast(uop.seq)
+                    self._shadow_cast(uop.seq)
             elif uop.opclass is OpClass.BRANCH:
-                self.shadows.cast(uop.seq)
+                self._shadow_cast(uop.seq)
                 if uop.mispredict:
                     self._fetch_blocked_by = uop.seq
             inst.pending = sum(

@@ -54,6 +54,8 @@ class CacheArray:
         self._line_shift = params.line_bytes.bit_length() - 1
         self._sets: List[Dict[int, CacheLine]] = [{} for _ in range(self.num_sets)]
         self._tick = 0
+        #: Capacity evictions performed by :meth:`insert` (telemetry).
+        self.evictions = 0
 
     def _set_for(self, line_addr: int) -> Dict[int, CacheLine]:
         return self._sets[(line_addr >> self._line_shift) % self.num_sets]
@@ -91,6 +93,7 @@ class CacheArray:
         if len(target) >= self.ways:
             victim_addr = min(target, key=lambda a: target[a].lru)
             victim = target.pop(victim_addr)
+            self.evictions += 1
         line = CacheLine(line_addr, state, reveal)
         line.lru = self._tick
         target[line_addr] = line

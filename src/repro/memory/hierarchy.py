@@ -36,8 +36,22 @@ from repro.memory import recon_bits
 from repro.memory.cache import CacheArray, CacheLine
 from repro.memory.dram import MainMemory
 from repro.memory.interconnect import FixedLatencyInterconnect, MeshInterconnect
+from repro.telemetry.events import (
+    CAT_CACHE,
+    CAT_COHERENCE,
+    CAT_RECON,
+    NULL_TELEMETRY,
+)
 
 __all__ = ["MemoryHierarchy", "AccessResult"]
+
+#: Stable MESI -> int encoding for event payloads.
+_MESI_ORD = {
+    MESIState.MODIFIED: 3,
+    MESIState.EXCLUSIVE: 2,
+    MESIState.SHARED: 1,
+    MESIState.INVALID: 0,
+}
 
 
 class AccessResult:
@@ -87,6 +101,9 @@ class MemoryHierarchy:
         #: Reveal requests dropped because the line had left the private
         #: hierarchy before the pair committed.
         self.dropped_reveals = 0
+        #: Telemetry sink (a core wires a live collector in when tracing
+        #: is enabled; events are stamped with the collector's cycle).
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # wiring
@@ -157,6 +174,17 @@ class MemoryHierarchy:
             dst=self.noc.home_node(victim.addr),
         )
         stats.coherence_transactions += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                CAT_CACHE, "evict", core=core, addr=victim.addr, value=2
+            )
+            self.telemetry.emit(
+                CAT_COHERENCE,
+                "merge",
+                core=core,
+                addr=victim.addr,
+                value=_MESI_ORD[victim.state],
+            )
         outgoing = self._vector_if_tracked(victim.reveal, CacheLevel.LLC)
         if victim.state is MESIState.MODIFIED:
             # PutM: data + vector overwrite the directory copy.
@@ -175,6 +203,17 @@ class MemoryHierarchy:
     ) -> None:
         """Install a line arriving from the directory into L2 then L1."""
         priv = self._privs[core]
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                CAT_COHERENCE,
+                "mesi",
+                core=core,
+                addr=laddr,
+                value=_MESI_ORD[state],
+            )
+            self.telemetry.observe(
+                "l1_set_pressure", priv.l1.set_occupancy(laddr)
+            )
         l2_vec = self._vector_if_tracked(vector, CacheLevel.L2)
         _, victim = priv.l2.insert(laddr, state, l2_vec)
         if victim is not None:
@@ -215,11 +254,18 @@ class MemoryHierarchy:
         if victim.owner is not None:
             holders.add(victim.owner)
         home = self.noc.home_node(victim.addr)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(CAT_CACHE, "evict", addr=victim.addr, value=3)
         for core in holders:
             _, was_dirty = self._invalidate_private(core, victim.addr)
             dirty = dirty or was_dirty
             self.noc.hop(src=home, dst=core)
             self._stats[core].invalidations += 1
+            if telemetry.enabled:
+                telemetry.emit(
+                    CAT_COHERENCE, "invalidate", core=core, addr=victim.addr
+                )
         if dirty:
             self.dram.writeback()
         # Reveal information is lost: DRAM stores no bits.
@@ -234,8 +280,16 @@ class MemoryHierarchy:
         line = self.llc.lookup(laddr)
         if line is not None:
             stats.llc_hits += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_CACHE, "llc_hit", core=core or 0, addr=laddr
+                )
             return line, latency
         stats.llc_misses += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                CAT_CACHE, "llc_miss", core=core or 0, addr=laddr
+            )
         latency += self.dram.fetch()
         line, victim = self.llc.insert(
             laddr, MESIState.SHARED, recon_bits.ALL_CONCEALED
@@ -272,22 +326,36 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # core-facing operations
     # ------------------------------------------------------------------
+    @staticmethod
+    def _observe_load(telemetry, latency: int, revealed: bool) -> None:
+        """Record a completed load in the latency histograms."""
+        telemetry.observe("load_latency", latency)
+        if revealed:
+            telemetry.observe("reveal_latency", latency)
+
     def read(self, core: int, addr: int, now: int = 0) -> AccessResult:
         """A load accesses ``addr``; returns latency + the word's reveal bit."""
         stats = self._stats[core]
         laddr = line_addr(addr)
         priv = self._privs[core]
 
+        telemetry = self.telemetry
         line, level = self._private_lookup(core, laddr)
         if level is CacheLevel.L1:
             stats.l1_hits += 1
             latency = self._pending_fill_latency(
                 priv, laddr, now, self.params.memory.l1.latency
             )
-            return AccessResult(
-                latency, recon_bits.is_word_revealed(line.reveal, addr), level
-            )
+            revealed = recon_bits.is_word_revealed(line.reveal, addr)
+            if telemetry.enabled:
+                telemetry.emit(
+                    CAT_CACHE, "l1_hit", core=core, addr=addr, value=latency
+                )
+                self._observe_load(telemetry, latency, revealed)
+            return AccessResult(latency, revealed, level)
         stats.l1_misses += 1
+        if telemetry.enabled:
+            telemetry.emit(CAT_CACHE, "l1_miss", core=core, addr=addr)
         if level is CacheLevel.L2:
             stats.l2_hits += 1
             assert line is not None
@@ -303,8 +371,15 @@ class MemoryHierarchy:
             latency = self._pending_fill_latency(
                 priv, laddr, now, self.params.memory.l2.latency
             )
+            if telemetry.enabled:
+                telemetry.emit(
+                    CAT_CACHE, "l2_hit", core=core, addr=addr, value=latency
+                )
+                self._observe_load(telemetry, latency, revealed)
             return AccessResult(latency, revealed, level)
         stats.l2_misses += 1
+        if telemetry.enabled:
+            telemetry.emit(CAT_CACHE, "l2_miss", core=core, addr=addr)
 
         # GetS to the directory.
         stats.coherence_transactions += 1
@@ -325,6 +400,8 @@ class MemoryHierarchy:
         priv.fills[laddr] = now + latency
         if self.params.memory.prefetch_next_line:
             self._prefetch(core, laddr + self.params.memory.l1.line_bytes, stats)
+        if telemetry.enabled:
+            self._observe_load(telemetry, latency, revealed)
         return AccessResult(latency, revealed, CacheLevel.LLC)
 
     def _prefetch(self, core: int, laddr: int, stats: StatSet) -> None:
@@ -376,6 +453,9 @@ class MemoryHierarchy:
             # Write miss: GetM.
             stats.l1_misses += 1
             stats.l2_misses += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(CAT_CACHE, "l1_miss", core=core, addr=addr)
+                self.telemetry.emit(CAT_CACHE, "l2_miss", core=core, addr=addr)
             latency = self._acquire_modified(core, laddr, stats, own_vector=None)
 
         self._conceal_private(core, laddr, addr)
@@ -418,6 +498,10 @@ class MemoryHierarchy:
             )
             self._stats[sharer].invalidations += 1
             stats.invalidations += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_COHERENCE, "invalidate", core=sharer, addr=laddr
+                )
         dir_line.sharers = {core}
         dir_line.owner = core
         if own_vector is not None:
@@ -453,6 +537,8 @@ class MemoryHierarchy:
             if held is not None:
                 held.reveal = recon_bits.conceal_word(held.reveal, addr)
                 held.dirty = True
+        if self.telemetry.enabled:
+            self.telemetry.emit(CAT_RECON, "conceal", core=core, addr=addr)
 
     def read_invisible(self, core: int, addr: int, now: int = 0) -> int:
         """An invisible (InvisiSpec-style) load: latency without state.
@@ -513,13 +599,16 @@ class MemoryHierarchy:
         """
         laddr = line_addr(addr)
         line, level = self._private_lookup(core, laddr)
-        if line is None:
+        if line is None or (level is not None and not self._tracks(level)):
             self.dropped_reveals += 1
-            return False
-        if level is not None and not self._tracks(level):
-            self.dropped_reveals += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_RECON, "reveal_dropped", core=core, addr=addr
+                )
             return False
         line.reveal = recon_bits.reveal_word(line.reveal, addr)
+        if self.telemetry.enabled:
+            self.telemetry.emit(CAT_RECON, "reveal", core=core, addr=addr)
         return True
 
     # ------------------------------------------------------------------

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.telemetry.events import CAT_RECON, NULL_TELEMETRY
+
 __all__ = ["LoadPairTable"]
 
 
@@ -42,6 +44,12 @@ class LoadPairTable:
         self._table: List[_Entry] = [_Entry() for _ in range(entries)]
         self.conflicts = 0
         self.pairs_detected = 0
+        #: Active entries right now (maintained incrementally so the
+        #: occupancy histogram costs O(1) per commit).
+        self.occupancy = 0
+        #: Telemetry sink + core id (wired by the owning core).
+        self.telemetry = NULL_TELEMETRY
+        self.telemetry_core = 0
 
     def _index(self, phys_reg: int) -> int:
         return phys_reg % self.entries
@@ -69,18 +77,37 @@ class LoadPairTable:
         source entries are checked before the destination is written.
         """
         reveals: List[int] = []
+        telemetry = self.telemetry
         for phys in src_phys:
             entry = self._table[self._index(phys)]
             if entry.active:
                 if entry.tag == phys:
                     reveals.append(entry.addr)
                     self.pairs_detected += 1
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            CAT_RECON,
+                            "lpt_pair",
+                            core=self.telemetry_core,
+                            addr=entry.addr,
+                        )
                 else:
                     self.conflicts += 1
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            CAT_RECON,
+                            "lpt_conflict",
+                            core=self.telemetry_core,
+                            value=phys,
+                        )
         dest = self._table[self._index(dest_phys)]
+        if not dest.active:
+            self.occupancy += 1
         dest.active = True
         dest.tag = dest_phys
         dest.addr = load_addr
+        if telemetry.enabled:
+            telemetry.observe("lpt_occupancy", self.occupancy)
         return reveals
 
     def on_other_commit(self, dest_phys: Optional[int]) -> None:
@@ -89,6 +116,8 @@ class LoadPairTable:
             return
         entry = self._table[self._index(dest_phys)]
         if entry.tag == dest_phys:
+            if entry.active:
+                self.occupancy -= 1
             entry.active = False
 
     def entry_state(self, phys_reg: int) -> "tuple[bool, int]":

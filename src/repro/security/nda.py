@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import FrozenSet, Tuple
 
 from repro.security.policy import EMPTY_TAINT, SecurityPolicy
+from repro.telemetry.events import CAT_SECURITY
 
 __all__ = ["NdaPolicy"]
 
@@ -31,5 +32,12 @@ class NdaPolicy(SecurityPolicy):
     ) -> Tuple[bool, FrozenSet[int]]:
         if speculative and not revealed:
             self.stats.deferred_broadcasts += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_SECURITY,
+                    "nda_defer",
+                    core=self.telemetry_core,
+                    seq=seq,
+                )
             return False, EMPTY_TAINT
         return True, EMPTY_TAINT

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import FrozenSet, Tuple
 
 from repro.common.stats import StatSet
+from repro.telemetry.events import NULL_TELEMETRY
 
 __all__ = ["SecurityPolicy", "UnsafePolicy", "EMPTY_TAINT"]
 
@@ -32,6 +33,13 @@ class SecurityPolicy:
 
     #: Human-readable scheme name (overridden by subclasses).
     name = "base"
+
+    #: Telemetry sink (the core wires a live collector in when tracing
+    #: is enabled; the null object keeps the disabled path to one check).
+    telemetry = NULL_TELEMETRY
+
+    #: Core id stamped on events this policy emits.
+    telemetry_core = 0
 
     #: If True, the pipeline probes the L1 before issuing a load and asks
     #: :meth:`may_issue_load` (Delay-on-Miss-style gating).

@@ -18,6 +18,7 @@ from typing import FrozenSet, List, Set, Tuple
 
 from repro.common.stats import StatSet
 from repro.security.policy import SecurityPolicy
+from repro.telemetry.events import CAT_SECURITY
 
 __all__ = ["SttPolicy"]
 
@@ -54,6 +55,13 @@ class SttPolicy(SecurityPolicy):
             self.stats.tainted_loads += 1
             self._unsafe_roots.add(seq)
             heapq.heappush(self._root_heap, seq)
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_SECURITY,
+                    "stt_taint",
+                    core=self.telemetry_core,
+                    seq=seq,
+                )
             return True, forwarded_taint | {seq}
         # Safe (or revealed) loads still propagate forwarded taint: data
         # forwarded from a store may derive from an unsafe speculative load.

@@ -15,6 +15,7 @@ import warnings
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.common.params import SystemParams
+from repro.telemetry.events import TelemetryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (runner imports config)
     from repro.sim.runner import TraceCache
@@ -46,6 +47,12 @@ class RunConfig:
         cache: trace cache shared across runs; ``None`` uses the
             process-global cache.  Excluded from equality/hashing — it is
             an execution detail, not part of the experiment identity.
+        telemetry: event-tracing configuration; ``None`` (the default)
+            disables telemetry entirely — the simulator runs with the
+            null collector and bit-identical results.  Like ``cache``,
+            telemetry observes a run without changing its outcome, so it
+            is excluded from the result-store identity (runs with
+            telemetry enabled bypass the store instead).
     """
 
     params: Optional[SystemParams] = None
@@ -54,6 +61,7 @@ class RunConfig:
     cache: Optional["TraceCache"] = dataclasses.field(
         default=None, compare=False, repr=False
     )
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.threads <= 0:

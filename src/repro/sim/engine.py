@@ -46,6 +46,7 @@ from repro.common.types import SchemeKind
 from repro.sim.config import RunConfig
 from repro.sim.runner import RunResult, TraceCache, run_benchmark
 from repro.sim.store import ResultStore, result_from_dict, result_to_dict, run_key
+from repro.telemetry.events import TelemetryConfig
 from repro.workloads.profile import BenchmarkProfile
 
 __all__ = [
@@ -95,6 +96,11 @@ class RunSpec:
     threads: int
     params: SystemParams
     warmup_uops: int
+    #: Telemetry configuration (``None`` = tracing off).  Deliberately
+    #: excluded from :meth:`key`: telemetry observes a run without
+    #: changing its outcome, but a stored result carries no event trace,
+    #: so telemetry-enabled specs bypass the store (see execute_specs).
+    telemetry: Optional[TelemetryConfig] = None
 
     @classmethod
     def build(
@@ -112,6 +118,7 @@ class RunSpec:
             threads=config.threads,
             params=config.resolved_params(),
             warmup_uops=config.resolved_warmup(length),
+            telemetry=config.telemetry,
         )
 
     @property
@@ -167,6 +174,7 @@ def _execute_spec(spec: RunSpec, cache: Optional[TraceCache] = None) -> RunResul
             threads=spec.threads,
             warmup_uops=spec.warmup_uops,
             cache=cache,
+            telemetry=spec.telemetry,
         ),
     )
 
@@ -228,7 +236,7 @@ def execute_specs(
     pending: List[int] = []
     keys: List[Optional[str]] = [None] * total
     for index, spec in enumerate(specs):
-        if store is not None:
+        if store is not None and spec.telemetry is None:
             keys[index] = spec.key()
             cached = store.get(keys[index])
             if cached is not None:

@@ -14,6 +14,7 @@ to :class:`~repro.sim.runner.RunResult` — in particular the
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.common.types import SchemeKind
@@ -31,13 +32,28 @@ __all__ = [
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (0.0 for an empty input)."""
+    """Geometric mean over the positive inputs (0.0 when none remain).
+
+    Zero or negative values have no geometric mean; they typically mean
+    a run produced no commits (IPC 0) or a baseline was missing.  Rather
+    than aborting a whole suite table for one degenerate cell, they are
+    skipped with a ``RuntimeWarning`` naming how many were dropped, and
+    the mean is taken over the remaining values.
+    """
     values = [v for v in values]
     if not values:
         return 0.0
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    positives = [v for v in values if v > 0]
+    if len(positives) != len(values):
+        warnings.warn(
+            f"geomean: skipped {len(values) - len(positives)} non-positive "
+            f"value(s) of {len(values)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
 
 
 def normalized_ipc(
@@ -87,7 +103,13 @@ def suite_normalized_rows(
         rows.append(row)
     mean_row = ["geomean"]
     for scheme in schemes:
-        mean_row.append(f"{geomean(columns[scheme]):.3f}")
+        positives = [v for v in columns[scheme] if v > 0]
+        if positives:
+            mean_row.append(f"{geomean(positives):.3f}")
+        else:
+            # No cell produced a usable ratio (e.g. every baseline run
+            # committed nothing): a number here would be fiction.
+            mean_row.append("n/a")
     rows.append(mean_row)
     return rows
 

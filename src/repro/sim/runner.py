@@ -33,6 +33,7 @@ from repro.common.types import SchemeKind
 from repro.isa.microop import MicroOp
 from repro.sim.config import UNSET, RunConfig, coerce_config
 from repro.sim.system import System, SystemResult
+from repro.telemetry.events import TelemetryResult
 from repro.workloads.kernels import build_parallel_traces, build_trace
 from repro.workloads.profile import BenchmarkProfile
 
@@ -71,6 +72,8 @@ class RunResult:
     cycles: int
     stats: StatSet
     per_core: List[StatSet]
+    #: Collected telemetry (``None`` unless the run traced).
+    telemetry: Optional[TelemetryResult] = None
 
     @property
     def ipc(self) -> float:
@@ -196,6 +199,7 @@ def run_benchmark(
         traces,
         scheme,
         warmup_uops=config.resolved_warmup(length),
+        telemetry=config.telemetry,
     ).run()
     return RunResult(
         profile=profile,
@@ -203,6 +207,7 @@ def run_benchmark(
         cycles=result.cycles,
         stats=result.aggregate,
         per_core=result.per_core,
+        telemetry=result.telemetry,
     )
 
 

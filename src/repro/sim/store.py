@@ -29,6 +29,7 @@ from repro.common.params import SystemParams
 from repro.common.stats import StatSet
 from repro.common.types import SchemeKind
 from repro.sim.runner import RunResult
+from repro.telemetry.events import TelemetryResult
 from repro.workloads.profile import BenchmarkProfile
 
 __all__ = [
@@ -101,26 +102,43 @@ def run_key(
 
 
 def result_to_dict(result: RunResult) -> Dict[str, Any]:
-    """JSON-safe dict encoding of a :class:`RunResult`."""
-    return {
+    """JSON-safe dict encoding of a :class:`RunResult`.
+
+    When the run traced, the telemetry *metrics* (counters, gauges,
+    histograms) ride along under ``"metrics"``; the raw event list does
+    not — it is unbounded and belongs in the exporters' trace files.
+    """
+    data = {
         "profile": _jsonable(result.profile),
         "scheme": result.scheme.value,
         "cycles": result.cycles,
         "stats": result.stats.as_dict(),
         "per_core": [core.as_dict() for core in result.per_core],
     }
+    if result.telemetry is not None:
+        data["metrics"] = result.telemetry.metrics
+    return data
 
 
 def result_from_dict(data: Dict[str, Any]) -> RunResult:
-    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
+
+    A stored ``"metrics"`` block comes back as a light
+    :class:`~repro.telemetry.events.TelemetryResult` carrying the metric
+    values only (no events — those live in the exported trace files).
+    """
     profile_data = dict(data["profile"])
     profile_data["kernel_weights"] = dict(profile_data["kernel_weights"])
+    telemetry = None
+    if "metrics" in data:
+        telemetry = TelemetryResult.from_metrics_dict(data["metrics"])
     return RunResult(
         profile=BenchmarkProfile(**profile_data),
         scheme=SchemeKind(data["scheme"]),
         cycles=int(data["cycles"]),
         stats=StatSet(**data["stats"]),
         per_core=[StatSet(**core) for core in data["per_core"]],
+        telemetry=telemetry,
     )
 
 

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.analysis.timeline import TimelineSink
 from repro.common.params import SystemParams
 from repro.common.stats import StatSet
 from repro.common.types import SchemeKind
@@ -12,6 +13,12 @@ from repro.core.pipeline import Core
 from repro.isa.microop import MicroOp
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.security import make_policy
+from repro.telemetry.events import (
+    NULL_TELEMETRY,
+    TelemetryCollector,
+    TelemetryConfig,
+    TelemetryResult,
+)
 
 __all__ = ["System", "SystemResult"]
 
@@ -23,6 +30,8 @@ class SystemResult:
     scheme: SchemeKind
     cycles: int
     per_core: List[StatSet]
+    #: Collected telemetry (``None`` when tracing was disabled).
+    telemetry: Optional[TelemetryResult] = None
 
     @property
     def aggregate(self) -> StatSet:
@@ -49,6 +58,7 @@ class System:
         traces: Sequence[Sequence[MicroOp]],
         scheme: SchemeKind,
         warmup_uops: int = 0,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if len(traces) > params.num_cores:
             params = dataclasses.replace(params, num_cores=len(traces))
@@ -56,6 +66,14 @@ class System:
         self.params = params
         self.scheme = scheme
         self.hierarchy = MemoryHierarchy(params)
+        self.telemetry: Optional[TelemetryCollector] = None
+        if telemetry is not None:
+            self.telemetry = TelemetryCollector(telemetry)
+            if telemetry.timeline_interval is not None:
+                self.telemetry.add_sink(
+                    TimelineSink(interval=telemetry.timeline_interval)
+                )
+        collector = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         self.cores: List[Core] = []
         for core_id, trace in enumerate(traces):
             stats = StatSet()
@@ -69,8 +87,16 @@ class System:
                     policy,
                     stats,
                     warmup_uops=warmup_uops,
+                    telemetry=collector,
                 )
             )
+
+    def _result(self, cycles: int, measured: List[StatSet]) -> SystemResult:
+        """Assemble the result, finalizing telemetry against the stats."""
+        result = SystemResult(self.scheme, cycles, measured)
+        if self.telemetry is not None:
+            result.telemetry = self.telemetry.finalize(result.aggregate)
+        return result
 
     def run(self, max_cycles: int = 50_000_000) -> SystemResult:
         """Run all cores to completion (lockstep with idle fast-forward)."""
@@ -78,7 +104,7 @@ class System:
             core = self.cores[0]
             core.run(max_cycles=max_cycles)
             measured = core.measured
-            return SystemResult(self.scheme, measured.cycles, [measured])
+            return self._result(measured.cycles, [measured])
         cycle = 0
         while True:
             pending = [core for core in self.cores if not core.done]
@@ -95,4 +121,4 @@ class System:
                 cycle = min(core.next_wake(cycle) for core in pending)
         measured = [core.measured for core in self.cores]
         end = max(stats.cycles for stats in measured)
-        return SystemResult(self.scheme, end, measured)
+        return self._result(end, measured)

@@ -65,3 +65,66 @@ class TestLeakageTimeline:
         rows = leakage_timeline(prog.trace(), interval=1).as_rows()
         assert len(rows) == 2
         assert all(len(row) == 3 for row in rows)
+
+
+class TestLeakageTimelineEdges:
+    def test_empty_timeline_properties(self):
+        from repro.analysis import LeakageTimeline
+
+        timeline = LeakageTimeline(interval=10, samples=())
+        assert timeline.peak_dift == 0
+        assert timeline.peak_pairs == 0
+        assert timeline.final == (0, 0)
+        assert timeline.as_rows() == []
+
+    def test_single_sample_properties(self):
+        from repro.analysis import LeakageTimeline
+
+        timeline = LeakageTimeline(interval=10, samples=((7, 3, 1),))
+        assert timeline.peak_dift == 3
+        assert timeline.peak_pairs == 1
+        assert timeline.final == (3, 1)
+        assert timeline.as_rows() == [["7", "3", "1"]]
+
+
+class TestTimelineSink:
+    def test_rejects_bad_interval(self):
+        from repro.analysis import TimelineSink
+
+        with pytest.raises(ValueError):
+            TimelineSink(interval=0)
+
+    def test_empty_sink_yields_empty_timeline(self):
+        from repro.analysis import TimelineSink
+
+        timeline = TimelineSink(interval=10).timeline()
+        assert timeline.samples == ()
+        assert timeline.final == (0, 0)
+
+    def test_event_bus_matches_legacy_timeline(self):
+        """A traced run's timeline equals the post-hoc Clueless replay.
+
+        Commit order on a correct-path trace *is* architectural order,
+        so the streaming sink and the legacy re-run must agree sample
+        for sample.
+        """
+        from repro.common import SchemeKind
+        from repro.sim import RunConfig, run_benchmark
+        from repro.telemetry import TelemetryConfig
+
+        profile = get_benchmark("spec2017", "mcf")
+        length, interval = 2000, 500
+        result = run_benchmark(
+            profile,
+            SchemeKind.UNSAFE,
+            length,
+            config=RunConfig(
+                telemetry=TelemetryConfig(timeline_interval=interval)
+            ),
+        )
+        assert result.telemetry is not None
+        legacy = leakage_timeline(
+            build_trace(profile, length).trace(), interval=interval
+        )
+        assert result.telemetry.timeline is not None
+        assert result.telemetry.timeline.samples == legacy.samples

@@ -52,3 +52,55 @@ class TestMerge:
         d = stats.as_dict()
         assert d["load_pairs_detected"] == 12
         assert "cycles" in d and "ipc" not in d
+
+
+class TestFieldParticipation:
+    """Every StatSet field must participate in merge/delta/as_dict.
+
+    Guards against a new counter being added to the dataclass but
+    silently dropped by one of the aggregation paths.
+    """
+
+    @staticmethod
+    def _distinct():
+        import dataclasses
+
+        stats = StatSet()
+        for i, field in enumerate(dataclasses.fields(StatSet)):
+            setattr(stats, field.name, (i + 1) * 10)
+        return stats
+
+    def test_as_dict_covers_every_field(self):
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(StatSet)}
+        assert set(self._distinct().as_dict()) == names
+        assert "mem_order_violations" in names
+
+    def test_delta_subtracts_every_field(self):
+        import dataclasses
+
+        stats = self._distinct()
+        base = StatSet()
+        for field in dataclasses.fields(StatSet):
+            setattr(base, field.name, 1)
+        delta = stats.delta(base)
+        for field in dataclasses.fields(StatSet):
+            assert (
+                getattr(delta, field.name)
+                == getattr(stats, field.name) - 1
+            ), field.name
+
+    def test_merge_accumulates_every_field(self):
+        import dataclasses
+
+        a, b = self._distinct(), self._distinct()
+        expect = a.snapshot()
+        a.merge(b)
+        for field in dataclasses.fields(StatSet):
+            before = getattr(expect, field.name)
+            after = getattr(a, field.name)
+            if field.name == "cycles":
+                assert after == before, "cycles merge with max, not sum"
+            else:
+                assert after == 2 * before, field.name

@@ -88,11 +88,18 @@ class TestPipelineProperties:
     @settings(max_examples=40, deadline=None)
     def test_unsafe_is_never_slower(self, ops):
         cores = run_all(ops)
-        unsafe = cores[SchemeKind.UNSAFE].stats.cycles
+        unsafe_stats = cores[SchemeKind.UNSAFE].stats
+        unsafe = unsafe_stats.cycles
         for scheme in ALL_SCHEMES[1:]:
+            stats = cores[scheme].stats
             # Allow tiny slack: reveal-driven timing shifts can perturb
-            # memory-order-violation penalties by a few cycles.
-            assert cores[scheme].stats.cycles >= unsafe - 30
+            # memory-order-violation penalties by a few cycles.  Each
+            # violation the unsafe baseline suffers that a delaying
+            # scheme avoids costs it a flush bubble plus a wasted
+            # memory round-trip, so discount those before comparing.
+            extra = unsafe_stats.mem_order_violations - stats.mem_order_violations
+            slack = 30 + 100 * max(0, extra)
+            assert stats.cycles >= unsafe - slack
 
     @given(ops=op_strategy)
     @settings(max_examples=40, deadline=None)

@@ -25,14 +25,50 @@ class TestGeomean:
     def test_empty(self):
         assert geomean([]) == 0.0
 
-    def test_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
-            geomean([1.0, 0.0])
+    def test_skips_nonpositive_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="skipped 1 non-positive"):
+            result = geomean([2.0, 8.0, 0.0])
+        assert abs(result - 4.0) < 1e-12
+
+    def test_all_nonpositive_returns_zero(self):
+        with pytest.warns(RuntimeWarning, match="skipped 2 non-positive"):
+            assert geomean([0.0, -1.0]) == 0.0
 
     def test_matches_log_definition(self):
         values = [0.9, 0.95, 1.0, 0.81]
         expected = math.exp(sum(math.log(v) for v in values) / 4)
         assert abs(geomean(values) - expected) < 1e-12
+
+
+class TestSuiteNormalizedRows:
+    class _FakeResult:
+        def __init__(self, ipc):
+            self.ipc = ipc
+
+    def test_na_when_baseline_never_commits(self):
+        from repro.sim import suite_normalized_rows
+
+        results = {
+            ("b1", SchemeKind.UNSAFE): self._FakeResult(0.0),
+            ("b1", SchemeKind.STT): self._FakeResult(0.5),
+        }
+        rows = suite_normalized_rows(results, ["b1"], [SchemeKind.STT])
+        assert rows[-1] == ["geomean", "n/a"]
+
+    def test_geomean_row_over_positive_cells(self):
+        from repro.sim import suite_normalized_rows
+
+        results = {
+            ("b1", SchemeKind.UNSAFE): self._FakeResult(1.0),
+            ("b1", SchemeKind.STT): self._FakeResult(0.5),
+            ("b2", SchemeKind.UNSAFE): self._FakeResult(1.0),
+            ("b2", SchemeKind.STT): self._FakeResult(0.8),
+        }
+        rows = suite_normalized_rows(
+            results, ["b1", "b2"], [SchemeKind.STT]
+        )
+        assert rows[-1][0] == "geomean"
+        assert abs(float(rows[-1][1]) - math.sqrt(0.5 * 0.8)) < 1e-3
 
 
 class TestOverhead:

@@ -1,0 +1,151 @@
+"""Unit tests for the telemetry exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis import LeakageTimeline
+from repro.telemetry import (
+    CAT_CACHE,
+    CAT_PIPELINE,
+    CAT_SECURITY,
+    Event,
+    MetricsRegistry,
+    leakage_csv,
+    metrics_to_json,
+    to_chrome_trace,
+    to_konata,
+    trace_summary_rows,
+    validate_chrome_trace,
+)
+
+
+def _pipeline_events():
+    """A two-uop window: uop 1 commits, uop 2 squashes."""
+    return [
+        Event(10, CAT_PIPELINE, "dispatch", core=0, seq=1, addr=0x400),
+        Event(11, CAT_PIPELINE, "issue", core=0, seq=1),
+        Event(12, CAT_PIPELINE, "dispatch", core=0, seq=2, addr=0x404),
+        Event(14, CAT_PIPELINE, "complete", core=0, seq=1),
+        Event(15, CAT_PIPELINE, "commit", core=0, seq=1),
+        Event(16, CAT_PIPELINE, "squash", core=0, seq=2),
+    ]
+
+
+class TestChromeTrace:
+    def test_payload_validates_and_round_trips_json(self):
+        payload = to_chrome_trace(_pipeline_events(), pid=3, label="mcf/stt")
+        validate_chrome_trace(payload)
+        clone = json.loads(json.dumps(payload))
+        validate_chrome_trace(clone)
+        # One metadata record plus one entry per event.
+        assert len(payload["traceEvents"]) == 7
+        meta = payload["traceEvents"][0]
+        assert meta["ph"] == "M"
+        assert meta["args"]["name"] == "mcf/stt"
+        assert all(e["pid"] == 3 for e in payload["traceEvents"])
+
+    def test_delay_end_becomes_duration(self):
+        event = Event(50, CAT_SECURITY, "delay_end", seq=4, value=12)
+        payload = to_chrome_trace([event])
+        entry = payload["traceEvents"][0]
+        assert entry["ph"] == "X"
+        assert entry["ts"] == 38  # cycle - duration
+        assert entry["dur"] == 12
+        validate_chrome_trace(payload)
+
+    def test_instants_carry_scope(self):
+        payload = to_chrome_trace([Event(5, CAT_CACHE, "l1_hit")])
+        entry = payload["traceEvents"][0]
+        assert entry["ph"] == "i"
+        assert entry["s"] == "t"
+        assert entry["ts"] == 5
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Z", "pid": 0, "tid": 0}]}
+            )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "i", "pid": 0, "tid": 0, "ts": -1}
+                    ]
+                }
+            )
+
+
+class TestKonata:
+    def test_header_and_stage_flow(self):
+        text = to_konata(_pipeline_events())
+        lines = text.splitlines()
+        assert lines[0] == "Kanata\t0004"
+        assert lines[1] == "C=\t10"
+        # uop 1 (uid 0): inserted, labelled, staged through Ds/Is/Ex,
+        # retired with flag 0; uop 2 (uid 1) flushed with flag 1.
+        assert "I\t0\t1\t0" in lines
+        assert any(l.startswith("L\t0\t0\t#1 core0 pc=0x400") for l in lines)
+        assert "S\t0\t0\tDs" in lines
+        assert "S\t0\t0\tIs" in lines
+        assert "S\t0\t0\tEx" in lines
+        assert "R\t0\t0\t0" in lines
+        assert "R\t1\t1\t1" in lines
+
+    def test_orphan_events_skipped(self):
+        # Issue/commit for a uop whose dispatch fell out of the ring
+        # buffer must not crash the renderer.
+        text = to_konata(
+            [
+                Event(5, CAT_PIPELINE, "issue", seq=9),
+                Event(6, CAT_PIPELINE, "commit", seq=9),
+            ]
+        )
+        assert text == "Kanata\t0004\n"
+
+    def test_non_pipeline_events_ignored(self):
+        text = to_konata([Event(5, CAT_CACHE, "l1_hit", seq=1)])
+        assert text == "Kanata\t0004\n"
+
+
+class TestLeakageCsv:
+    def test_rows(self):
+        timeline = LeakageTimeline(interval=5, samples=((5, 2, 1), (10, 0, 0)))
+        assert leakage_csv(timeline) == (
+            "uops,dift_leaked_words,pair_leaked_words\n5,2,1\n10,0,0\n"
+        )
+
+    def test_empty_timeline_has_header_only(self):
+        timeline = LeakageTimeline(interval=5, samples=())
+        assert leakage_csv(timeline) == (
+            "uops,dift_leaked_words,pair_leaked_words\n"
+        )
+
+
+class TestMetricsJson:
+    def test_accepts_registry_and_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").set(4)
+        text = metrics_to_json(registry)
+        assert json.loads(text)["counters"]["hits"] == 4
+        assert json.loads(metrics_to_json({"a": 1})) == {"a": 1}
+
+
+class TestTraceSummary:
+    def test_rows_sorted_by_count(self):
+        payload = to_chrome_trace(
+            _pipeline_events() + [Event(20, CAT_CACHE, "l1_hit")],
+            label="x",
+        )
+        rows = trace_summary_rows(payload)
+        counts = [int(row[2]) for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert ["pipeline", "dispatch", "2", "10", "12"] in rows
+        # Metadata records are not event rows.
+        assert not any(row[1] == "process_name" for row in rows)

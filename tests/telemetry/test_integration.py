@@ -1,0 +1,107 @@
+"""End-to-end telemetry acceptance tests.
+
+The acceptance invariants of the subsystem: a telemetry-disabled run is
+bit-identical to the seed behaviour, a traced run changes no simulated
+outcome, exported metric counters equal the authoritative StatSet, and
+traced specs bypass the persistent result store.
+"""
+
+import dataclasses
+
+from repro.common import SchemeKind, StatSet
+from repro.sim import RunConfig, run_benchmark
+from repro.sim.engine import RunSpec, execute_specs
+from repro.sim.store import ResultStore, result_from_dict, result_to_dict
+from repro.telemetry import (
+    TelemetryConfig,
+    to_chrome_trace,
+    to_konata,
+    validate_chrome_trace,
+)
+from repro.workloads import get_benchmark
+
+LENGTH = 1500
+
+
+def _run(scheme=SchemeKind.STT_RECON, telemetry=None):
+    profile = get_benchmark("spec2017", "mcf")
+    return run_benchmark(
+        profile, scheme, LENGTH, config=RunConfig(telemetry=telemetry)
+    )
+
+
+class TestTracingChangesNothing:
+    def test_stats_bit_identical_with_and_without_tracing(self):
+        plain = _run()
+        traced = _run(telemetry=TelemetryConfig())
+        assert plain.telemetry is None
+        assert traced.telemetry is not None
+        assert plain.cycles == traced.cycles
+        assert plain.stats.as_dict() == traced.stats.as_dict()
+
+    def test_category_filter_changes_nothing(self):
+        plain = _run()
+        filtered = _run(
+            telemetry=TelemetryConfig(categories=frozenset({"recon"}))
+        )
+        assert plain.stats.as_dict() == filtered.stats.as_dict()
+        assert all(
+            e.category == "recon" for e in filtered.telemetry.events
+        )
+
+
+class TestMetricsMatchStats:
+    def test_exported_counters_equal_statset(self):
+        result = _run(telemetry=TelemetryConfig())
+        counters = result.telemetry.metrics["counters"]
+        for field in dataclasses.fields(StatSet):
+            assert counters[field.name] == getattr(
+                result.stats, field.name
+            ), field.name
+
+    def test_histograms_populated_for_delaying_scheme(self):
+        result = _run(SchemeKind.STT, telemetry=TelemetryConfig())
+        histograms = result.telemetry.metrics["histograms"]
+        assert histograms["load_latency"]["total"] > 0
+        if result.stats.delay_cycles:
+            assert histograms["delay_cycles"]["total"] > 0
+
+
+class TestExportersOnRealRuns:
+    def test_chrome_trace_from_real_run_validates(self):
+        result = _run(telemetry=TelemetryConfig())
+        payload = to_chrome_trace(result.telemetry.events, label="mcf")
+        validate_chrome_trace(payload)
+        assert len(payload["traceEvents"]) > 100
+
+    def test_konata_from_real_run_has_retires(self):
+        result = _run(telemetry=TelemetryConfig())
+        text = to_konata(result.telemetry.events)
+        assert text.startswith("Kanata\t0004\n")
+        assert "\tR\t" in text or "\nR\t" in text
+
+
+class TestStoreInteraction:
+    def test_traced_specs_bypass_the_store(self, tmp_path):
+        config = RunConfig(telemetry=TelemetryConfig())
+        profile = get_benchmark("spec2017", "gcc")
+        spec = RunSpec.build(profile, SchemeKind.UNSAFE, 700, config)
+        store = ResultStore(tmp_path)
+        results, records = execute_specs([spec], config=config, store=store)
+        assert results[0].telemetry is not None
+        assert not records[0].from_store
+        assert len(store) == 0  # nothing persisted
+        # Running again still simulates (and still carries telemetry).
+        again, records = execute_specs([spec], config=config, store=store)
+        assert not records[0].from_store
+        assert again[0].telemetry is not None
+
+    def test_serialization_keeps_metrics_drops_events(self):
+        result = _run(telemetry=TelemetryConfig())
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.telemetry is not None
+        assert restored.telemetry.events == []
+        assert (
+            restored.telemetry.metrics["counters"]
+            == result.telemetry.metrics["counters"]
+        )
