@@ -1,0 +1,95 @@
+"""Memory-level parallelism win of the MSHR-based transaction engine.
+
+A miss-dense kernel (independent loads, every one a cold miss) is run
+under increasingly bounded MSHR files.  With a single MSHR every primary
+miss stalls until the previous fill lands — the legacy serialized
+behavior; with eight or more, misses overlap and the kernel's runtime
+collapses toward issue-limited.  The bench asserts the overlap win and
+writes the cycle counts to ``results/mlp_overlap.json`` (the CI
+``memory-parity`` job uploads it as the before/after artifact).
+"""
+
+import dataclasses
+import json
+
+from repro.common import (
+    MemoryParams,
+    MemoryTimingParams,
+    SchemeKind,
+    SystemParams,
+)
+from repro.isa import Program
+from repro.sim import System, format_table
+
+from benchmarks.common import emit, results_dir
+
+#: Independent cold-miss loads in the kernel.
+LOADS = 400
+
+#: MSHR budgets swept, most constrained first.  ``None`` = unbounded.
+MSHR_SWEEP = (1, 2, 4, 8, 16, None)
+
+
+def miss_dense_trace():
+    """Independent loads, one fresh cache line each: pure MLP."""
+    prog = Program()
+    for i in range(LOADS):
+        prog.li(1, 0x10000 + i * 64)
+        prog.load(2, base=1)
+    return prog.trace()
+
+
+def run_kernel(mshr_entries):
+    params = SystemParams(
+        memory=dataclasses.replace(
+            MemoryParams(),
+            timing=MemoryTimingParams(mshr_entries=mshr_entries),
+        )
+    )
+    result = System(params, [miss_dense_trace()], SchemeKind.UNSAFE).run()
+    return result.cycles
+
+
+def _run():
+    cycles = {entries: run_kernel(entries) for entries in MSHR_SWEEP}
+    baseline = cycles[1]
+    rows = [
+        [
+            "unbounded" if entries is None else str(entries),
+            str(count),
+            f"{baseline / count:.2f}x",
+        ]
+        for entries, count in cycles.items()
+    ]
+    table = format_table(["MSHRs", "cycles", "speedup vs 1"], rows)
+    payload = {
+        "loads": LOADS,
+        "cycles": {
+            "unbounded" if entries is None else str(entries): count
+            for entries, count in cycles.items()
+        },
+        "speedup_8_vs_1": baseline / cycles[8],
+    }
+    (results_dir() / "mlp_overlap.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return table, cycles
+
+
+def test_mshrs_overlap_misses(benchmark):
+    table, cycles = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "mlp_overlap",
+        f"MLP overlap: {LOADS} independent cold misses vs MSHR budget",
+        table,
+    )
+    # The headline win: eight MSHRs beat one measurably (>= 2x here;
+    # "measurably" in the issue's sense is far below this).
+    assert cycles[8] * 2 <= cycles[1], (
+        f"8 MSHRs ({cycles[8]}) not measurably faster than 1 ({cycles[1]})"
+    )
+    # More MSHRs never hurt: the sweep is monotonically non-increasing.
+    ordered = [cycles[e] for e in MSHR_SWEEP]
+    assert ordered == sorted(ordered, reverse=True), ordered
+    # Unbounded matches a large-enough bound (the knob only removes work).
+    assert cycles[None] <= cycles[16]

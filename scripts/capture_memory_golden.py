@@ -1,0 +1,45 @@
+"""Regenerate the contention-free parity golden.
+
+Runs the deterministic stimulus in ``tests/memory/parity_driver.py``
+against the *current* memory model and writes the results to
+``tests/data/memory_parity_golden.json``.
+
+The checked-in golden was produced by the legacy atomic
+latency-summing hierarchy immediately before the packet/port refactor;
+only regenerate it deliberately (i.e. when an intentional timing change
+lands), never to paper over a parity failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/capture_memory_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.memory.parity_driver import GOLDEN_PATH, capture_golden  # noqa: E402
+
+
+def main() -> int:
+    payload = capture_golden()
+    out = REPO / GOLDEN_PATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    runs = payload["runs"]
+    accesses = payload["accesses"]
+    print(f"wrote {out}")
+    print(f"  {sum(len(v) for v in accesses.values())} access records "
+          f"across {len(accesses)} configs")
+    print(f"  {len(runs)} benchmark cells")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,7 @@ from repro.sim.sweep import lpt_size_variants, recon_level_variants
 from repro.telemetry import (
     TelemetryConfig,
     leakage_csv,
+    metrics_summary_rows,
     metrics_to_json,
     parse_filter,
     to_chrome_trace,
@@ -389,6 +390,19 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     total = sum(int(row[2]) for row in rows)
     print(f"{args.path}: {total} events, {len(rows)} kinds\n")
     print(format_table(["category", "kind", "count", "first", "last"], rows))
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        try:
+            metrics = json.loads(Path(metrics_path).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load metrics: {exc}")
+        hist_rows = metrics_summary_rows(metrics)
+        print(f"\n{metrics_path}: {len(hist_rows)} histograms\n")
+        print(
+            format_table(
+                ["histogram", "samples", "mean", "p50", "p99"], hist_rows
+            )
+        )
     return 0
 
 
@@ -445,7 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="CATS",
             help="comma list of event categories to collect "
-            "(pipeline,cache,coherence,recon,security,shadow; default all)",
+            "(pipeline,cache,coherence,recon,security,shadow,mem_txn; "
+            "default all)",
         )
         p.add_argument(
             "--metrics-out",
@@ -499,6 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
         "telemetry", help="summarize a Chrome trace written by --trace"
     )
     p_tel.add_argument("path", help="trace JSON file from --trace")
+    p_tel.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="also summarize a metrics JSON from --metrics-out "
+        "(histograms incl. MSHR occupancy and NoC queue depth)",
+    )
     p_tel.set_defaults(func=cmd_telemetry)
 
     return parser

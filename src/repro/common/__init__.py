@@ -1,6 +1,13 @@
 """Shared vocabulary: types, parameters, and statistics."""
 
-from repro.common.params import CacheParams, CoreParams, MemoryParams, SystemParams
+from repro.common.events import EventQueue
+from repro.common.params import (
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    MemoryTimingParams,
+    SystemParams,
+)
 from repro.common.stats import StatSet
 from repro.common.types import (
     LINE_BYTES,
@@ -21,10 +28,12 @@ __all__ = [
     "CacheLevel",
     "CacheParams",
     "CoreParams",
+    "EventQueue",
     "LINE_BYTES",
     "MESIState",
     "MemPrediction",
     "MemoryParams",
+    "MemoryTimingParams",
     "OpClass",
     "SchemeKind",
     "SpeculationModel",

@@ -1,0 +1,52 @@
+"""Shared discrete-event queue for cores and the memory system.
+
+One :class:`EventQueue` is shared by every core of a :class:`System`
+(and by the hierarchy's packet completions), replacing the per-core
+``{cycle: [events]}`` dicts of the lockstep era.  Events are
+``(cycle, callback)`` pairs; insertion order breaks ties, so two events
+scheduled for the same cycle fire in the order they were scheduled —
+which preserves the legacy per-core processing order exactly.
+
+``service(cycle)`` fires *every* event due at or before ``cycle`` and is
+idempotent, so any core's step may drain the queue on behalf of all of
+them: callbacks are bound methods that only touch their own core's
+state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(cycle, seq, callback)`` events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Callable[[int], None]]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, cycle: int, callback: Callable[[int], None]) -> None:
+        """Fire ``callback(cycle)`` when the clock reaches ``cycle``."""
+        heapq.heappush(self._heap, (cycle, next(self._seq), callback))
+
+    def service(self, cycle: int) -> bool:
+        """Fire every event due at or before ``cycle``; True if any fired."""
+        fired = False
+        while self._heap and self._heap[0][0] <= cycle:
+            _, _, callback = heapq.heappop(self._heap)
+            callback(cycle)
+            fired = True
+        return fired
+
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event (None when empty)."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

@@ -12,7 +12,13 @@ from typing import Optional, Tuple
 
 from repro.common.types import CacheLevel, LINE_BYTES, SpeculationModel
 
-__all__ = ["CoreParams", "CacheParams", "MemoryParams", "SystemParams"]
+__all__ = [
+    "CoreParams",
+    "CacheParams",
+    "MemoryParams",
+    "MemoryTimingParams",
+    "SystemParams",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,6 +91,54 @@ class CacheParams:
 
 
 @dataclasses.dataclass(frozen=True)
+class MemoryTimingParams:
+    """Contention knobs of the packet/port transaction engine.
+
+    Every knob defaults to ``None`` (unbounded), which is the
+    *contention-free* configuration: the transaction engine then
+    reproduces the legacy atomic latency-summing model access-for-access
+    (enforced by the golden parity suite).  Bounding any knob introduces
+    queueing delay where real hardware serializes:
+
+    * ``mshr_entries`` — outstanding misses per core; a primary miss
+      with no free MSHR stalls until the oldest outstanding fill lands.
+    * ``port_width`` — request packets a core's master port accepts per
+      cycle; excess packets start on later cycles.
+    * ``noc_link_width`` — interconnect messages injected per cycle
+      before hops queue.
+    * ``dram_queue_depth`` — outstanding DRAM reads; a fetch beyond the
+      depth waits for the earliest in-flight read to complete.
+    """
+
+    mshr_entries: Optional[int] = None
+    port_width: Optional[int] = None
+    noc_link_width: Optional[int] = None
+    dram_queue_depth: Optional[int] = None
+
+    @property
+    def contention_free(self) -> bool:
+        """True when no knob can ever add queueing delay."""
+        return (
+            self.mshr_entries is None
+            and self.port_width is None
+            and self.noc_link_width is None
+            and self.dram_queue_depth is None
+        )
+
+    def validate(self) -> None:
+        """Raise ValueError on a meaningless bound."""
+        for name in (
+            "mshr_entries",
+            "port_width",
+            "noc_link_width",
+            "dram_queue_depth",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+
+
+@dataclasses.dataclass(frozen=True)
 class MemoryParams:
     """Cache hierarchy + DRAM (Table 2, 'Memory').
 
@@ -112,6 +166,9 @@ class MemoryParams:
     #: directory's reveal vector like any other fill, so ReCon state
     #: arrives with the prefetch.
     prefetch_next_line: bool = False
+    #: Contention model of the transaction engine (MSHR count, port
+    #: widths, DRAM queue depth).  The default is contention-free.
+    timing: MemoryTimingParams = MemoryTimingParams()
 
     def level(self, level: CacheLevel) -> CacheParams:
         """Parameters of one cache level."""
@@ -133,6 +190,7 @@ class MemoryParams:
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.topology == "mesh" and (self.mesh_rows <= 0 or self.mesh_cols <= 0):
             raise ValueError("mesh dimensions must be positive")
+        self.timing.validate()
 
 
 @dataclasses.dataclass(frozen=True)

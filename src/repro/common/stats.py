@@ -64,6 +64,18 @@ class StatSet:
     #: Store-to-load forwards from SQ/SB.
     store_forwards: int = 0
 
+    # --- transaction engine (packet/port/MSHR contention) ---------------
+    #: Secondary misses merged into an outstanding MSHR entry.
+    mshr_hits_under_miss: int = 0
+    #: Cycles primary misses waited for a free MSHR entry.
+    mshr_stall_cycles: int = 0
+    #: Cycles request packets waited for a master-port grant.
+    port_stall_cycles: int = 0
+    #: Cycles interconnect messages queued for a link slot.
+    noc_queue_cycles: int = 0
+    #: Cycles DRAM fetches waited in the bounded channel queue.
+    dram_queue_cycles: int = 0
+
     @property
     def ipc(self) -> float:
         """Committed micro-ops per cycle."""

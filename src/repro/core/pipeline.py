@@ -38,6 +38,8 @@ from repro.core.rename import RegisterFile
 from repro.core.shadows import ShadowTracker
 from repro.isa.microop import MicroOp
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.packet import MemPacket, PacketKind
+from repro.common.events import EventQueue
 from repro.security.policy import EMPTY_TAINT, SecurityPolicy
 from repro.security.lpt import LoadPairTable
 from repro.telemetry.events import (
@@ -124,6 +126,7 @@ class Core:
         stats: Optional[StatSet] = None,
         warmup_uops: int = 0,
         telemetry=NULL_TELEMETRY,
+        events: Optional[EventQueue] = None,
     ) -> None:
         params.validate()
         self.core_id = core_id
@@ -178,8 +181,10 @@ class Core:
         self._rob_head = 0
         self._iq_count = 0
         self._ready: List[_Inst] = []
-        self._events: Dict[int, List[Tuple[str, _Inst]]] = {}
-        self._event_cycles: List[int] = []  # min-heap of scheduled cycles
+        #: Discrete-event queue; shared across cores (and packet
+        #: completions) when a :class:`~repro.sim.system.System` passes
+        #: one in, private otherwise (standalone cores in tests).
+        self.events = events if events is not None else EventQueue()
         self._blocked_branches: List[_Inst] = []
         self._deferred: List[Tuple[int, _Inst]] = []  # NDA broadcast at safety
         self._pending_exposes: List[Tuple[int, int]] = []  # invisible loads
@@ -205,9 +210,11 @@ class Core:
     def run(self, max_cycles: int = 50_000_000) -> StatSet:
         """Run the trace to completion; returns the stats."""
         while not self.done:
+            if self.cycle >= max_cycles:
+                raise RuntimeError(
+                    f"exceeded {max_cycles} cycles; likely hang"
+                )
             active = self.step(self.cycle)
-            if self.cycle > max_cycles:
-                raise RuntimeError(f"exceeded {max_cycles} cycles; likely hang")
             if active or self.done:
                 self.cycle += 1
             else:
@@ -243,10 +250,9 @@ class Core:
     def next_wake(self, cycle: int) -> int:
         """Earliest future cycle at which state can change."""
         candidates = [cycle + 1]
-        while self._event_cycles and self._event_cycles[0] <= cycle:
-            heapq.heappop(self._event_cycles)
-        if self._event_cycles:
-            candidates.append(self._event_cycles[0])
+        pending = self.events.next_cycle()
+        if pending is not None and pending > cycle:
+            candidates.append(pending)
         if self._fetch_blocked_by is None and self._fetch_resume_cycle > cycle:
             candidates.append(self._fetch_resume_cycle)
         if len(candidates) == 1:
@@ -258,21 +264,19 @@ class Core:
     # cycle phases
     # ------------------------------------------------------------------
     def _schedule(self, cycle: int, kind: str, inst: _Inst) -> None:
-        self._events.setdefault(cycle, []).append((kind, inst))
-        heapq.heappush(self._event_cycles, cycle)
+        if kind == "complete":
+            self.events.schedule(
+                cycle, lambda now, inst=inst: self._complete(inst, now)
+            )
+        elif kind == "load_return":
+            self.events.schedule(
+                cycle, lambda now, inst=inst: self._load_return(inst, now)
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown event {kind}")
 
     def _process_events(self, cycle: int) -> bool:
-        events = self._events.pop(cycle, None)
-        if not events:
-            return False
-        for kind, inst in events:
-            if kind == "complete":
-                self._complete(inst, cycle)
-            elif kind == "load_return":
-                self._load_return(inst, cycle)
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown event {kind}")
-        return True
+        return self.events.service(cycle)
 
     def _complete(self, inst: _Inst, cycle: int) -> None:
         uop = inst.uop
@@ -360,7 +364,11 @@ class Core:
         while self._pending_exposes and self._pending_exposes[0][0] < frontier:
             # Expose: install the line for real, off the critical path.
             _, addr = heapq.heappop(self._pending_exposes)
-            self.hierarchy.read(self.core_id, addr, now=cycle)
+            self.hierarchy.submit(
+                MemPacket.request(
+                    PacketKind.READ_REQ, self.core_id, addr, cycle
+                )
+            )
 
     def _commit(self, cycle: int) -> int:
         committed = 0
@@ -381,7 +389,7 @@ class Core:
                 self.lsq.commit_load(inst.seq)
                 self.stats.committed_loads += 1
                 if self.lpt is not None:
-                    self._lpt_load_commit(inst)
+                    self._lpt_load_commit(inst, cycle)
             else:
                 if uop.opclass is OpClass.BRANCH:
                     self.stats.committed_branches += 1
@@ -416,15 +424,15 @@ class Core:
             self._rob_head = 0
         return committed
 
-    def _lpt_load_commit(self, inst: _Inst) -> None:
+    def _lpt_load_commit(self, inst: _Inst, cycle: int) -> None:
         assert self.lpt is not None and inst.dest_phys is not None
         sources = inst.src_phys[: self.params.lpt_sources]
         reveals = self.lpt.on_load_commit_multi(
             inst.dest_phys, sources, inst.uop.addr or 0
         )
-        for reveal_addr in reveals:
-            self.stats.load_pairs_detected += 1
-            self.hierarchy.reveal(self.core_id, reveal_addr)
+        self.stats.load_pairs_detected += len(reveals)
+        for pkt in self.lpt.reveal_packets(reveals, self.core_id, cycle):
+            self.hierarchy.submit(pkt)
 
     def _drain_store_buffer(self, cycle: int) -> bool:
         drained = False
@@ -432,7 +440,7 @@ class Core:
             entry = self.lsq.pop_performable_store()
             if entry is None:
                 break
-            self.hierarchy.write(self.core_id, entry.addr, now=cycle)
+            self.hierarchy.submit(entry.drain_packet(self.core_id, cycle))
             drained = True
         return drained
 
@@ -548,19 +556,28 @@ class Core:
             # read memory past unresolved stores, so it participates in
             # memory-order violation detection like any other load.
             access_cycle = cycle + 1
-            latency = self.hierarchy.read_invisible(
-                self.core_id, addr, now=access_cycle
+            pkt = self.hierarchy.submit(
+                MemPacket.request(
+                    PacketKind.INVISIBLE_REQ, self.core_id, addr, access_cycle
+                )
             )
             inst.mem_revealed = False
             entry = self.lsq.load_entry(inst.seq)
             if entry is not None:
                 entry.went_to_memory = True
             heapq.heappush(self._pending_exposes, (inst.seq, addr))
-            self._schedule(access_cycle + latency, "load_return", inst)
+            self._schedule_packet_return(pkt, inst)
         else:
             access_cycle = cycle + 1  # address generation
-            result = self.hierarchy.read(self.core_id, addr, now=access_cycle)
-            inst.mem_revealed = result.revealed
+            # Non-blocking load: the packet completes with a callback;
+            # the core keeps issuing younger work while the miss (and any
+            # misses merged into its MSHR entry) is outstanding.
+            pkt = self.hierarchy.submit(
+                MemPacket.request(
+                    PacketKind.READ_REQ, self.core_id, addr, access_cycle
+                )
+            )
+            inst.mem_revealed = pkt.revealed
             inst.went_to_memory = True
             entry = self.lsq.load_entry(inst.seq)
             if entry is not None:
@@ -574,8 +591,15 @@ class Core:
                     self.shadows.is_speculative(inst.seq),
                 )
             )
-            self._schedule(access_cycle + result.latency, "load_return", inst)
+            self._schedule_packet_return(pkt, inst)
         return True
+
+    def _schedule_packet_return(self, pkt: MemPacket, inst: _Inst) -> None:
+        """Deliver a completed packet's data to ``inst`` at ``ready_at``."""
+        pkt.on_complete = lambda p, inst=inst: self._load_return(
+            inst, p.ready_at
+        )
+        self.events.schedule(pkt.ready_at, lambda now, p=pkt: p.fire())
 
     def _finish_delay_stat(self, inst: _Inst, cycle: int) -> None:
         if inst.first_blocked >= 0:

@@ -1,15 +1,31 @@
-"""Memory hierarchy: caches, MESI directory coherence, ReCon bit-vectors."""
+"""Memory hierarchy: caches, MESI directory coherence, ReCon bit-vectors.
+
+The core-facing interface is the packet/port transaction engine:
+:class:`MemPacket` requests submitted through
+:meth:`MemoryHierarchy.submit`, with per-core :class:`MSHRFile` s and
+bandwidth-bounded ports supplying the contention model.
+"""
 
 from repro.memory.cache import CacheArray, CacheLine
 from repro.memory.dram import MainMemory
 from repro.memory.hierarchy import AccessResult, MemoryHierarchy
-from repro.memory.interconnect import FixedLatencyInterconnect
+from repro.memory.interconnect import FixedLatencyInterconnect, MeshInterconnect
+from repro.memory.mshr import MSHRFile
+from repro.memory.packet import MemPacket, PacketKind
+from repro.memory.ports import BandwidthPort, MasterPort, SlavePort
 
 __all__ = [
     "AccessResult",
+    "BandwidthPort",
     "CacheArray",
     "CacheLine",
     "FixedLatencyInterconnect",
+    "MSHRFile",
     "MainMemory",
+    "MasterPort",
+    "MemPacket",
     "MemoryHierarchy",
+    "MeshInterconnect",
+    "PacketKind",
+    "SlavePort",
 ]

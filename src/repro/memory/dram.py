@@ -3,27 +3,64 @@
 DRAM in this reproduction is a flat latency source: ReCon stores no reveal
 bits in memory, so a line refetched from DRAM always arrives fully
 concealed (paper §5.2).
+
+With ``queue_depth`` bounded, the channel tracks outstanding reads: a
+fetch issued while the queue is full waits for the earliest in-flight
+read to complete before starting.  Unbounded (the default) fetches never
+queue, preserving legacy latencies.
 """
 
 from __future__ import annotations
+
+import heapq
+from typing import List, Optional
 
 __all__ = ["MainMemory"]
 
 
 class MainMemory:
-    """Fixed-latency DRAM endpoint."""
+    """Fixed-latency DRAM endpoint with an optional bounded read queue."""
 
-    def __init__(self, latency: int) -> None:
+    def __init__(
+        self, latency: int, queue_depth: Optional[int] = None
+    ) -> None:
         if latency <= 0:
             raise ValueError("DRAM latency must be positive")
+        if queue_depth is not None and queue_depth <= 0:
+            raise ValueError("DRAM queue depth must be positive (or None)")
         self.latency = latency
+        self.queue_depth = queue_depth
         self.reads = 0
         self.writebacks = 0
+        #: Total cycles fetches spent waiting for a queue slot.
+        self.queue_cycles = 0
+        self._inflight: List[int] = []  # completion times, min-heap
 
-    def fetch(self) -> int:
-        """Fetch a line; returns the access latency in cycles."""
+    def fetch(self, now: Optional[int] = None) -> int:
+        """Fetch a line; returns the access latency in cycles.
+
+        ``now`` enables the bounded channel: with the queue full, the
+        fetch starts when the earliest outstanding read retires, and the
+        wait is included in the returned latency.
+        """
         self.reads += 1
-        return self.latency
+        if self.queue_depth is None or now is None:
+            return self.latency
+        while self._inflight and self._inflight[0] <= now:
+            heapq.heappop(self._inflight)
+        start = now
+        if len(self._inflight) >= self.queue_depth:
+            # Take over the slot of the earliest outstanding read: it has
+            # completed by the time this fetch starts.
+            start = max(start, heapq.heappop(self._inflight))
+        heapq.heappush(self._inflight, start + self.latency)
+        wait = start - now
+        self.queue_cycles += wait
+        return wait + self.latency
+
+    def outstanding(self, now: int) -> int:
+        """Reads still in flight at ``now`` (bounded channel only)."""
+        return sum(1 for done in self._inflight if done > now)
 
     def writeback(self) -> int:
         """Write a dirty line back; returns the (posted) latency."""

@@ -2,9 +2,27 @@
 
 Structure (Table 2): per-core private L1 and L2 (inclusive), one shared LLC
 holding an in-cache directory.  The protocol is a directory MESI whose
-stable-state transitions are walked synchronously per access; latency is the
-sum of the Table 2 round-trip costs of every agent the transaction touches
-plus interconnect hops.
+stable-state transitions are walked per transaction; latency is the sum of
+the Table 2 round-trip costs of every agent the transaction touches plus
+interconnect hops, plus — under a bounded :class:`MemoryTimingParams` —
+the queueing delays of ports, MSHRs, interconnect links and the DRAM
+channel.
+
+The core-facing interface is the packet/port model: the pipeline builds a
+:class:`~repro.memory.packet.MemPacket` and :meth:`MemoryHierarchy.submit`
+turns the request into its response.  Internally, every coherence message
+that carries a ReCon bit-vector (writebacks, owner downgrades,
+invalidation acks under footnote 1) travels as a packet too — the vector
+is read from the packet payload at the receiving end, never directly from
+the remote cache.  Outstanding misses live in per-core
+:class:`~repro.memory.mshr.MSHRFile` s: a primary miss allocates an
+entry, a same-line access while the fill is in flight merges into it
+(hit-under-miss), and the entry is dropped when the line leaves the
+private hierarchy.  The legacy ``read()/write()`` call surface remains as
+thin wrappers over ``submit`` so exact-latency tests and analysis code
+keep working; the contention-free configuration (every timing knob
+``None``) reproduces the legacy per-access latencies exactly, which the
+golden parity suite (``tests/memory/test_parity_golden.py``) enforces.
 
 ReCon metadata rules implemented here (paper §5.2-5.3):
 
@@ -36,9 +54,13 @@ from repro.memory import recon_bits
 from repro.memory.cache import CacheArray, CacheLine
 from repro.memory.dram import MainMemory
 from repro.memory.interconnect import FixedLatencyInterconnect, MeshInterconnect
+from repro.memory.mshr import MSHRFile
+from repro.memory.packet import MemPacket, PacketKind
+from repro.memory.ports import MasterPort
 from repro.telemetry.events import (
     CAT_CACHE,
     CAT_COHERENCE,
+    CAT_MEM_TXN,
     CAT_RECON,
     NULL_TELEMETRY,
 )
@@ -72,12 +94,14 @@ class AccessResult:
 
 
 class _PrivateCaches:
-    """One core's private L1+L2 plus its outstanding-fill (MSHR) table."""
+    """One core's private L1+L2, its MSHR file, and its master port."""
 
     def __init__(self, params: SystemParams) -> None:
         self.l1 = CacheArray(params.memory.l1)
         self.l2 = CacheArray(params.memory.l2)
-        self.fills: Dict[int, int] = {}  # line addr -> cycle the fill lands
+        timing = params.memory.timing
+        self.mshr = MSHRFile(timing.mshr_entries)
+        self.port = MasterPort(timing.port_width)
 
 
 class MemoryHierarchy:
@@ -86,15 +110,22 @@ class MemoryHierarchy:
     def __init__(self, params: SystemParams) -> None:
         params.validate()
         self.params = params
+        timing = params.memory.timing
         if params.memory.topology == "mesh":
             self.noc: FixedLatencyInterconnect = MeshInterconnect(
                 params.memory.mesh_rows,
                 params.memory.mesh_cols,
                 params.memory.noc_hop_latency,
+                link_width=timing.noc_link_width,
             )
         else:
-            self.noc = FixedLatencyInterconnect(params.memory.noc_hop_latency)
-        self.dram = MainMemory(params.memory.dram_latency)
+            self.noc = FixedLatencyInterconnect(
+                params.memory.noc_hop_latency,
+                link_width=timing.noc_link_width,
+            )
+        self.dram = MainMemory(
+            params.memory.dram_latency, queue_depth=timing.dram_queue_depth
+        )
         self.llc = CacheArray(params.memory.llc)
         self._privs = [_PrivateCaches(params) for _ in range(params.num_cores)]
         self._stats = [StatSet() for _ in range(params.num_cores)]
@@ -104,6 +135,10 @@ class MemoryHierarchy:
         #: Telemetry sink (a core wires a live collector in when tracing
         #: is enabled; events are stamped with the collector's cycle).
         self.telemetry = NULL_TELEMETRY
+        #: Clock of the transaction currently being processed; internal
+        #: messaging (hops, DRAM fetches) reads it so bounded resources
+        #: queue against the right cycle.  ``None`` outside a transaction.
+        self._txn_now: Optional[int] = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -118,6 +153,50 @@ class MemoryHierarchy:
 
     def _vector_if_tracked(self, vector: int, level: CacheLevel) -> int:
         return vector if self._tracks(level) else recon_bits.ALL_CONCEALED
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def _hop(
+        self,
+        carries_bitvector: bool = False,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> int:
+        """One interconnect message within the current transaction."""
+        return self.noc.hop(
+            carries_bitvector=carries_bitvector,
+            src=src,
+            dst=dst,
+            now=self._txn_now,
+        )
+
+    def _transfer(
+        self,
+        kind: PacketKind,
+        core: int,
+        laddr: int,
+        src: Optional[int],
+        dst: Optional[int],
+        vector: int,
+    ) -> MemPacket:
+        """Send one vector-carrying coherence message as a packet.
+
+        The returned packet's ``reveal_vector`` is the payload the
+        receiving agent reads — coherence code never reaches into the
+        remote cache for it — and ``latency`` is the hop cost.
+        """
+        pkt = MemPacket(
+            kind=kind,
+            core=core,
+            addr=laddr,
+            issued_at=self._txn_now or 0,
+            src=src,
+            dst=dst,
+            reveal_vector=vector,
+        )
+        pkt.latency = self._hop(carries_bitvector=True, src=src, dst=dst)
+        return pkt
 
     # ------------------------------------------------------------------
     # private-hierarchy helpers
@@ -168,10 +247,16 @@ class MemoryHierarchy:
             raise RuntimeError(
                 f"inclusion violated: private victim {victim.addr:#x} missing in LLC"
             )
-        self.noc.hop(
-            carries_bitvector=True,
+        # The line is gone from the private hierarchy: a fill still in
+        # flight must not become a stale merge target for a later refetch.
+        priv.mshr.retire(victim.addr)
+        wb = self._transfer(
+            PacketKind.WRITEBACK,
+            core,
+            victim.addr,
             src=core,
             dst=self.noc.home_node(victim.addr),
+            vector=self._vector_if_tracked(victim.reveal, CacheLevel.LLC),
         )
         stats.coherence_transactions += 1
         if self.telemetry.enabled:
@@ -185,14 +270,14 @@ class MemoryHierarchy:
                 addr=victim.addr,
                 value=_MESI_ORD[victim.state],
             )
-        outgoing = self._vector_if_tracked(victim.reveal, CacheLevel.LLC)
+        assert wb.reveal_vector is not None
         if victim.state is MESIState.MODIFIED:
             # PutM: data + vector overwrite the directory copy.
-            dir_line.reveal = outgoing
+            dir_line.reveal = wb.reveal_vector
             dir_line.dirty = dir_line.dirty or victim.dirty
         else:
             # PutS/PutE: OR-merge preserves reveals across serial evictions.
-            dir_line.reveal = recon_bits.merge(dir_line.reveal, outgoing)
+            dir_line.reveal = recon_bits.merge(dir_line.reveal, wb.reveal_vector)
         if dir_line.owner == core:
             dir_line.owner = None
         dir_line.sharers.discard(core)
@@ -234,6 +319,7 @@ class MemoryHierarchy:
         sharers the caller discards it (paper footnote 1).
         """
         priv = self._privs[core]
+        priv.mshr.retire(laddr)
         vector = recon_bits.ALL_CONCEALED
         dirty = False
         l1_line = priv.l1.remove(laddr)
@@ -260,7 +346,7 @@ class MemoryHierarchy:
         for core in holders:
             _, was_dirty = self._invalidate_private(core, victim.addr)
             dirty = dirty or was_dirty
-            self.noc.hop(src=home, dst=core)
+            self._hop(src=home, dst=core)
             self._stats[core].invalidations += 1
             if telemetry.enabled:
                 telemetry.emit(
@@ -274,7 +360,7 @@ class MemoryHierarchy:
         self, laddr: int, stats: StatSet, core: Optional[int] = None
     ) -> Tuple[CacheLine, int]:
         """Ensure ``laddr`` is resident in the LLC; return (line, latency)."""
-        latency = self.llc.params.latency + self.noc.hop(
+        latency = self.llc.params.latency + self._hop(
             src=core, dst=self.noc.home_node(laddr)
         )
         line = self.llc.lookup(laddr)
@@ -290,7 +376,7 @@ class MemoryHierarchy:
             self.telemetry.emit(
                 CAT_CACHE, "llc_miss", core=core or 0, addr=laddr
             )
-        latency += self.dram.fetch()
+        latency += self.dram.fetch(self._txn_now)
         line, victim = self.llc.insert(
             laddr, MESIState.SHARED, recon_bits.ALL_CONCEALED
         )
@@ -302,14 +388,19 @@ class MemoryHierarchy:
         """Owner writes data + vector back; becomes a sharer.  Returns cost."""
         owner = dir_line.owner
         assert owner is not None
-        latency = self.noc.hop(
-            carries_bitvector=True,
+        resp = self._transfer(
+            PacketKind.SNOOP,
+            owner,
+            dir_line.addr,
             src=self.noc.home_node(dir_line.addr),
             dst=owner,
+            vector=self._authoritative_vector(owner, dir_line.addr),
         )
-        latency += self.params.memory.l2.latency
-        vector = self._authoritative_vector(owner, dir_line.addr)
-        dir_line.reveal = self._vector_if_tracked(vector, CacheLevel.LLC)
+        assert resp.latency is not None and resp.reveal_vector is not None
+        latency = resp.latency + self.params.memory.l2.latency
+        dir_line.reveal = self._vector_if_tracked(
+            resp.reveal_vector, CacheLevel.LLC
+        )
         priv = self._privs[owner]
         for array in (priv.l1, priv.l2):
             held = array.lookup(dir_line.addr, touch=False)
@@ -324,7 +415,96 @@ class MemoryHierarchy:
         return latency
 
     # ------------------------------------------------------------------
-    # core-facing operations
+    # the transaction engine
+    # ------------------------------------------------------------------
+    def submit(self, pkt: MemPacket) -> MemPacket:
+        """Process one request packet; completes and returns it.
+
+        The packet acquires the issuing core's master port (waiting for a
+        grant when the port is width-bounded), walks the coherence
+        protocol, and mutates into its response: ``latency`` is the full
+        request-to-data time including every queueing delay, ``ready_at``
+        the completion cycle.  The caller schedules ``pkt.fire()`` at
+        ``ready_at`` for non-blocking completion delivery.
+        """
+        if not pkt.kind.is_request:
+            raise ValueError(f"cannot submit a {pkt.kind} packet")
+        stats = self._stats[pkt.core]
+        priv = self._privs[pkt.core]
+        wait = priv.port.acquire(pkt.issued_at)
+        stats.port_stall_cycles += wait
+        noc_q0 = self.noc.queue_cycles
+        dram_q0 = self.dram.queue_cycles
+        self._txn_now = pkt.issued_at + wait
+        try:
+            if pkt.kind is PacketKind.READ_REQ:
+                self._do_read(pkt)
+            elif pkt.kind is PacketKind.WRITE_REQ:
+                self._do_write(pkt)
+            elif pkt.kind is PacketKind.INVISIBLE_REQ:
+                self._do_invisible(pkt)
+            else:
+                self._do_reveal(pkt)
+            assert pkt.latency is not None
+            pkt.latency += wait
+        finally:
+            now, self._txn_now = self._txn_now, None
+        stats.noc_queue_cycles += self.noc.queue_cycles - noc_q0
+        stats.dram_queue_cycles += self.dram.queue_cycles - dram_q0
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                CAT_MEM_TXN,
+                pkt.kind.value,
+                core=pkt.core,
+                addr=pkt.addr,
+                value=pkt.latency,
+            )
+            telemetry.observe("mshr_occupancy", priv.mshr.occupancy(now))
+            telemetry.observe("noc_queue_depth", self.noc.queue_depth(now))
+        return pkt
+
+    # ------------------------------------------------------------------
+    # legacy call surface (thin wrappers over submit)
+    # ------------------------------------------------------------------
+    def read(self, core: int, addr: int, now: int = 0) -> AccessResult:
+        """A load accesses ``addr``; returns latency + the word's reveal bit."""
+        pkt = self.submit(
+            MemPacket.request(PacketKind.READ_REQ, core, addr, now)
+        )
+        assert pkt.latency is not None and pkt.level is not None
+        return AccessResult(pkt.latency, pkt.revealed, pkt.level)
+
+    def write(self, core: int, addr: int, now: int = 0) -> int:
+        """A performed store writes ``addr``: obtain M, conceal the word."""
+        pkt = self.submit(
+            MemPacket.request(PacketKind.WRITE_REQ, core, addr, now)
+        )
+        assert pkt.latency is not None
+        return pkt.latency
+
+    def read_invisible(self, core: int, addr: int, now: int = 0) -> int:
+        """An invisible (InvisiSpec-style) load: latency without state."""
+        pkt = self.submit(
+            MemPacket.request(PacketKind.INVISIBLE_REQ, core, addr, now)
+        )
+        assert pkt.latency is not None
+        return pkt.latency
+
+    def reveal(self, core: int, addr: int, now: int = 0) -> bool:
+        """Mark ``addr``'s word revealed in the core's private copy.
+
+        Returns False (and drops the request) if the line has left the
+        private hierarchy — always safe, only a lost optimization
+        (paper §5.1.1).
+        """
+        pkt = self.submit(
+            MemPacket.request(PacketKind.REVEAL_REQ, core, addr, now)
+        )
+        return pkt.acknowledged
+
+    # ------------------------------------------------------------------
+    # request handlers
     # ------------------------------------------------------------------
     @staticmethod
     def _observe_load(telemetry, latency: int, revealed: bool) -> None:
@@ -333,18 +513,21 @@ class MemoryHierarchy:
         if revealed:
             telemetry.observe("reveal_latency", latency)
 
-    def read(self, core: int, addr: int, now: int = 0) -> AccessResult:
-        """A load accesses ``addr``; returns latency + the word's reveal bit."""
+    def _do_read(self, pkt: MemPacket) -> None:
+        """Demand load: GetS on a private miss."""
+        core, addr = pkt.core, pkt.addr
         stats = self._stats[core]
-        laddr = line_addr(addr)
+        laddr = pkt.line_addr
         priv = self._privs[core]
+        now = self._txn_now
+        assert now is not None
 
         telemetry = self.telemetry
         line, level = self._private_lookup(core, laddr)
         if level is CacheLevel.L1:
             stats.l1_hits += 1
             latency = self._pending_fill_latency(
-                priv, laddr, now, self.params.memory.l1.latency
+                core, laddr, now, self.params.memory.l1.latency
             )
             revealed = recon_bits.is_word_revealed(line.reveal, addr)
             if telemetry.enabled:
@@ -352,7 +535,13 @@ class MemoryHierarchy:
                     CAT_CACHE, "l1_hit", core=core, addr=addr, value=latency
                 )
                 self._observe_load(telemetry, latency, revealed)
-            return AccessResult(latency, revealed, level)
+            pkt.complete(
+                latency,
+                level=level,
+                reveal_vector=line.reveal,
+                revealed=revealed,
+            )
+            return
         stats.l1_misses += 1
         if telemetry.enabled:
             telemetry.emit(CAT_CACHE, "l1_miss", core=core, addr=addr)
@@ -369,19 +558,25 @@ class MemoryHierarchy:
             if victim is not None:
                 self._evict_private_l1(core, victim)
             latency = self._pending_fill_latency(
-                priv, laddr, now, self.params.memory.l2.latency
+                core, laddr, now, self.params.memory.l2.latency
             )
             if telemetry.enabled:
                 telemetry.emit(
                     CAT_CACHE, "l2_hit", core=core, addr=addr, value=latency
                 )
                 self._observe_load(telemetry, latency, revealed)
-            return AccessResult(latency, revealed, level)
+            pkt.complete(
+                latency, level=level, reveal_vector=vector, revealed=revealed
+            )
+            return
         stats.l2_misses += 1
         if telemetry.enabled:
             telemetry.emit(CAT_CACHE, "l2_miss", core=core, addr=addr)
 
-        # GetS to the directory.
+        # Primary miss: claim an MSHR entry (stalls when the file is full),
+        # then GetS to the directory.
+        stall = priv.mshr.allocate(now)
+        stats.mshr_stall_cycles += stall
         stats.coherence_transactions += 1
         dir_line, latency = self._llc_fetch(laddr, stats, core)
         if dir_line.owner is not None and dir_line.owner != core:
@@ -397,12 +592,18 @@ class MemoryHierarchy:
         vector = self._vector_if_tracked(dir_line.reveal, CacheLevel.LLC)
         revealed = recon_bits.is_word_revealed(vector, addr)
         self._fill_private(core, laddr, state, vector, stats)
-        priv.fills[laddr] = now + latency
+        latency += stall
+        priv.mshr.register_fill(laddr, now + latency, now)
         if self.params.memory.prefetch_next_line:
             self._prefetch(core, laddr + self.params.memory.l1.line_bytes, stats)
         if telemetry.enabled:
             self._observe_load(telemetry, latency, revealed)
-        return AccessResult(latency, revealed, CacheLevel.LLC)
+        pkt.complete(
+            latency,
+            level=CacheLevel.LLC,
+            reveal_vector=vector,
+            revealed=revealed,
+        )
 
     def _prefetch(self, core: int, laddr: int, stats: StatSet) -> None:
         """Pull ``laddr`` into the requester's L2 off the critical path.
@@ -419,7 +620,7 @@ class MemoryHierarchy:
         elif dir_line.owner is not None and dir_line.owner != core:
             return  # don't disturb a remote owner for a speculative fetch
         else:
-            self.noc.hop(src=core, dst=self.noc.home_node(laddr))
+            self._hop(src=core, dst=self.noc.home_node(laddr))
         state = (
             MESIState.EXCLUSIVE
             if not (dir_line.sharers - {core})
@@ -435,10 +636,14 @@ class MemoryHierarchy:
         if victim is not None:
             self._evict_private_l2(core, victim, stats)
 
-    def write(self, core: int, addr: int, now: int = 0) -> int:
-        """A performed store writes ``addr``: obtain M, conceal the word."""
+    def _do_write(self, pkt: MemPacket) -> None:
+        """Performed store: obtain M, conceal the written word."""
+        core, addr = pkt.core, pkt.addr
         stats = self._stats[core]
-        laddr = line_addr(addr)
+        laddr = pkt.line_addr
+        priv = self._privs[core]
+        now = self._txn_now
+        assert now is not None
         line, level = self._private_lookup(core, laddr)
 
         if line is not None and line.state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
@@ -450,17 +655,23 @@ class MemoryHierarchy:
             latency = self.params.memory.level(level).latency
             latency += self._acquire_modified(core, laddr, stats, own_vector=line.reveal)
         else:
-            # Write miss: GetM.
+            # Write miss: GetM.  Claims an MSHR entry (no merge target:
+            # the ownership acquisition completes synchronously).
             stats.l1_misses += 1
             stats.l2_misses += 1
             if self.telemetry.enabled:
                 self.telemetry.emit(CAT_CACHE, "l1_miss", core=core, addr=addr)
                 self.telemetry.emit(CAT_CACHE, "l2_miss", core=core, addr=addr)
-            latency = self._acquire_modified(core, laddr, stats, own_vector=None)
+            stall = priv.mshr.allocate(now)
+            stats.mshr_stall_cycles += stall
+            latency = stall + self._acquire_modified(
+                core, laddr, stats, own_vector=None
+            )
+            priv.mshr.register_write(laddr, now + latency, now)
 
         self._conceal_private(core, laddr, addr)
         stats.words_concealed += 1
-        return latency
+        pkt.complete(latency, level=level)
 
     def _acquire_modified(
         self, core: int, laddr: int, stats: StatSet, own_vector: Optional[int]
@@ -473,13 +684,18 @@ class MemoryHierarchy:
             # Owner passes data + vector straight to the next writer.
             owner = dir_line.owner
             owner_vec, owner_dirty = self._invalidate_private(owner, laddr)
-            latency += self.noc.hop(
-                carries_bitvector=True,
+            resp = self._transfer(
+                PacketKind.RESP,
+                owner,
+                laddr,
                 src=self.noc.home_node(laddr),
                 dst=owner,
+                vector=owner_vec,
             )
+            assert resp.latency is not None and resp.reveal_vector is not None
+            latency += resp.latency
             self._stats[owner].invalidations += 1
-            vector = owner_vec
+            vector = resp.reveal_vector
             dir_line.dirty = dir_line.dirty or owner_dirty
             dir_line.owner = None
             dir_line.sharers.discard(owner)
@@ -490,12 +706,21 @@ class MemoryHierarchy:
             # the writer conceals exactly the words it writes).
             sharer_vec, _ = self._invalidate_private(sharer, laddr)
             if self.params.preserve_invalidated_reveals:
-                vector = recon_bits.merge(vector, sharer_vec)
-            latency += self.noc.hop(
-                carries_bitvector=self.params.preserve_invalidated_reveals,
-                src=self.noc.home_node(laddr),
-                dst=sharer,
-            )
+                ack = self._transfer(
+                    PacketKind.SNOOP,
+                    sharer,
+                    laddr,
+                    src=self.noc.home_node(laddr),
+                    dst=sharer,
+                    vector=sharer_vec,
+                )
+                assert ack.latency is not None and ack.reveal_vector is not None
+                vector = recon_bits.merge(vector, ack.reveal_vector)
+                latency += ack.latency
+            else:
+                latency += self._hop(
+                    src=self.noc.home_node(laddr), dst=sharer
+                )
             self._stats[sharer].invalidations += 1
             stats.invalidations += 1
             if self.telemetry.enabled:
@@ -540,38 +765,75 @@ class MemoryHierarchy:
         if self.telemetry.enabled:
             self.telemetry.emit(CAT_RECON, "conceal", core=core, addr=addr)
 
-    def read_invisible(self, core: int, addr: int, now: int = 0) -> int:
-        """An invisible (InvisiSpec-style) load: latency without state.
+    def _do_invisible(self, pkt: MemPacket) -> None:
+        """Invisible (InvisiSpec-style) load: latency without state.
 
         The value is obtained from wherever the line currently lives, but
         nothing is installed, no coherence state changes, no MSHR entry is
         made — so repeated speculative accesses to an uncached line pay
-        the full distance every time.  Returns the latency.
+        the full distance every time.
         """
+        core, addr = pkt.core, pkt.addr
         stats = self._stats[core]
-        laddr = line_addr(addr)
-        priv = self._privs[core]
+        laddr = pkt.line_addr
+        now = self._txn_now
+        assert now is not None
         line, level = self._private_lookup(core, laddr)
         if level is CacheLevel.L1:
-            return self._pending_fill_latency(
-                priv, laddr, now, self.params.memory.l1.latency
+            pkt.complete(
+                self._pending_fill_latency(
+                    core, laddr, now, self.params.memory.l1.latency
+                ),
+                level=level,
             )
+            return
         if level is CacheLevel.L2:
-            return self._pending_fill_latency(
-                priv, laddr, now, self.params.memory.l2.latency
+            pkt.complete(
+                self._pending_fill_latency(
+                    core, laddr, now, self.params.memory.l2.latency
+                ),
+                level=level,
             )
-        latency = self.params.memory.llc.latency + self.noc.hop(
+            return
+        latency = self.params.memory.llc.latency + self._hop(
             src=core, dst=self.noc.home_node(laddr)
         )
         dir_line = self.llc.lookup(laddr, touch=False)
         if dir_line is None:
             stats.llc_misses += 1
-            return latency + self.params.memory.dram_latency
+            pkt.complete(
+                latency + self.params.memory.dram_latency,
+                level=CacheLevel.MEMORY,
+            )
+            return
         if dir_line.owner is not None and dir_line.owner != core:
             # Data comes from the remote owner (no downgrade: invisible).
-            latency += self.noc.hop() + self.params.memory.l2.latency
+            latency += (
+                self._hop(
+                    src=self.noc.home_node(laddr), dst=dir_line.owner
+                )
+                + self.params.memory.l2.latency
+            )
         stats.llc_hits += 1
-        return latency
+        pkt.complete(latency, level=CacheLevel.LLC)
+
+    def _do_reveal(self, pkt: MemPacket) -> None:
+        """LPT commit-time reveal of one word on the private copy."""
+        core, addr = pkt.core, pkt.addr
+        laddr = pkt.line_addr
+        line, level = self._private_lookup(core, laddr)
+        if line is None or (level is not None and not self._tracks(level)):
+            self.dropped_reveals += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    CAT_RECON, "reveal_dropped", core=core, addr=addr
+                )
+            pkt.complete(0, level=level)
+            return
+        line.reveal = recon_bits.reveal_word(line.reveal, addr)
+        if self.telemetry.enabled:
+            self.telemetry.emit(CAT_RECON, "reveal", core=core, addr=addr)
+        pkt.complete(0, level=level, reveal_vector=line.reveal, acknowledged=True)
 
     def peek_access(self, core: int, addr: int) -> "Tuple[bool, bool]":
         """Non-mutating probe: ``(would_hit_l1, word_revealed)``.
@@ -590,41 +852,23 @@ class MemoryHierarchy:
             return True, revealed
         return False, self.is_revealed_for(core, addr)
 
-    def reveal(self, core: int, addr: int) -> bool:
-        """Mark ``addr``'s word revealed in the core's private copy.
-
-        Returns False (and drops the request) if the line has left the
-        private hierarchy — always safe, only a lost optimization
-        (paper §5.1.1).
-        """
-        laddr = line_addr(addr)
-        line, level = self._private_lookup(core, laddr)
-        if line is None or (level is not None and not self._tracks(level)):
-            self.dropped_reveals += 1
-            if self.telemetry.enabled:
-                self.telemetry.emit(
-                    CAT_RECON, "reveal_dropped", core=core, addr=addr
-                )
-            return False
-        line.reveal = recon_bits.reveal_word(line.reveal, addr)
-        if self.telemetry.enabled:
-            self.telemetry.emit(CAT_RECON, "reveal", core=core, addr=addr)
-        return True
-
     # ------------------------------------------------------------------
     # introspection (tests, analysis)
     # ------------------------------------------------------------------
     def _pending_fill_latency(
-        self, priv: _PrivateCaches, laddr: int, now: int, hit_latency: int
+        self, core: int, laddr: int, now: int, hit_latency: int
     ) -> int:
-        """Merge with an in-flight fill of the same line (MSHR behaviour)."""
-        ready = priv.fills.get(laddr)
-        if ready is None:
+        """Merge with an in-flight fill of the same line (secondary miss)."""
+        priv = self._privs[core]
+        merged = priv.mshr.merge(laddr, now, hit_latency)
+        if merged is None:
             return hit_latency
-        if ready <= now:
-            del priv.fills[laddr]
-            return hit_latency
-        return max(hit_latency, ready - now)
+        self._stats[core].mshr_hits_under_miss += 1
+        return merged
+
+    def mshr_occupancy(self, core: int, now: int) -> int:
+        """Outstanding MSHR entries of one core (telemetry/tests)."""
+        return self._privs[core].mshr.occupancy(now)
 
     def private_line(
         self, core: int, addr: int, level: CacheLevel = CacheLevel.L1
@@ -665,8 +909,15 @@ class MemoryHierarchy:
         * a line with an owner has no other sharers' copies in M/E;
         * at most one private copy is in M or E across all cores;
         * every private copy is backed by an LLC/directory line (inclusion);
-        * directory sharer sets cover every core holding a copy.
+        * directory sharer sets cover every core holding a copy;
+        * no interconnect message fell back to the averaged-distance
+          charge (every hop named real endpoints).
         """
+        if self.noc.averaged_hops:
+            raise AssertionError(
+                f"{self.noc.averaged_hops} interconnect messages used the"
+                " average-distance fallback instead of real endpoints"
+            )
         held: Dict[int, List[Tuple[int, MESIState]]] = {}
         for core, priv in enumerate(self._privs):
             seen = set()

@@ -12,33 +12,82 @@ an address-interleaved banked LLC.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 __all__ = ["FixedLatencyInterconnect", "MeshInterconnect"]
 
 
 class FixedLatencyInterconnect:
-    """Crossbar-ish network with constant per-message latency."""
+    """Crossbar-ish network with constant per-message latency.
 
-    def __init__(self, hop_latency: int) -> None:
+    With ``link_width`` set, at most that many messages are injected per
+    cycle; later messages queue and pay the wait on top of the wire
+    latency.  Unbounded (``None``, the default) injection adds zero
+    delay, which the contention-free parity suite relies on.
+    """
+
+    def __init__(
+        self, hop_latency: int, link_width: Optional[int] = None
+    ) -> None:
         if hop_latency < 0:
             raise ValueError("hop latency may not be negative")
+        if link_width is not None and link_width <= 0:
+            raise ValueError("link width must be positive (or None)")
         self.hop_latency = hop_latency
+        self.link_width = link_width
         self.messages = 0
         #: Messages that carried a ReCon bit-vector payload.
         self.bitvector_messages = 0
+        #: Messages charged the average-distance fallback because the
+        #: caller did not supply endpoints.  Protocol code is expected to
+        #: keep this at zero (asserted by the coherence invariants).
+        self.averaged_hops = 0
+        #: Total cycles messages spent queued for a link slot.
+        self.queue_cycles = 0
+        self._grants: Dict[int, int] = {}
 
     def hop(
         self,
         carries_bitvector: bool = False,
         src: Optional[int] = None,
         dst: Optional[int] = None,
+        now: Optional[int] = None,
     ) -> int:
-        """Account one message; returns its latency contribution."""
+        """Account one message; returns its latency contribution.
+
+        ``now`` enables the bounded-bandwidth model: when the link width
+        is exhausted for the current cycle the message is granted a slot
+        on a later cycle and the wait is included in the returned
+        latency.
+        """
         self.messages += 1
         if carries_bitvector:
             self.bitvector_messages += 1
-        return self._latency(src, dst)
+        wait = 0
+        if self.link_width is not None and now is not None:
+            wait = self._inject(now)
+            self.queue_cycles += wait
+        return wait + self._latency(src, dst)
+
+    def _inject(self, now: int) -> int:
+        """Grant a link slot at or after ``now``; return the wait."""
+        if len(self._grants) > 4 * (self.link_width or 1) + 64:
+            self._grants = {
+                cycle: count
+                for cycle, count in self._grants.items()
+                if cycle >= now
+            }
+        cycle = now
+        while self._grants.get(cycle, 0) >= self.link_width:
+            cycle += 1
+        self._grants[cycle] = self._grants.get(cycle, 0) + 1
+        return cycle - now
+
+    def queue_depth(self, now: int) -> int:
+        """Messages already granted slots strictly after ``now``."""
+        return sum(
+            count for cycle, count in self._grants.items() if cycle > now
+        )
 
     def _latency(self, src: Optional[int], dst: Optional[int]) -> int:
         return self.hop_latency
@@ -57,10 +106,16 @@ class MeshInterconnect(FixedLatencyInterconnect):
     accounts sanely.
     """
 
-    def __init__(self, rows: int, cols: int, link_latency: int) -> None:
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        link_latency: int,
+        link_width: Optional[int] = None,
+    ) -> None:
         if rows <= 0 or cols <= 0:
             raise ValueError("mesh dimensions must be positive")
-        super().__init__(link_latency)
+        super().__init__(link_latency, link_width)
         self.rows = rows
         self.cols = cols
 
@@ -85,6 +140,9 @@ class MeshInterconnect(FixedLatencyInterconnect):
     def _latency(self, src: Optional[int], dst: Optional[int]) -> int:
         if src is None or dst is None:
             # Average hop distance of a mesh ~ (rows+cols)/3, min 1.
+            # Counted so protocol code that loses its endpoints is caught
+            # by the coherence invariants instead of silently mispricing.
+            self.averaged_hops += 1
             avg = max(1, (self.rows + self.cols) // 3)
             return self.hop_latency * avg
         return self.hop_latency * self.distance(src, dst)

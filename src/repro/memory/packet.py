@@ -1,0 +1,170 @@
+"""Typed memory packets.
+
+Every request the pipeline sends into the memory hierarchy — and every
+coherence message the hierarchy generates on its behalf — is modeled as
+a :class:`MemPacket`.  Packets are the *only* carriers of ReCon reveal
+bit-vectors between modules (paper §5.2–5.3: reveal/conceal state rides
+on coherence transactions, never on a side channel), so the pipeline
+reads reveal outcomes from the response payload rather than peeking at
+cache internals.
+
+A packet's life cycle::
+
+    pkt = MemPacket.request(PacketKind.READ_REQ, core_id, addr, now)
+    hierarchy.submit(pkt)          # turns the request into a response
+    pkt.ready_at                   # completion time (issue + latency)
+    pkt.word_revealed()            # ReCon payload consultation
+
+``on_complete`` lets the issuer attach a callback fired by the event
+queue when the response lands, which is how non-blocking loads deliver
+their data without the core polling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Callable, Optional
+
+from repro.common.types import CacheLevel, line_addr
+from repro.memory import recon_bits
+
+__all__ = ["MemPacket", "PacketKind"]
+
+
+class PacketKind(enum.Enum):
+    """What a packet asks for (requests) or reports (responses)."""
+
+    #: Demand load (GetS when it misses).
+    READ_REQ = "read_req"
+    #: Store/ownership acquisition (GetM/upgrade when needed).
+    WRITE_REQ = "write_req"
+    #: Invisible-speculation load: data without installing state.
+    INVISIBLE_REQ = "invisible_req"
+    #: LPT commit-time reveal of one word (paper §5.1).
+    REVEAL_REQ = "reveal_req"
+    #: Data/ack response to any of the above.
+    RESP = "resp"
+    #: Directory-initiated downgrade/invalidate probe.
+    SNOOP = "snoop"
+    #: Dirty-line eviction toward the next level / DRAM.
+    WRITEBACK = "writeback"
+
+    @property
+    def is_request(self) -> bool:
+        return self in _REQUEST_KINDS
+
+
+_REQUEST_KINDS = frozenset(
+    {
+        PacketKind.READ_REQ,
+        PacketKind.WRITE_REQ,
+        PacketKind.INVISIBLE_REQ,
+        PacketKind.REVEAL_REQ,
+    }
+)
+
+_packet_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class MemPacket:
+    """One memory transaction (request that mutates into its response).
+
+    ``src``/``dst`` are interconnect node ids: cores are nodes
+    ``0..num_cores-1``; the directory bank of a line is
+    ``interconnect.home_node(line_addr)`` (``None`` on a crossbar,
+    which has a single home).  ``reveal_vector`` is the ReCon payload:
+    the line's reveal bits as seen by the responder, ``None`` until a
+    response carrying them arrives.
+    """
+
+    kind: PacketKind
+    core: int
+    addr: int
+    issued_at: int
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    #: Monotonic id for tracing/debugging.
+    packet_id: int = dataclasses.field(
+        default_factory=lambda: next(_packet_ids)
+    )
+    #: Filled in by the hierarchy when the transaction completes.
+    latency: Optional[int] = None
+    level: Optional[CacheLevel] = None
+    #: ReCon bit-vector payload (None = not carried / not applicable).
+    reveal_vector: Optional[int] = None
+    #: Whether the requested word was revealed *and* visible to the core.
+    revealed: bool = False
+    #: For REVEAL_REQ: whether the reveal took effect (line present).
+    acknowledged: bool = False
+    #: Fired by the event queue when the response lands.
+    on_complete: Optional[Callable[["MemPacket"], None]] = None
+
+    @classmethod
+    def request(
+        cls,
+        kind: PacketKind,
+        core: int,
+        addr: int,
+        issued_at: int,
+        on_complete: Optional[Callable[["MemPacket"], None]] = None,
+    ) -> "MemPacket":
+        """Build a request packet originating at ``core``'s node."""
+        if not kind.is_request:
+            raise ValueError(f"{kind} is not a request kind")
+        return cls(
+            kind=kind,
+            core=core,
+            addr=addr,
+            issued_at=issued_at,
+            src=core,
+            on_complete=on_complete,
+        )
+
+    @property
+    def line_addr(self) -> int:
+        return line_addr(self.addr)
+
+    @property
+    def is_response(self) -> bool:
+        return self.latency is not None
+
+    @property
+    def ready_at(self) -> int:
+        """Cycle the response data is available at the requester."""
+        if self.latency is None:
+            raise ValueError("packet has not completed yet")
+        return self.issued_at + self.latency
+
+    def word_revealed(self, addr: Optional[int] = None) -> bool:
+        """Consult the carried bit-vector for one word's reveal state."""
+        if self.reveal_vector is None:
+            return False
+        return recon_bits.is_word_revealed(
+            self.reveal_vector, self.addr if addr is None else addr
+        )
+
+    def complete(
+        self,
+        latency: int,
+        *,
+        level: Optional[CacheLevel] = None,
+        reveal_vector: Optional[int] = None,
+        revealed: bool = False,
+        acknowledged: bool = False,
+    ) -> "MemPacket":
+        """Mutate this request into its response; returns self."""
+        self.latency = latency
+        self.level = level
+        self.reveal_vector = reveal_vector
+        self.revealed = revealed
+        self.acknowledged = acknowledged
+        return self
+
+    def fire(self) -> None:
+        """Invoke the completion callback, if any (idempotent)."""
+        callback, self.on_complete = self.on_complete, None
+        if callback is not None:
+            callback(self)

@@ -1,7 +1,8 @@
 """Simulation driving: system assembly, runners, engine, reporting."""
 
 from repro.sim.charts import bar_chart, grouped_bar_chart
-from repro.sim.config import RunConfig
+from repro.sim.config import MemoryTimingParams, RunConfig
+from repro.sim.events import EventQueue
 from repro.sim.engine import (
     RunRecord,
     RunSpec,
@@ -31,6 +32,8 @@ from repro.sim.sweep import lpt_size_variants, recon_level_variants
 from repro.sim.system import System, SystemResult
 
 __all__ = [
+    "EventQueue",
+    "MemoryTimingParams",
     "ResultStore",
     "RunConfig",
     "RunRecord",

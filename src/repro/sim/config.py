@@ -14,13 +14,13 @@ import dataclasses
 import warnings
 from typing import TYPE_CHECKING, Any, Optional
 
-from repro.common.params import SystemParams
+from repro.common.params import MemoryTimingParams, SystemParams
 from repro.telemetry.events import TelemetryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (runner imports config)
     from repro.sim.runner import TraceCache
 
-__all__ = ["RunConfig", "UNSET", "coerce_config"]
+__all__ = ["MemoryTimingParams", "RunConfig", "UNSET", "coerce_config"]
 
 
 class _Unset:

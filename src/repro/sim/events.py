@@ -1,0 +1,11 @@
+"""Sim-level alias of the shared event queue.
+
+The implementation lives in :mod:`repro.common.events` so that
+:mod:`repro.core.pipeline` can import it without pulling in the whole
+``repro.sim`` package (which imports the pipeline back — a cycle).
+Simulation code imports it from here.
+"""
+
+from repro.common.events import EventQueue
+
+__all__ = ["EventQueue"]

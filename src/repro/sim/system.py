@@ -13,6 +13,7 @@ from repro.core.pipeline import Core
 from repro.isa.microop import MicroOp
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.security import make_policy
+from repro.sim.events import EventQueue
 from repro.telemetry.events import (
     NULL_TELEMETRY,
     TelemetryCollector,
@@ -66,6 +67,9 @@ class System:
         self.params = params
         self.scheme = scheme
         self.hierarchy = MemoryHierarchy(params)
+        #: One event queue shared by every core and the memory system:
+        #: pipeline completions and packet callbacks all fire from here.
+        self.events = EventQueue()
         self.telemetry: Optional[TelemetryCollector] = None
         if telemetry is not None:
             self.telemetry = TelemetryCollector(telemetry)
@@ -88,6 +92,7 @@ class System:
                     stats,
                     warmup_uops=warmup_uops,
                     telemetry=collector,
+                    events=self.events,
                 )
             )
 
@@ -99,7 +104,12 @@ class System:
         return result
 
     def run(self, max_cycles: int = 50_000_000) -> SystemResult:
-        """Run all cores to completion (lockstep with idle fast-forward)."""
+        """Run all cores to completion over the shared event queue.
+
+        The single-core fast path delegates to :meth:`Core.run`, which
+        raises the same ``RuntimeError`` (same message, same cycle
+        budget) as the multicore loop when the hang guard trips.
+        """
         if len(self.cores) == 1:
             core = self.cores[0]
             core.run(max_cycles=max_cycles)
@@ -110,8 +120,10 @@ class System:
             pending = [core for core in self.cores if not core.done]
             if not pending:
                 break
-            if cycle > max_cycles:
-                raise RuntimeError(f"exceeded {max_cycles} cycles; likely hang")
+            if cycle >= max_cycles:
+                raise RuntimeError(
+                    f"exceeded {max_cycles} cycles; likely hang"
+                )
             active = False
             for core in pending:
                 active |= core.step(cycle)

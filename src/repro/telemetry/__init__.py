@@ -28,6 +28,7 @@ from repro.telemetry.events import (
     ALL_CATEGORIES,
     CAT_CACHE,
     CAT_COHERENCE,
+    CAT_MEM_TXN,
     CAT_PIPELINE,
     CAT_RECON,
     CAT_SECURITY,
@@ -47,6 +48,7 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.export import (
     leakage_csv,
+    metrics_summary_rows,
     metrics_to_json,
     to_chrome_trace,
     to_konata,
@@ -58,6 +60,7 @@ __all__ = [
     "ALL_CATEGORIES",
     "CAT_CACHE",
     "CAT_COHERENCE",
+    "CAT_MEM_TXN",
     "CAT_PIPELINE",
     "CAT_RECON",
     "CAT_SECURITY",
@@ -72,6 +75,7 @@ __all__ = [
     "TelemetryConfig",
     "TelemetryResult",
     "leakage_csv",
+    "metrics_summary_rows",
     "metrics_to_json",
     "parse_filter",
     "to_chrome_trace",

@@ -32,6 +32,8 @@ recon      reveal, conceal, reveal_hit, reveal_miss, reveal_dropped,
            lpt_pair, lpt_conflict
 security   delay_start, delay_end, nda_defer, stt_taint
 shadow     enter, exit
+mem_txn    read_req, write_req, invisible_req, reveal_req (one per
+           completed packet; ``value`` is the end-to-end latency)
 ========== ================================================================
 """
 
@@ -47,6 +49,7 @@ __all__ = [
     "ALL_CATEGORIES",
     "CAT_CACHE",
     "CAT_COHERENCE",
+    "CAT_MEM_TXN",
     "CAT_PIPELINE",
     "CAT_RECON",
     "CAT_SECURITY",
@@ -71,6 +74,8 @@ CAT_RECON = "recon"
 CAT_SECURITY = "security"
 #: Speculation shadows (enter at dispatch, exit at resolution).
 CAT_SHADOW = "shadow"
+#: Memory transactions (one event per completed packet, value=latency).
+CAT_MEM_TXN = "mem_txn"
 
 #: Every category the instrumented components emit.
 ALL_CATEGORIES: FrozenSet[str] = frozenset(
@@ -81,6 +86,7 @@ ALL_CATEGORIES: FrozenSet[str] = frozenset(
         CAT_RECON,
         CAT_SECURITY,
         CAT_SHADOW,
+        CAT_MEM_TXN,
     }
 )
 

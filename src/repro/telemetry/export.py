@@ -28,7 +28,9 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "CONTENTION_HISTOGRAMS",
     "leakage_csv",
+    "metrics_summary_rows",
     "metrics_to_json",
     "to_chrome_trace",
     "to_konata",
@@ -237,6 +239,71 @@ def metrics_to_json(metrics: Any, indent: Optional[int] = 2) -> str:
 # ----------------------------------------------------------------------
 # trace summary (the `repro telemetry` subcommand)
 # ----------------------------------------------------------------------
+
+
+#: Histograms the `repro telemetry` summary always reports, even when
+#: empty — the contention instruments of the memory transaction engine.
+CONTENTION_HISTOGRAMS: Tuple[str, ...] = ("mshr_occupancy", "noc_queue_depth")
+
+
+def _histogram_quantile(bounds: List[float], counts: List[int], q: float) -> float:
+    """Upper-bound quantile over a serialized histogram dict."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    seen = 0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= target and count:
+            return bounds[min(index, len(bounds) - 1)]
+    return bounds[-1]
+
+
+def metrics_summary_rows(metrics: Any) -> List[List[str]]:
+    """Condense a metrics dump into per-histogram summary rows.
+
+    Accepts a :class:`~repro.telemetry.metrics.MetricsRegistry`, its
+    ``as_dict()`` / JSON form, or the per-cell ``{label: snapshot}``
+    mapping the CLI's ``--metrics-out`` writes (cell labels are then
+    prefixed onto histogram names).  Returns
+    ``[histogram, samples, mean, p50, p99]`` rows for every histogram
+    with observations, plus the :data:`CONTENTION_HISTOGRAMS`
+    unconditionally (an all-zero MSHR-occupancy row is itself a signal:
+    the run was contention-free).  Pair with
+    :func:`repro.sim.reporting.format_table`.
+    """
+    if hasattr(metrics, "as_dict"):
+        metrics = metrics.as_dict()
+    if "histograms" in metrics or "counters" in metrics:
+        cells = [("", metrics)]
+    else:  # --metrics-out nests one snapshot per grid cell
+        cells = [
+            (f"{label}: ", snapshot)
+            for label, snapshot in sorted(metrics.items())
+            if isinstance(snapshot, dict)
+        ]
+    rows = []
+    for prefix, snapshot in cells:
+        histograms: Dict[str, Any] = snapshot.get("histograms", {})
+        for name in sorted(histograms):
+            data = histograms[name]
+            total = int(data.get("total", 0))
+            if total == 0 and name not in CONTENTION_HISTOGRAMS:
+                continue
+            bounds = [float(b) for b in data.get("bounds", [0.0])]
+            counts = [int(c) for c in data.get("counts", [])]
+            mean = float(data.get("mean", 0.0))
+            rows.append(
+                [
+                    prefix + name,
+                    str(total),
+                    f"{mean:.2f}",
+                    f"{_histogram_quantile(bounds, counts, 0.5):.0f}",
+                    f"{_histogram_quantile(bounds, counts, 0.99):.0f}",
+                ]
+            )
+    return rows
 
 
 def trace_summary_rows(payload: Dict[str, Any]) -> List[List[str]]:

@@ -158,6 +158,12 @@ DEFAULT_HISTOGRAMS: Dict[str, Tuple[float, ...]] = {
     "lpt_occupancy": tuple(float(x) for x in (0, 8, 16, 32, 64, 128, 256, 512)),
     # Resident lines in the L1 set a fill lands in (pressure proxy).
     "l1_set_pressure": tuple(float(x) for x in range(0, 17)),
+    # Outstanding MSHR entries of the requesting core, sampled per
+    # memory transaction.
+    "mshr_occupancy": tuple(float(x) for x in (0, 1, 2, 4, 8, 16, 32, 64)),
+    # Interconnect messages queued for a link slot, sampled per
+    # memory transaction (always 0 with unbounded links).
+    "noc_queue_depth": tuple(float(x) for x in (0, 1, 2, 4, 8, 16, 32, 64)),
 }
 
 

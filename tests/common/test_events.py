@@ -1,0 +1,62 @@
+"""Unit tests for the shared discrete-event queue."""
+
+from repro.common import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue_is_inert(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert queue.next_cycle() is None
+        assert queue.service(100) is False
+
+    def test_fires_at_or_before_cycle(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5, lambda now: fired.append(("a", now)))
+        queue.schedule(10, lambda now: fired.append(("b", now)))
+        assert queue.service(4) is False
+        assert queue.service(5) is True
+        assert fired == [("a", 5)]
+        # An event whose cycle was skipped over still fires (late).
+        assert queue.service(30) is True
+        assert fired == [("a", 5), ("b", 30)]
+        assert len(queue) == 0
+
+    def test_same_cycle_fires_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for tag in ("first", "second", "third"):
+            queue.schedule(7, lambda now, tag=tag: fired.append(tag))
+        queue.service(7)
+        assert fired == ["first", "second", "third"]
+
+    def test_next_cycle_tracks_earliest(self):
+        queue = EventQueue()
+        queue.schedule(20, lambda now: None)
+        queue.schedule(3, lambda now: None)
+        assert queue.next_cycle() == 3
+        queue.service(3)
+        assert queue.next_cycle() == 20
+
+    def test_callback_may_reschedule(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(now):
+            fired.append(now)
+            if now < 3:
+                queue.schedule(now + 1, chain)
+
+        queue.schedule(1, chain)
+        for cycle in range(5):
+            queue.service(cycle)
+        assert fired == [1, 2, 3]
+
+    def test_service_is_idempotent(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2, lambda now: fired.append(now))
+        queue.service(2)
+        queue.service(2)
+        assert fired == [2]

@@ -1,0 +1,153 @@
+"""MSHR file semantics and the outstanding-fill path of the hierarchy.
+
+Covers the three corners the refactor issue called out explicitly:
+hit-under-miss, a same-line secondary access before the fill lands, and
+fill-table cleanup when the line leaves the private hierarchy.
+"""
+
+import pytest
+
+from repro.common import CacheLevel, StatSet
+from repro.memory import MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+
+from tests.memory.test_hierarchy import l1_conflicts, small_params
+
+
+class TestMSHRFile:
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+        with pytest.raises(ValueError):
+            MSHRFile(-4)
+
+    def test_unbounded_never_stalls(self):
+        mshr = MSHRFile()
+        for i in range(100):
+            assert mshr.allocate(now=0) == 0
+            mshr.register_fill(i * 64, ready=500, now=0)
+        assert mshr.stall_cycles == 0
+        assert mshr.peak_occupancy == 100
+
+    def test_bounded_allocate_stalls_until_earliest_retires(self):
+        mshr = MSHRFile(entries=2)
+        mshr.register_fill(0x000, ready=10, now=0)
+        mshr.register_fill(0x040, ready=30, now=0)
+        # Full: the next primary miss waits for the ready=10 fill.
+        assert mshr.allocate(now=4) == 6
+        assert mshr.stall_cycles == 6
+        # After that fill lands, a slot is free immediately.
+        assert mshr.allocate(now=11) == 0
+
+    def test_entries_retire_implicitly_when_fill_lands(self):
+        mshr = MSHRFile(entries=1)
+        mshr.register_fill(0x000, ready=10, now=0)
+        assert mshr.occupancy(5) == 1
+        assert mshr.occupancy(10) == 0
+
+    def test_merge_waits_for_fill_but_never_below_hit_latency(self):
+        mshr = MSHRFile()
+        mshr.register_fill(0x000, ready=100, now=0)
+        assert mshr.merge(0x000, now=40, hit_latency=2) == 60
+        assert mshr.merge(0x000, now=99, hit_latency=2) == 2
+        assert mshr.hits_under_miss == 2
+        # Landed fills are no longer merge targets.
+        assert mshr.merge(0x000, now=100, hit_latency=2) is None
+        assert mshr.hits_under_miss == 2
+
+    def test_writes_occupy_but_never_merge(self):
+        mshr = MSHRFile(entries=1)
+        mshr.register_write(0x000, ready=50, now=0)
+        assert mshr.occupancy(10) == 1
+        assert mshr.pending_ready(0x000, 10) is None
+        assert mshr.merge(0x000, now=10, hit_latency=2) is None
+
+    def test_retire_drops_both_tables(self):
+        mshr = MSHRFile()
+        mshr.register_fill(0x000, ready=100, now=0)
+        mshr.register_write(0x040, ready=100, now=0)
+        mshr.retire(0x000)
+        mshr.retire(0x040)
+        assert mshr.occupancy(0) == 0
+        assert mshr.pending_ready(0x000, 0) is None
+
+
+class TestOutstandingFillPath:
+    def test_hit_under_miss_waits_for_inflight_fill(self):
+        hier = MemoryHierarchy(small_params())
+        stats = StatSet()
+        hier.attach_stats(0, stats)
+        miss = hier.read(0, 0x1000, now=0)
+        # Another word of the same line, before the fill lands: charged
+        # the remaining fill time, not a second miss.
+        secondary = hier.read(0, 0x1008, now=5)
+        assert secondary.level is CacheLevel.L1
+        assert secondary.latency == miss.latency - 5
+        assert stats.mshr_hits_under_miss == 1
+
+    def test_same_word_secondary_access_before_fill_lands(self):
+        hier = MemoryHierarchy(small_params())
+        stats = StatSet()
+        hier.attach_stats(0, stats)
+        miss = hier.read(0, 0x2000, now=0)
+        again = hier.read(0, 0x2000, now=1)
+        assert again.latency == miss.latency - 1
+        assert stats.mshr_hits_under_miss == 1
+        # Once the fill has landed, the same access is a plain L1 hit.
+        landed = hier.read(0, 0x2000, now=miss.latency)
+        assert landed.latency == hier.params.memory.l1.latency
+        assert stats.mshr_hits_under_miss == 1
+
+    def test_fill_entry_cleaned_up_on_eviction(self):
+        hier = MemoryHierarchy(small_params())
+        stats = StatSet()
+        hier.attach_stats(0, stats)
+        target = 0x0
+        hier.read(0, target, now=0)  # fill in flight for a long time
+        assert hier._privs[0].mshr.pending_ready(target, 1) is not None
+        # Evict the line from L1 *and* L2 while its fill entry is still
+        # outstanding (conflicting lines map to the same set in both).
+        for addr in l1_conflicts(target, 8)[1:]:
+            hier.read(0, addr, now=0)
+        assert hier._privs[0].mshr.pending_ready(target, 1) is None
+        # Re-fetching must take the full miss path, not merge into the
+        # stale fill entry of the evicted line.
+        before = stats.mshr_hits_under_miss
+        refetch = hier.read(0, target, now=1)
+        assert refetch.level is not CacheLevel.L1
+        assert stats.mshr_hits_under_miss == before
+
+    def test_fill_entry_cleaned_up_on_invalidation(self):
+        hier = MemoryHierarchy(small_params(num_cores=2))
+        stats = StatSet()
+        hier.attach_stats(0, stats)
+        hier.read(0, 0x3000, now=0)  # core 0 fill in flight
+        hier.write(1, 0x3000, now=0)  # GetM invalidates core 0's copy
+        assert hier._privs[0].mshr.pending_ready(0x3000, 1) is None
+        before = stats.mshr_hits_under_miss
+        refetch = hier.read(0, 0x3000, now=1)
+        assert refetch.level is not CacheLevel.L1
+        assert stats.mshr_hits_under_miss == before
+        hier.check_coherence_invariants()
+
+    def test_write_does_not_create_merge_target(self):
+        hier = MemoryHierarchy(small_params())
+        stats = StatSet()
+        hier.attach_stats(0, stats)
+        hier.write(0, 0x4000, now=0)
+        # The write installed the line in M: a subsequent read is a plain
+        # L1 hit, not an MSHR merge (legacy never registered write fills).
+        result = hier.read(0, 0x4008, now=1)
+        assert result.level is CacheLevel.L1
+        assert result.latency == hier.params.memory.l1.latency
+        assert stats.mshr_hits_under_miss == 0
+        # But the write does occupy an entry while outstanding.
+        assert hier.mshr_occupancy(0, now=1) == 1
+
+    def test_occupancy_helper_tracks_outstanding_fills(self):
+        hier = MemoryHierarchy(small_params())
+        assert hier.mshr_occupancy(0, now=0) == 0
+        first = hier.read(0, 0x5000, now=0)
+        hier.read(0, 0x6000, now=0)
+        assert hier.mshr_occupancy(0, now=1) == 2
+        assert hier.mshr_occupancy(0, now=first.latency + 1000) == 0

@@ -1,0 +1,79 @@
+"""Hang-guard semantics of ``System.run`` and ``Core.run``.
+
+``max_cycles`` is an exclusive budget: a run may use cycles
+``0..max_cycles-1`` and must raise before simulating cycle
+``max_cycles`` (the legacy loop had an off-by-one that allowed
+``max_cycles + 1`` iterations).  The single-core fast path delegates to
+``Core.run`` and must raise the *same* error as the multicore loop.
+"""
+
+import pytest
+
+from repro.common import SchemeKind, SystemParams
+from repro.isa import Program
+from repro.sim import System
+
+
+def programs(count):
+    out = []
+    for seed in range(1, count + 1):
+        prog = Program()
+        for i in range(60):
+            prog.li(1, (i * seed * 64) % 0x2000)
+            prog.load(2, base=1)
+        out.append(prog.trace())
+    return out
+
+
+def finish_cycles(num_traces):
+    system = System(
+        SystemParams(num_cores=num_traces),
+        programs(num_traces),
+        SchemeKind.UNSAFE,
+    )
+    return system.run().cycles
+
+
+class TestHangGuard:
+    def test_single_core_budget_is_exclusive(self):
+        cycles = finish_cycles(1)
+        system = System(SystemParams(), programs(1), SchemeKind.UNSAFE)
+        with pytest.raises(
+            RuntimeError, match=f"exceeded {cycles - 1} cycles; likely hang"
+        ):
+            system.run(max_cycles=cycles - 1)
+
+    def test_single_core_exact_budget_completes(self):
+        cycles = finish_cycles(1)
+        system = System(SystemParams(), programs(1), SchemeKind.UNSAFE)
+        assert system.run(max_cycles=cycles).cycles == cycles
+
+    def test_multicore_budget_is_exclusive(self):
+        cycles = finish_cycles(2)
+        system = System(
+            SystemParams(num_cores=2), programs(2), SchemeKind.UNSAFE
+        )
+        with pytest.raises(
+            RuntimeError, match=f"exceeded {cycles - 1} cycles; likely hang"
+        ):
+            system.run(max_cycles=cycles - 1)
+
+    def test_multicore_exact_budget_completes(self):
+        cycles = finish_cycles(2)
+        system = System(
+            SystemParams(num_cores=2), programs(2), SchemeKind.UNSAFE
+        )
+        assert system.run(max_cycles=cycles).cycles == cycles
+
+    def test_fast_path_and_lockstep_raise_identical_messages(self):
+        def trip(num_traces):
+            system = System(
+                SystemParams(num_cores=num_traces),
+                programs(num_traces),
+                SchemeKind.UNSAFE,
+            )
+            with pytest.raises(RuntimeError) as info:
+                system.run(max_cycles=10)
+            return str(info.value)
+
+        assert trip(1) == trip(2) == "exceeded 10 cycles; likely hang"
