@@ -31,6 +31,16 @@ by default; move it with ``REPRO_STORE=<dir>`` or disable it with
 ``REPRO_STORE=off``), so a repeated invocation is served from disk.
 ``suite`` also writes the full structured result (per-run wall times,
 store hit counts, every counter) to ``results/suite_<name>.json``.
+
+Robustness options on ``run``/``suite`` (see ``docs/robustness.md``):
+``--timeout SECONDS`` bounds each run's wall-clock time, ``--retries N``
+re-attempts failing runs with backoff, ``--resume`` continues an
+interrupted sweep from its checkpoint journal, and ``--chaos SPEC``
+injects deterministic faults (worker crashes, hangs, corrupt payloads,
+simulated OOM) to exercise the supervision layer.  Any of these routes
+execution through the fault-tolerant supervisor: cells that exhaust
+their retries are reported as failure rows instead of aborting the
+command.
 """
 
 from __future__ import annotations
@@ -45,7 +55,17 @@ import json
 
 from repro.analysis import Clueless
 from repro.common import SchemeKind
-from repro.sim import RunConfig, format_table, resolve_jobs, run_suite
+from repro.sim import (
+    FaultPolicy,
+    RunConfig,
+    SuiteJournal,
+    default_journal_path,
+    failure_rows,
+    format_table,
+    parse_chaos,
+    resolve_jobs,
+    run_suite,
+)
 from repro.sim.runner import TraceCache, default_trace_length, run_benchmark
 from repro.sim.store import ResultStore, default_store_root
 from repro.sim.sweep import lpt_size_variants, recon_level_variants
@@ -123,6 +143,68 @@ def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
     return TelemetryConfig(categories=categories, timeline_interval=1000)
 
 
+def _chaos_from_args(args: argparse.Namespace):
+    """Parse --chaos into a ChaosConfig (None when chaos is off)."""
+    try:
+        return parse_chaos(getattr(args, "chaos", None))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _supervision_from_args(args: argparse.Namespace, store, chaos):
+    """Build the supervisor knobs from --timeout/--retries/--resume.
+
+    Returns ``(policy, journal, resume)``; all ``None``/``False`` when
+    no robustness flag is set, which keeps the plain fail-fast engine
+    path in charge.
+    """
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", None)
+    resume = bool(getattr(args, "resume", False))
+    supervised = (
+        timeout is not None or retries is not None or resume or chaos is not None
+    )
+    if not supervised:
+        return None, None, False
+    policy = FaultPolicy(
+        timeout_s=timeout,
+        retries=retries if retries is not None else FaultPolicy.retries,
+    )
+    journal = SuiteJournal(default_journal_path(store))
+    if not resume:
+        journal.clear()  # a fresh sweep must not inherit old checkpoints
+    return policy, journal, resume
+
+
+def _report_failures(suite, chaos) -> int:
+    """Print the failure table; the command's exit code.
+
+    Failures are expected output under ``--chaos`` (the harness proves
+    the suite completes *despite* them), so chaos runs exit 0; a real
+    sweep with failed cells exits 1 so scripts notice.
+    """
+    if suite.failures:
+        print(
+            "\n"
+            + format_table(
+                ["bench", "scheme", "error", "attempts", "message"],
+                failure_rows(suite.failures),
+            ),
+            file=sys.stderr,
+        )
+    if suite.fault_counters:
+        counters = "  ".join(
+            f"{name}={value}"
+            for name, value in sorted(suite.fault_counters.items())
+            if value
+        )
+        if counters:
+            print(f"faults: {counters}", file=sys.stderr)
+    if suite.failures and chaos is None:
+        return 1
+    return 0
+
+
 def _export_telemetry(args: argparse.Namespace, cells) -> None:
     """Write the trace/metrics files for traced grid cells.
 
@@ -187,15 +269,23 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     profile = _apply_seed(_resolve(args.benchmark), args.seed)
     schemes = _parse_schemes(args.schemes)
+    store = _store_from_args(args)
+    chaos = _chaos_from_args(args)
+    policy, journal, resume = _supervision_from_args(args, store, chaos)
     suite = run_suite(
         [profile],
         schemes,
         args.length,
         config=RunConfig(
-            threads=args.threads, telemetry=_telemetry_from_args(args)
+            threads=args.threads,
+            telemetry=_telemetry_from_args(args),
+            chaos=chaos,
         ),
         jobs=args.jobs,
-        store=_store_from_args(args),
+        store=store,
+        policy=policy,
+        journal=journal,
+        resume=resume,
     )
     _export_telemetry(
         args,
@@ -208,6 +298,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     rows = []
     for scheme in schemes:
         result = suite.get(profile.name, scheme)
+        if result is None:  # this cell exhausted its retries
+            rows.append([scheme.value, "n/a", "n/a", "n/a", "-", "-", "-"])
+            continue
         stats = result.stats
         norm = result.ipc / baseline.ipc if baseline else float("nan")
         rows.append(
@@ -229,7 +322,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     )
     print(f"\n{suite.summary()}", file=sys.stderr)
-    return 0
+    return _report_failures(suite, chaos)
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
@@ -245,14 +338,24 @@ def cmd_suite(args: argparse.Namespace) -> int:
     factory, threads = suites[args.suite]
     schemes = _parse_schemes(args.schemes)
     profiles = factory()
+    store = _store_from_args(args)
+    chaos = _chaos_from_args(args)
+    policy, journal, resume = _supervision_from_args(args, store, chaos)
     suite = run_suite(
         profiles,
         schemes,
         args.length,
-        config=RunConfig(threads=threads, telemetry=_telemetry_from_args(args)),
+        config=RunConfig(
+            threads=threads,
+            telemetry=_telemetry_from_args(args),
+            chaos=chaos,
+        ),
         jobs=args.jobs,
-        store=_store_from_args(args),
+        store=store,
         progress=True,
+        policy=policy,
+        journal=journal,
+        resume=resume,
     )
     _export_telemetry(
         args,
@@ -268,7 +371,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
         row = [profile.name]
         for scheme in schemes:
             result = suite.get(profile.name, scheme)
-            if scheme is SchemeKind.UNSAFE or base is None:
+            if result is None:  # this cell exhausted its retries
+                row.append("n/a")
+            elif scheme is SchemeKind.UNSAFE or base is None:
                 row.append(f"{result.ipc:.2f}")
             else:
                 row.append(f"{result.ipc / base.ipc:.3f}")
@@ -279,7 +384,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     print(format_table(headers, rows))
     out = suite.save(Path("results") / f"suite_{args.suite}.json")
     print(f"\n{suite.summary()}  ->  {out}", file=sys.stderr)
-    return 0
+    return _report_failures(suite, chaos)
 
 
 def cmd_leakage(args: argparse.Namespace) -> int:
@@ -459,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="CATS",
             help="comma list of event categories to collect "
-            "(pipeline,cache,coherence,recon,security,shadow,mem_txn; "
+            "(pipeline,cache,coherence,recon,security,shadow,mem_txn,fault; "
             "default all)",
         )
         p.add_argument(
@@ -467,6 +572,36 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="PATH",
             help="write the telemetry metrics registry as JSON to PATH",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-run wall-clock budget; an expired run is cancelled "
+            "and retried (requires --jobs >= 2 to preempt)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="extra attempts for a failing run before it is reported "
+            "as a failure (default 2 when supervision is active)",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="continue an interrupted sweep from its checkpoint "
+            "journal (kept next to the result store)",
+        )
+        p.add_argument(
+            "--chaos",
+            default=None,
+            metavar="SPEC",
+            help="deterministic fault injection, e.g. "
+            "'seed=7,crash=0.2,hang=0.1,corrupt=0.1,attempts=1' "
+            "(fields: seed,crash,hang,corrupt,oom,hang_s,attempts)",
         )
 
     sub.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)

@@ -1,5 +1,6 @@
 """Shared vocabulary: types, parameters, and statistics."""
 
+from repro.common.errors import SimulationHangError
 from repro.common.events import EventQueue
 from repro.common.params import (
     CacheParams,
@@ -36,6 +37,7 @@ __all__ = [
     "MemoryTimingParams",
     "OpClass",
     "SchemeKind",
+    "SimulationHangError",
     "SpeculationModel",
     "StatSet",
     "SystemParams",

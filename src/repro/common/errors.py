@@ -1,0 +1,64 @@
+"""Structured simulator errors.
+
+Lives in :mod:`repro.common` so that both the core pipeline and the
+system assembly (which sit on opposite sides of the ``repro.core`` /
+``repro.sim`` layering boundary) can raise the same exception types
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["SimulationHangError"]
+
+
+class SimulationHangError(RuntimeError):
+    """The cycle budget was exhausted before every core finished.
+
+    Subclasses :class:`RuntimeError` (and keeps the exact legacy message
+    ``"exceeded {max_cycles} cycles; likely hang"``) so existing callers
+    that catch or match the bare hang guard keep working, while carrying
+    the machine state needed to debug the hang from a failure record:
+    the cycle the guard tripped at, each core's ROB-head sequence number
+    (``-1`` once a core's ROB drained), each core's outstanding MSHR
+    entries, and the shared event-queue depth.
+    """
+
+    def __init__(
+        self,
+        max_cycles: int,
+        *,
+        cycle: Optional[int] = None,
+        rob_head_seqs: Optional[Sequence[int]] = None,
+        mshr_outstanding: Optional[Sequence[int]] = None,
+        event_queue_depth: Optional[int] = None,
+    ) -> None:
+        super().__init__(f"exceeded {max_cycles} cycles; likely hang")
+        self.max_cycles = max_cycles
+        self.cycle = cycle if cycle is not None else max_cycles
+        self.rob_head_seqs: List[int] = list(rob_head_seqs or [])
+        self.mshr_outstanding: List[int] = list(mshr_outstanding or [])
+        self.event_queue_depth = (
+            event_queue_depth if event_queue_depth is not None else 0
+        )
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the hang state (for failure records)."""
+        return {
+            "max_cycles": self.max_cycles,
+            "cycle": self.cycle,
+            "rob_head_seqs": list(self.rob_head_seqs),
+            "mshr_outstanding": list(self.mshr_outstanding),
+            "event_queue_depth": self.event_queue_depth,
+        }
+
+    def details(self) -> str:
+        """One-line human-readable diagnostic summary."""
+        heads = ",".join(str(s) for s in self.rob_head_seqs) or "-"
+        mshrs = ",".join(str(m) for m in self.mshr_outstanding) or "-"
+        return (
+            f"{self} (cycle={self.cycle}, rob_head_seq=[{heads}], "
+            f"mshr_outstanding=[{mshrs}], "
+            f"event_queue_depth={self.event_queue_depth})"
+        )

@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.common.errors import SimulationHangError
 from repro.common.params import SystemParams
 from repro.common.stats import StatSet
 from repro.common.types import MemPrediction, OpClass, SpeculationModel
@@ -211,15 +212,37 @@ class Core:
         """Run the trace to completion; returns the stats."""
         while not self.done:
             if self.cycle >= max_cycles:
-                raise RuntimeError(
-                    f"exceeded {max_cycles} cycles; likely hang"
-                )
+                raise self.hang_error(max_cycles)
             active = self.step(self.cycle)
             if active or self.done:
                 self.cycle += 1
             else:
                 self.cycle = self.next_wake(self.cycle)
         return self.stats
+
+    @property
+    def rob_head_seq(self) -> int:
+        """Sequence number at the ROB head (``-1`` once drained)."""
+        if self._rob_head < len(self._rob):
+            return self._rob[self._rob_head].seq
+        return -1
+
+    def mshr_outstanding(self, cycle: int) -> int:
+        """This core's outstanding MSHR entries at ``cycle``."""
+        try:
+            return self.hierarchy.mshr_occupancy(self.core_id, cycle)
+        except (AttributeError, IndexError, KeyError):
+            return -1  # standalone cores wired to a stub hierarchy
+
+    def hang_error(self, max_cycles: int) -> SimulationHangError:
+        """Build the diagnostic hang error for this core's current state."""
+        return SimulationHangError(
+            max_cycles,
+            cycle=self.cycle,
+            rob_head_seqs=[self.rob_head_seq],
+            mshr_outstanding=[self.mshr_outstanding(self.cycle)],
+            event_queue_depth=len(self.events),
+        )
 
     def step(self, cycle: int) -> bool:
         """Advance one cycle; returns True if any pipeline activity occurred."""

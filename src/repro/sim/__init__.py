@@ -1,6 +1,7 @@
 """Simulation driving: system assembly, runners, engine, reporting."""
 
 from repro.sim.charts import bar_chart, grouped_bar_chart
+from repro.sim.chaos import ChaosConfig, ChaosFault, parse_chaos
 from repro.sim.config import MemoryTimingParams, RunConfig
 from repro.sim.events import EventQueue
 from repro.sim.engine import (
@@ -11,12 +12,20 @@ from repro.sim.engine import (
     run_grid,
 )
 from repro.sim.reporting import (
+    failure_rows,
     format_table,
     geomean,
     normalized_ipc,
     overhead,
     overhead_reduction,
     suite_normalized_rows,
+)
+from repro.sim.supervisor import (
+    FaultPolicy,
+    RunFailure,
+    SuiteJournal,
+    Supervisor,
+    default_journal_path,
 )
 from repro.sim.runner import (
     RunResult,
@@ -32,21 +41,29 @@ from repro.sim.sweep import lpt_size_variants, recon_level_variants
 from repro.sim.system import System, SystemResult
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosFault",
     "EventQueue",
+    "FaultPolicy",
     "MemoryTimingParams",
     "ResultStore",
     "RunConfig",
+    "RunFailure",
     "RunRecord",
     "RunResult",
     "RunSpec",
     "SeededResult",
+    "SuiteJournal",
     "SuiteResult",
+    "Supervisor",
     "System",
     "SystemResult",
     "TraceCache",
     "bar_chart",
+    "default_journal_path",
     "default_store_root",
     "default_trace_length",
+    "failure_rows",
     "format_table",
     "geomean",
     "grouped_bar_chart",
@@ -54,6 +71,7 @@ __all__ = [
     "normalized_ipc",
     "overhead",
     "overhead_reduction",
+    "parse_chaos",
     "recon_level_variants",
     "resolve_jobs",
     "run_benchmark",

@@ -1,0 +1,230 @@
+"""Deterministic, seeded fault injection for the experiment engine.
+
+The supervision layer (:mod:`repro.sim.supervisor`) promises that a
+suite always completes with accurate per-cell failure records — worker
+crashes, hangs, corrupted payloads, and memory exhaustion included.
+This module exists to *prove* that promise: a :class:`ChaosConfig` on
+:class:`~repro.sim.config.RunConfig` (CLI ``--chaos``) makes workers
+misbehave on a deterministic subset of run keys, so tests and the CI
+``chaos-smoke`` job can assert that every failure mode ends in a
+complete suite, never a hung or dead runner.
+
+Determinism is the point: the fault decision for a run is a pure
+function of ``(chaos seed, run key, attempt number)`` — a SHA-256 hash
+mapped to the unit interval and compared against the configured fault
+probabilities.  Chaos seed X therefore always fails the same cells, on
+any machine, in any worker, regardless of scheduling order; tests can
+compute the expected casualty list with :meth:`ChaosConfig.decide`
+before running anything.
+
+Fault semantics differ between pool workers and the supervising
+process (``jobs=1`` or degraded-inline execution), because a fault that
+kills the parent would defeat the harness:
+
+========  ============================  =================================
+fault     in a pool worker              inline (parent process)
+========  ============================  =================================
+crash     ``os._exit`` (hard death,     raises :class:`ChaosFault`
+          exercises BrokenProcessPool)
+hang      sleeps ``hang_s`` before      raises :class:`ChaosFault`
+          running (trips the timeout)   (inline runs are not preemptible)
+corrupt   returns a garbage payload     returns a garbage payload
+          instead of a result
+oom       raises ``MemoryError``        raises ``MemoryError``
+          (simulated allocator failure
+          — no real memory is consumed)
+========  ============================  =================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import time
+from typing import Any, Optional
+
+__all__ = [
+    "CORRUPT_PAYLOAD",
+    "ChaosConfig",
+    "ChaosFault",
+    "inject",
+    "mark_worker_process",
+    "parse_chaos",
+]
+
+#: Exit status of a chaos-crashed worker (visible in pool diagnostics).
+CRASH_EXIT_CODE = 23
+
+#: The garbage a corrupt-fault worker returns in place of a RunResult.
+CORRUPT_PAYLOAD: Any = {"chaos": "corrupt payload"}
+
+#: Set in each pool worker by :func:`mark_worker_process` (the pool
+#: initializer) so process-level faults know it is safe to fire.
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Mark this process as a pool worker (pool initializer hook)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+class ChaosFault(RuntimeError):
+    """An injected fault, raised when process-level chaos runs inline."""
+
+    def __init__(self, kind: str, key: str, attempt: int) -> None:
+        super().__init__(
+            f"chaos: injected {kind} fault (key={key[:12]}, attempt={attempt})"
+        )
+        self.kind = kind
+        self.key = key
+        self.attempt = attempt
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault-injection plan for an experiment run.
+
+    Attributes:
+        seed: determinism seed; the fault decision for a run is a pure
+            function of ``(seed, run key, attempt)``.
+        crash: probability a worker dies hard (``os._exit``) mid-run.
+        hang: probability a worker sleeps ``hang_s`` seconds before
+            running (long enough to trip a per-run timeout).
+        corrupt: probability a worker returns a garbage payload instead
+            of a :class:`~repro.sim.runner.RunResult`.
+        oom: probability a worker raises ``MemoryError`` (simulated
+            allocator exhaustion — no real memory is consumed, so the
+            harness is safe to run anywhere).
+        hang_s: how long an injected hang sleeps.  Finite so that an
+            un-supervised run (no timeout) still terminates eventually.
+        faulty_attempts: inject only on attempt numbers below this
+            bound; ``None`` faults every attempt (a *permanent* fault
+            that exhausts retries), ``1`` faults only the first attempt
+            (a *transient* fault that a retry recovers from).
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    oom: float = 0.0
+    hang_s: float = 30.0
+    faulty_attempts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "hang", "corrupt", "oom"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"chaos {name} rate must be in [0, 1]")
+        if self.crash + self.hang + self.corrupt + self.oom > 1.0 + 1e-9:
+            raise ValueError("chaos fault rates must sum to at most 1")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be positive")
+        if self.faulty_attempts is not None and self.faulty_attempts <= 0:
+            raise ValueError("faulty_attempts must be positive (or None)")
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The fault for ``(key, attempt)``: a kind name or ``None``.
+
+        Deterministic: hashes ``(seed, key, attempt)`` to a uniform
+        draw in ``[0, 1)`` and walks the cumulative fault probabilities
+        in a fixed order (crash, hang, corrupt, oom).
+        """
+        if self.faulty_attempts is not None and attempt >= self.faulty_attempts:
+            return None
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        edge = 0.0
+        for kind in ("crash", "hang", "corrupt", "oom"):
+            edge += getattr(self, kind)
+            if draw < edge:
+                return kind
+        return None
+
+    def active(self) -> bool:
+        """Whether any fault can ever fire under this config."""
+        return (self.crash + self.hang + self.corrupt + self.oom) > 0.0
+
+
+def inject(
+    chaos: Optional[ChaosConfig], key: str, attempt: int
+) -> Optional[str]:
+    """Fire the configured fault for ``(key, attempt)``, if any.
+
+    Returns ``"corrupt"`` when the caller must substitute
+    :data:`CORRUPT_PAYLOAD` for its result, ``None`` when the run should
+    proceed normally.  Crash/oom faults do not return (process exit or
+    raise); a hang fault sleeps ``hang_s`` in a worker and raises
+    :class:`ChaosFault` inline (see the module docstring's table).
+    """
+    if chaos is None:
+        return None
+    kind = chaos.decide(key, attempt)
+    if kind is None:
+        return None
+    if kind == "crash":
+        if _IN_WORKER:
+            os._exit(CRASH_EXIT_CODE)
+        raise ChaosFault(kind, key, attempt)
+    if kind == "hang":
+        if _IN_WORKER:
+            time.sleep(chaos.hang_s)
+            return None
+        raise ChaosFault(kind, key, attempt)
+    if kind == "oom":
+        raise MemoryError(
+            f"chaos: simulated allocator exhaustion "
+            f"(key={key[:12]}, attempt={attempt})"
+        )
+    return "corrupt"
+
+
+def parse_chaos(text: Optional[str]) -> Optional[ChaosConfig]:
+    """Parse a CLI ``--chaos`` spec into a :class:`ChaosConfig`.
+
+    The spec is a comma list of ``name=value`` pairs, e.g.
+    ``"seed=7,crash=0.2,hang=0.1,corrupt=0.1,attempts=1"``; ``attempts``
+    maps to :attr:`ChaosConfig.faulty_attempts` and ``hang_s`` sets the
+    injected-hang duration.  ``None``/empty returns ``None`` (chaos
+    off); unknown names or malformed values raise ``ValueError``.
+    """
+    if text is None or not text.strip():
+        return None
+    fields = {
+        "seed": int,
+        "crash": float,
+        "hang": float,
+        "corrupt": float,
+        "oom": float,
+        "hang_s": float,
+        "attempts": int,
+    }
+    kwargs: dict = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(
+                f"chaos spec entries must be name=value, got {token!r}"
+            )
+        name, _, raw = token.partition("=")
+        name = name.strip()
+        if name not in fields:
+            raise ValueError(
+                f"unknown chaos field {name!r}; "
+                f"choose from {sorted(fields)}"
+            )
+        try:
+            value = fields[name](raw.strip())
+        except ValueError:
+            raise ValueError(
+                f"chaos field {name!r} needs a "
+                f"{fields[name].__name__}, got {raw.strip()!r}"
+            ) from None
+        kwargs["faulty_attempts" if name == "attempts" else name] = value
+    return ChaosConfig(**kwargs)

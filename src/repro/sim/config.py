@@ -15,6 +15,7 @@ import warnings
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.common.params import MemoryTimingParams, SystemParams
+from repro.sim.chaos import ChaosConfig
 from repro.telemetry.events import TelemetryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (runner imports config)
@@ -53,6 +54,13 @@ class RunConfig:
             telemetry observes a run without changing its outcome, so it
             is excluded from the result-store identity (runs with
             telemetry enabled bypass the store instead).
+        chaos: fault-injection plan (CLI ``--chaos``); ``None`` (the
+            default) injects nothing.  Chaos exists to exercise the
+            engine's supervision layer (:mod:`repro.sim.supervisor`) —
+            setting it routes grid execution through the supervisor.
+            Like ``telemetry`` it is excluded from the result-store
+            run key, but chaos runs never consult or populate the
+            store anyway (a chaos sweep must not poison real results).
     """
 
     params: Optional[SystemParams] = None
@@ -62,6 +70,7 @@ class RunConfig:
         default=None, compare=False, repr=False
     )
     telemetry: Optional[TelemetryConfig] = None
+    chaos: Optional[ChaosConfig] = None
 
     def __post_init__(self) -> None:
         if self.threads <= 0:

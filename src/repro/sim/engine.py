@@ -26,6 +26,7 @@ import dataclasses
 import json
 import os
 import sys
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
@@ -43,6 +44,7 @@ from typing import (
 
 from repro.common.params import SystemParams
 from repro.common.types import SchemeKind
+from repro.sim.chaos import ChaosConfig
 from repro.sim.config import RunConfig
 from repro.sim.runner import RunResult, TraceCache, run_benchmark
 from repro.sim.store import ResultStore, result_from_dict, result_to_dict, run_key
@@ -101,6 +103,11 @@ class RunSpec:
     #: changing its outcome, but a stored result carries no event trace,
     #: so telemetry-enabled specs bypass the store (see execute_specs).
     telemetry: Optional[TelemetryConfig] = None
+    #: Fault-injection plan (``None`` = no chaos).  Also excluded from
+    #: :meth:`key` — chaos perturbs *execution*, never the simulated
+    #: outcome — but chaos specs bypass the result store entirely so a
+    #: fault-injection sweep cannot mask or pollute real results.
+    chaos: Optional[ChaosConfig] = None
 
     @classmethod
     def build(
@@ -119,6 +126,7 @@ class RunSpec:
             params=config.resolved_params(),
             warmup_uops=config.resolved_warmup(length),
             telemetry=config.telemetry,
+            chaos=config.chaos,
         )
 
     @property
@@ -296,6 +304,13 @@ class SuiteResult(Mapping):
     any pre-existing consumers keep working), and additionally exposes
     :meth:`get` by (bench, scheme), :meth:`normalized_ipc`, JSON
     round-tripping, and the engine's per-run records and store counters.
+
+    Under supervision (:mod:`repro.sim.supervisor`) a cell may fail
+    permanently instead of producing a result; such cells are *absent*
+    from the mapping and listed in :attr:`failures` as
+    :class:`~repro.sim.supervisor.RunFailure` records, and the
+    supervisor's fault counters ride on :attr:`fault_counters`.  Use
+    :attr:`ok` to tell a complete suite from a degraded one.
     """
 
     def __init__(
@@ -303,10 +318,17 @@ class SuiteResult(Mapping):
         results: Dict[Tuple[str, SchemeKind], RunResult],
         records: Optional[List[RunRecord]] = None,
         wall_time_s: float = 0.0,
+        failures: Optional[List[Any]] = None,
+        fault_counters: Optional[Dict[str, int]] = None,
     ) -> None:
         self._results = dict(results)
-        self.records = list(records or [])
+        self.records = [r for r in (records or []) if r is not None]
         self.wall_time_s = wall_time_s
+        #: RunFailure records for cells that exhausted their retries.
+        self.failures = list(failures or [])
+        #: Snapshot of the supervisor's ``fault_*`` counters (empty for
+        #: unsupervised runs).
+        self.fault_counters = dict(fault_counters or {})
 
     # --- mapping protocol ------------------------------------------------
     def __getitem__(self, key: Tuple[str, SchemeKind]) -> RunResult:
@@ -362,11 +384,18 @@ class SuiteResult(Mapping):
     def store_misses(self) -> int:
         return sum(1 for r in self.records if not r.from_store)
 
+    @property
+    def ok(self) -> bool:
+        """True when every requested cell produced a result."""
+        return not self.failures
+
     def summary(self) -> str:
-        """One-line run summary (runs, store hits, wall time)."""
-        total = len(self.records) or len(self._results)
+        """One-line run summary (runs, failures, store hits, wall time)."""
+        total = (len(self.records) + len(self.failures)) or len(self._results)
         simulated = self.store_misses if self.records else total
         parts = [f"{total} runs", f"store hits {self.store_hits}/{total}"]
+        if self.failures:
+            parts.append(f"FAILED {len(self.failures)}/{total}")
         if simulated:
             uops = sum(
                 r.uops_per_sec * r.wall_time_s
@@ -383,8 +412,8 @@ class SuiteResult(Mapping):
 
     # --- serialization ---------------------------------------------------
     def to_json(self, indent: Optional[int] = None) -> str:
-        """Serialize results + records to a JSON string."""
-        payload = {
+        """Serialize results, records, and failures to a JSON string."""
+        payload: Dict[str, Any] = {
             "version": 1,
             "wall_time_s": self.wall_time_s,
             "records": [record.as_dict() for record in self.records],
@@ -397,6 +426,10 @@ class SuiteResult(Mapping):
                 for (name, scheme), result in self._results.items()
             ],
         }
+        if self.failures:
+            payload["failures"] = [f.as_dict() for f in self.failures]
+        if self.fault_counters:
+            payload["fault_counters"] = dict(self.fault_counters)
         return json.dumps(payload, indent=indent)
 
     @classmethod
@@ -409,15 +442,44 @@ class SuiteResult(Mapping):
             for cell in payload["results"]
         }
         records = [RunRecord.from_dict(r) for r in payload.get("records", [])]
+        failures: List[Any] = []
+        if payload.get("failures"):
+            from repro.sim.supervisor import RunFailure
+
+            failures = [
+                RunFailure.from_dict(f) for f in payload["failures"]
+            ]
         return cls(
-            results, records, wall_time_s=payload.get("wall_time_s", 0.0)
+            results,
+            records,
+            wall_time_s=payload.get("wall_time_s", 0.0),
+            failures=failures,
+            fault_counters=dict(payload.get("fault_counters", {})),
         )
 
     def save(self, path: Path) -> Path:
-        """Write the JSON form under ``path`` (parents created)."""
+        """Write the JSON form under ``path`` atomically.
+
+        The payload lands in a sibling temp file first and is renamed
+        into place, so a crash mid-save never leaves a truncated suite
+        artifact where a resumable one used to be.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json(indent=2))
+        payload = self.to_json(indent=2)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod
@@ -434,21 +496,61 @@ def run_grid(
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
     progress: bool = False,
+    policy: Optional[Any] = None,
+    journal: Optional[Any] = None,
+    resume: bool = False,
 ) -> SuiteResult:
-    """Run a benchmarks x schemes grid through the engine."""
+    """Run a benchmarks x schemes grid through the engine.
+
+    With ``policy`` (a :class:`~repro.sim.supervisor.FaultPolicy`),
+    ``journal`` (a :class:`~repro.sim.supervisor.SuiteJournal`),
+    ``resume``, or chaos on ``config``, execution routes through the
+    fault-tolerant :class:`~repro.sim.supervisor.Supervisor`: cells that
+    exhaust their retries land in ``SuiteResult.failures`` instead of
+    raising, and completed/failed keys are checkpointed for resume.
+    Otherwise the plain fail-fast :func:`execute_specs` path runs.
+    """
     config = config or RunConfig()
     specs = [
         RunSpec.build(profile, scheme, length, config)
         for profile in profiles
         for scheme in schemes
     ]
-    start = time.perf_counter()
-    results, records = execute_specs(
-        specs, config=config, jobs=jobs, store=store, progress=progress
+    supervised = (
+        policy is not None
+        or journal is not None
+        or resume
+        or config.chaos is not None
     )
+    start = time.perf_counter()
+    if supervised:
+        # Imported lazily: supervisor imports this module at load time.
+        from repro.sim.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            policy,
+            jobs=jobs,
+            store=store,
+            journal=journal,
+            progress=progress,
+        )
+        results, records, failures = supervisor.execute(specs, resume=resume)
+        fault_counters = supervisor.fault_counters
+    else:
+        results, records = execute_specs(
+            specs, config=config, jobs=jobs, store=store, progress=progress
+        )
+        failures, fault_counters = [], {}
     wall = time.perf_counter() - start
     mapping = {
         (spec.profile.name, spec.scheme): result
         for spec, result in zip(specs, results)
+        if result is not None
     }
-    return SuiteResult(mapping, records, wall_time_s=wall)
+    return SuiteResult(
+        mapping,
+        records,
+        wall_time_s=wall,
+        failures=failures,
+        fault_counters=fault_counters,
+    )

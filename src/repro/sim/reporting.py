@@ -25,6 +25,7 @@ __all__ = [
     "normalized_ipc",
     "overhead",
     "overhead_reduction",
+    "failure_rows",
     "format_table",
     "records_rows",
     "suite_normalized_rows",
@@ -91,12 +92,24 @@ def suite_normalized_rows(
     schemes: Sequence[SchemeKind],
     baseline: SchemeKind = SchemeKind.UNSAFE,
 ) -> List[List[str]]:
-    """Rows of normalized IPC per benchmark plus a geomean row."""
+    """Rows of normalized IPC per benchmark plus a geomean row.
+
+    A cell whose run (or baseline run) is missing — typically a
+    supervised suite where that cell exhausted its retries and became a
+    failure record — renders as ``n/a`` and is excluded from the
+    geomean, so one sick cell degrades its own entry, not the table.
+    """
     rows: List[List[str]] = []
     columns: Dict[SchemeKind, List[float]] = {s: [] for s in schemes}
     for name in names:
         row = [name]
         for scheme in schemes:
+            if (
+                results.get((name, scheme)) is None
+                or results.get((name, baseline)) is None
+            ):
+                row.append("n/a")
+                continue
             value = normalized_ipc(results, name, scheme, baseline)
             columns[scheme].append(value)
             row.append(f"{value:.3f}")
@@ -131,6 +144,30 @@ def records_rows(records: Sequence) -> List[List[str]]:
                 "-"
                 if record.from_store
                 else f"{record.uops_per_sec / 1000:.0f}k uops/s",
+            ]
+        )
+    return rows
+
+
+def failure_rows(failures: Sequence) -> List[List[str]]:
+    """Rows describing failed cells (bench, scheme, error, attempts).
+
+    ``failures`` is a sequence of
+    :class:`~repro.sim.supervisor.RunFailure` (``SuiteResult.failures``);
+    pair with :func:`format_table`.
+    """
+    rows = []
+    for failure in failures:
+        message = failure.message.splitlines()[0] if failure.message else ""
+        if len(message) > 60:
+            message = message[:57] + "..."
+        rows.append(
+            [
+                failure.bench,
+                failure.scheme.value,
+                failure.error_type,
+                str(failure.attempts),
+                message,
             ]
         )
     return rows

@@ -283,6 +283,9 @@ def run_suite(
     jobs: Optional[int] = None,
     store: Optional["ResultStore"] = None,
     progress: bool = False,
+    policy: Optional[Any] = None,
+    journal: Optional[Any] = None,
+    resume: bool = False,
     params: Any = UNSET,
     threads: Any = UNSET,
     cache: Any = UNSET,
@@ -296,6 +299,10 @@ def run_suite(
     (or the ``REPRO_JOBS`` environment variable) fans independent cells
     out across worker processes; ``store`` memoizes completed runs on
     disk so repeated invocations are near-instant.
+
+    ``policy`` / ``journal`` / ``resume`` (and chaos on ``config``)
+    route execution through the fault-tolerant supervisor — see
+    :func:`~repro.sim.engine.run_grid` and ``docs/robustness.md``.
     """
     from repro.sim.engine import run_grid
 
@@ -310,4 +317,7 @@ def run_suite(
         jobs=jobs,
         store=store,
         progress=progress,
+        policy=policy,
+        journal=journal,
+        resume=resume,
     )

@@ -7,7 +7,13 @@ near-instant and interrupted sweeps resume where they stopped.
 
 Layout: one JSON file per run at ``<root>/<hash[:2]>/<hash>.json``,
 written atomically (tmp file + rename) so a crash mid-write never leaves
-a truncated entry behind.  Unreadable entries are treated as misses.
+a truncated entry behind.  A *corrupt* entry — present on disk but
+unparseable or schema-invalid — is never silently swallowed: it is
+quarantined in place (renamed to ``<entry>.json.corrupt`` so it stops
+matching future lookups but remains inspectable), a ``RuntimeWarning``
+names the quarantined file, and :attr:`ResultStore.corrupt_entries`
+counts the damage.  The lookup then proceeds as a miss, so the run is
+simply recomputed.
 
 The store location defaults to ``results/.store`` (relative to the
 current directory); override it with the ``REPRO_STORE`` environment
@@ -22,6 +28,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -149,21 +156,50 @@ class ResultStore:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Entries found damaged and quarantined (renamed ``*.corrupt``).
+        self.corrupt_entries = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[RunResult]:
-        """The stored result for ``key``, or ``None`` (counts hit/miss)."""
+        """The stored result for ``key``, or ``None`` (counts hit/miss).
+
+        A missing entry is a plain miss.  An entry that exists but does
+        not decode is quarantined (renamed to ``*.json.corrupt``), a
+        ``RuntimeWarning`` is emitted, :attr:`corrupt_entries` is
+        bumped, and the lookup counts as a miss.
+        """
         path = self._path(key)
         try:
-            data = json.loads(path.read_text())
-            result = result_from_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(json.loads(text))
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a damaged entry aside so it stops matching lookups."""
+        self.corrupt_entries += 1
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+            where = f"quarantined as {quarantined}"
+        except OSError:
+            where = "could not be quarantined"
+        warnings.warn(
+            f"result store entry {path} is corrupt "
+            f"({type(exc).__name__}: {exc}); {where}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def put(self, key: str, result: RunResult) -> None:
         """Persist ``result`` under ``key`` (atomic write)."""

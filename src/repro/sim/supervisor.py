@@ -1,0 +1,881 @@
+"""Fault-tolerant supervision around the parallel experiment engine.
+
+The plain engine path (:func:`repro.sim.engine.execute_specs`) is
+fail-fast: one worker crash, hang, or corrupted payload kills the whole
+suite.  The :class:`Supervisor` wraps the same fan-out with the
+guarantees a long sweep needs:
+
+* **per-run wall-clock timeouts** — a run that exceeds its deadline is
+  cancelled by killing the worker pool (running futures cannot be
+  cancelled cooperatively), charging the expired run an attempt and
+  requeueing the innocent in-flight runs without charge;
+* **bounded retries** with exponential backoff and deterministic
+  seeded jitter;
+* **BrokenProcessPool recovery** — when a worker dies hard the pool is
+  respawned and every in-flight spec becomes a *suspect* that is
+  re-verified solo (one spec in flight at a time), so the actual
+  crasher is identified with certainty and innocents are never charged
+  an attempt;
+* **graceful degradation** — after ``max_pool_restarts`` crash-driven
+  restarts the remaining work runs inline (``jobs=1``) in the parent,
+  where a process-level chaos fault degrades to an exception;
+* **checkpoint/resume** — a :class:`SuiteJournal` (JSON-lines file next
+  to the result store) records every completed/failed run key, so an
+  interrupted sweep restarts where it left off and previously-exhausted
+  failures are replayed instead of re-run;
+* **first-class failures** — a run that exhausts its retries becomes a
+  :class:`RunFailure` (exception type, message, traceback, attempt
+  count, worker pid, hang diagnostics) carried through
+  :class:`~repro.sim.engine.SuiteResult`, the suite JSON artifact, and
+  reporting, instead of an exception that destroys the suite.
+
+Supervision is observable: the supervisor owns a telemetry collector
+restricted to the :data:`~repro.telemetry.events.CAT_FAULT` category and
+bumps ``fault_*`` counters (retries, timeouts, worker crashes, corrupt
+payloads, pool restarts, exhausted cells) in its metrics registry; the
+counter snapshot rides on ``SuiteResult.fault_counters``.
+
+Timeouts require pool execution: inline runs (``jobs=1`` or degraded
+mode) are not preemptible, so their timeouts are recorded post-hoc but
+cannot interrupt a genuinely hung simulation.  Run chaos/hang workloads
+with ``jobs >= 2``.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import os
+import random
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationHangError
+from repro.common.stats import StatSet
+from repro.common.types import SchemeKind
+from repro.sim import chaos as chaos_mod
+from repro.sim.engine import (
+    RunRecord,
+    RunSpec,
+    _execute_spec,
+    _progress_line,
+    _record,
+    resolve_jobs,
+)
+from repro.sim.runner import RunResult, TraceCache
+from repro.sim.store import ResultStore
+from repro.telemetry.events import CAT_FAULT, TelemetryCollector, TelemetryConfig
+
+__all__ = [
+    "CorruptResultError",
+    "FaultPolicy",
+    "RunFailure",
+    "SuiteJournal",
+    "Supervisor",
+    "default_journal_path",
+]
+
+
+class CorruptResultError(RuntimeError):
+    """A worker returned a payload that does not validate as a result."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPolicy:
+    """How the supervisor reacts to failing runs.
+
+    Attributes:
+        timeout_s: per-run wall-clock budget; ``None`` disables
+            timeouts.  Enforced by killing the worker pool (running
+            futures cannot be cancelled), so it only applies to pool
+            execution — inline runs are not preemptible.
+        retries: additional attempts after the first failure (total
+            attempts = ``retries + 1``).
+        backoff_s: base delay before the first retry; doubles per
+            attempt up to ``backoff_cap_s``.
+        backoff_cap_s: upper bound on the backoff delay.
+        jitter: random fraction added to each backoff (``0.25`` means
+            up to +25%), drawn from a generator seeded with ``seed`` so
+            scheduling is reproducible.
+        seed: jitter RNG seed.
+        max_pool_restarts: crash-driven pool respawns tolerated before
+            degrading to inline execution (timeout-driven restarts are
+            bounded by per-run retries and do not count).
+        degrade_inline: whether to fall back to inline execution after
+            ``max_pool_restarts`` is exceeded; when ``False`` the
+            remaining runs fail with ``PoolExhaustedError`` records.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 2
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    max_pool_restarts: int = 5
+    degrade_inline: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries cannot be negative")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if self.jitter < 0:
+            raise ValueError("jitter cannot be negative")
+        if self.max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts cannot be negative")
+
+    def backoff_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay before retry number ``attempt`` (1-based)."""
+        base = min(self.backoff_cap_s, self.backoff_s * (2 ** max(0, attempt - 1)))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclasses.dataclass
+class RunFailure:
+    """A run that exhausted its attempts, as a first-class record.
+
+    Carried through :class:`~repro.sim.engine.SuiteResult`, the suite
+    JSON artifact, and reporting (``n/a`` rows) so a 12-cell sweep with
+    one sick cell still produces a complete, resumable report.
+    """
+
+    bench: str
+    scheme: SchemeKind
+    seed: int
+    key: Optional[str]
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    worker_pid: Optional[int]
+    wall_time_s: float
+    #: Hang diagnostics when the failure was a SimulationHangError
+    #: (cycle, ROB-head seqs, MSHR occupancy, event-queue depth).
+    diagnostics: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (scheme as its string value)."""
+        data = dataclasses.asdict(self)
+        data["scheme"] = self.scheme.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunFailure":
+        """Rebuild a failure from :meth:`as_dict` output."""
+        data = dict(data)
+        data["scheme"] = SchemeKind(data["scheme"])
+        return cls(**data)
+
+
+def default_journal_path(store: Optional[ResultStore]) -> Path:
+    """Where the checkpoint journal lives: next to the result store."""
+    if store is not None:
+        return Path(store.root) / "journal.jsonl"
+    return Path("results") / "journal.jsonl"
+
+
+class SuiteJournal:
+    """Append-only JSON-lines checkpoint of completed/failed run keys.
+
+    One line per outcome: ``{"key": ..., "status": "done", "record":
+    {...}}`` or ``{"key": ..., "status": "failed", "failure": {...}}``.
+    Appends are flushed and fsynced so a SIGKILL of the runner loses at
+    most the entry being written; :meth:`load` tolerates a torn final
+    line (and any malformed line) by skipping it.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Entries by run key (last write wins; torn lines skipped)."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a killed writer
+            key = entry.get("key") if isinstance(entry, dict) else None
+            if isinstance(key, str) and entry.get("status") in ("done", "failed"):
+                entries[key] = entry
+        return entries
+
+    def record_done(self, key: str, record: RunRecord) -> None:
+        """Checkpoint a completed run."""
+        self._append({"key": key, "status": "done", "record": record.as_dict()})
+
+    def record_failed(self, key: str, failure: RunFailure) -> None:
+        """Checkpoint a run that exhausted its attempts."""
+        self._append(
+            {"key": key, "status": "failed", "failure": failure.as_dict()}
+        )
+
+    def clear(self) -> None:
+        """Delete the journal file (a fresh, non-resumed sweep)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def _validate_result(spec: RunSpec, result: Any) -> RunResult:
+    """Check a worker payload is a sane result for ``spec`` or raise."""
+    if not isinstance(result, RunResult):
+        raise CorruptResultError(
+            f"worker returned {type(result).__name__}, not a RunResult"
+        )
+    if not isinstance(result.stats, StatSet):
+        raise CorruptResultError("result.stats is not a StatSet")
+    if not isinstance(result.cycles, int) or result.cycles < 0:
+        raise CorruptResultError(f"result.cycles invalid: {result.cycles!r}")
+    if not result.per_core or not all(
+        isinstance(core, StatSet) for core in result.per_core
+    ):
+        raise CorruptResultError("result.per_core is not a list of StatSets")
+    if result.scheme != spec.scheme:
+        raise CorruptResultError(
+            f"result scheme {result.scheme} does not match spec {spec.scheme}"
+        )
+    if result.profile.name != spec.profile.name:
+        raise CorruptResultError(
+            f"result profile {result.profile.name!r} does not match "
+            f"spec {spec.profile.name!r}"
+        )
+    return result
+
+
+def _error_payload(
+    exc: BaseException, wall: float, pid: Optional[int]
+) -> Tuple[Any, ...]:
+    """The structured error envelope a failed attempt reports."""
+    diagnostics = None
+    if isinstance(exc, SimulationHangError):
+        diagnostics = exc.diagnostics()
+    return (
+        "error",
+        type(exc).__name__,
+        str(exc),
+        traceback.format_exc(),
+        diagnostics,
+        wall,
+        pid,
+    )
+
+
+def _supervised_execute(spec: RunSpec, attempt: int) -> Any:
+    """Worker entry point under supervision.
+
+    Unlike the fail-fast worker, exceptions never propagate: the worker
+    reports either ``("ok", result, wall_s, pid)`` or ``("error", type,
+    message, traceback, diagnostics, wall_s, pid)``, so the supervisor
+    always knows which pid ran the spec and what went wrong.  Injected
+    chaos may instead kill the process (crash), sleep past the deadline
+    (hang), or substitute a garbage payload (corrupt).
+    """
+    start = time.perf_counter()
+    pid = os.getpid()
+    try:
+        key = spec.key() if spec.chaos is not None else ""
+        action = chaos_mod.inject(spec.chaos, key, attempt)
+        if action == "corrupt":
+            return chaos_mod.CORRUPT_PAYLOAD
+        result = _execute_spec(spec)
+        return ("ok", result, time.perf_counter() - start, pid)
+    except BaseException as exc:  # noqa: BLE001 - structured error envelope
+        return _error_payload(exc, time.perf_counter() - start, pid)
+
+
+def _parse_payload(payload: Any) -> Tuple[Any, ...]:
+    """Validate a worker payload envelope (corrupt payloads raise)."""
+    if isinstance(payload, tuple) and payload:
+        if payload[0] == "ok" and len(payload) == 4:
+            return payload
+        if payload[0] == "error" and len(payload) == 7:
+            return payload
+    raise CorruptResultError(
+        f"worker returned malformed payload: {type(payload).__name__}"
+    )
+
+
+@dataclasses.dataclass
+class _Pending:
+    """Supervisor-side state of one not-yet-settled spec."""
+
+    index: int
+    spec: RunSpec
+    key: Optional[str]
+    attempts: int = 0
+    eligible_at: float = 0.0
+    solo: bool = False  # suspect after a pool break: verify alone
+    last_error: Optional[Tuple[Any, ...]] = None
+
+
+class Supervisor:
+    """Executes specs with timeouts, retries, and pool recovery.
+
+    The result of :meth:`execute` is ``(results, records, failures)``:
+    ``results``/``records`` align with the spec list (``None`` holes for
+    failed cells) and ``failures`` holds one :class:`RunFailure` per
+    exhausted cell, in spec order.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[FaultPolicy] = None,
+        *,
+        jobs: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        journal: Optional[SuiteJournal] = None,
+        progress: bool = False,
+    ) -> None:
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.jobs = resolve_jobs(jobs)
+        self.store = store
+        self.journal = journal
+        self.progress = progress
+        self.collector = TelemetryCollector(
+            TelemetryConfig(categories=frozenset({CAT_FAULT}))
+        )
+        self.metrics = self.collector.metrics
+        self._rng = random.Random(self.policy.seed)
+        self._done = 0
+        self._total = 0
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def fault_counters(self) -> Dict[str, int]:
+        """Snapshot of the ``fault_*`` / store-corruption counters."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self.metrics.counters.items())
+            if name.startswith("fault_") or name == "store_corrupt_entries"
+        }
+
+    @property
+    def fault_events(self) -> List[Any]:
+        """The CAT_FAULT events emitted so far, oldest first."""
+        return self.collector.events
+
+    def _fault(self, kind: str, item: "_Pending", counter: str) -> None:
+        """Count and emit one supervision fault event."""
+        self.metrics.counter(counter).inc()
+        self.collector.emit(
+            CAT_FAULT, kind, seq=item.index, value=item.attempts
+        )
+
+    def _emit_progress(self, record: RunRecord) -> None:
+        if self.progress:
+            print(
+                _progress_line(self._done, self._total, record),
+                file=sys.stderr,
+            )
+
+    def _emit_failure(self, failure: RunFailure) -> None:
+        if self.progress:
+            print(
+                f"[{self._done}/{self._total}] {failure.bench} "
+                f"{failure.scheme.value}  FAILED "
+                f"({failure.error_type} after {failure.attempts} attempts)",
+                file=sys.stderr,
+            )
+
+    # -- orchestration -------------------------------------------------
+
+    def execute(
+        self, specs: Sequence[RunSpec], *, resume: bool = False
+    ) -> Tuple[
+        List[Optional[RunResult]], List[Optional[RunRecord]], List[RunFailure]
+    ]:
+        """Run ``specs`` to a complete outcome (no exception escapes).
+
+        Store hits and (on ``resume``) journal replays settle first;
+        the rest fan out across the pool (or inline for ``jobs=1``).
+        Every spec ends as either a result+record or a failure.
+        """
+        total = len(specs)
+        self._total = total
+        self._done = 0
+        results: List[Optional[RunResult]] = [None] * total
+        records: List[Optional[RunRecord]] = [None] * total
+        failures: Dict[int, RunFailure] = {}
+        journal_entries: Dict[str, Dict[str, Any]] = {}
+        if resume and self.journal is not None:
+            journal_entries = self.journal.load()
+
+        pending: List[_Pending] = []
+        for index, spec in enumerate(specs):
+            key: Optional[str] = None
+            if spec.telemetry is None and (
+                self.store is not None or self.journal is not None
+            ):
+                key = spec.key()
+            entry = journal_entries.get(key) if key is not None else None
+            if entry is not None and entry.get("status") == "failed":
+                try:
+                    failure = RunFailure.from_dict(entry["failure"])
+                except (KeyError, TypeError, ValueError):
+                    failure = None  # malformed checkpoint: re-run
+                if failure is not None:
+                    failures[index] = failure
+                    self._done += 1
+                    self._fault(
+                        "replayed_failure",
+                        _Pending(index, spec, key),
+                        "fault_replayed_failures",
+                    )
+                    self._emit_failure(failure)
+                    continue
+            if (
+                self.store is not None
+                and key is not None
+                and spec.chaos is None  # chaos sweeps must not hit the store
+            ):
+                cached = self.store.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    records[index] = _record(spec, cached, 0.0, from_store=True)
+                    if self.journal is not None:
+                        # Journal prefetch hits too, so the journal is a
+                        # complete settled-cell record of this sweep.
+                        self.journal.record_done(key, records[index])
+                    self._done += 1
+                    self._emit_progress(records[index])
+                    continue
+            pending.append(_Pending(index, spec, key))
+
+        if pending:
+            if self.jobs == 1:
+                self._run_inline(pending, results, records, failures)
+            else:
+                self._run_pool(pending, results, records, failures)
+
+        for index, spec in enumerate(specs):
+            # Backstop for the supervisor's core contract: every spec
+            # settles as a result or a failure, never disappears.
+            if results[index] is None and index not in failures:
+                lost = _Pending(index, spec, None)
+                lost.attempts = 1
+                lost.last_error = (
+                    "error",
+                    "LostRunError",
+                    "run was never settled by the supervisor",
+                    "",
+                    None,
+                    0.0,
+                    None,
+                )
+                failures[index] = self._failure_from(lost)
+        if self.store is not None:
+            self.metrics.counter("store_corrupt_entries").set(
+                self.store.corrupt_entries
+            )
+        ordered = [failures[index] for index in sorted(failures)]
+        return results, records, ordered
+
+    # -- settling one outcome ------------------------------------------
+
+    def _settle_success(
+        self,
+        item: _Pending,
+        result: RunResult,
+        wall: float,
+        results: List[Optional[RunResult]],
+        records: List[Optional[RunRecord]],
+    ) -> None:
+        if (
+            self.store is not None
+            and item.key is not None
+            and item.spec.chaos is None
+        ):
+            self.store.put(item.key, result)
+        results[item.index] = result
+        record = _record(item.spec, result, wall, from_store=False)
+        records[item.index] = record
+        if self.journal is not None and item.key is not None:
+            self.journal.record_done(item.key, record)
+        self._done += 1
+        self._emit_progress(record)
+
+    def _charge_attempt(
+        self,
+        item: _Pending,
+        error: Tuple[Any, ...],
+        now: float,
+        failures: Dict[int, RunFailure],
+        *,
+        sleep_inline: bool = False,
+    ) -> bool:
+        """Charge a failed attempt; True when the item should retry."""
+        item.attempts += 1
+        item.last_error = error
+        if item.attempts <= self.policy.retries:
+            delay = self.policy.backoff_for(item.attempts, self._rng)
+            item.eligible_at = now + delay
+            self._fault("retry", item, "fault_retries")
+            if sleep_inline and delay > 0:
+                time.sleep(delay)
+            return True
+        failure = self._failure_from(item)
+        failures[item.index] = failure
+        if self.journal is not None and item.key is not None:
+            self.journal.record_failed(item.key, failure)
+        self._done += 1
+        self._fault("exhausted", item, "fault_exhausted")
+        self._emit_failure(failure)
+        return False
+
+    def _failure_from(self, item: _Pending) -> RunFailure:
+        error = item.last_error or (
+            "error", "UnknownError", "no attempt recorded", "", None, 0.0, None
+        )
+        _, etype, message, tb, diagnostics, wall, pid = error
+        return RunFailure(
+            bench=item.spec.profile.name,
+            scheme=item.spec.scheme,
+            seed=item.spec.profile.seed,
+            key=item.key,
+            error_type=etype,
+            message=message,
+            traceback=tb,
+            attempts=item.attempts,
+            worker_pid=pid,
+            wall_time_s=wall,
+            diagnostics=diagnostics,
+        )
+
+    # -- inline execution ----------------------------------------------
+
+    def _run_inline(
+        self,
+        pending: List[_Pending],
+        results: List[Optional[RunResult]],
+        records: List[Optional[RunRecord]],
+        failures: Dict[int, RunFailure],
+    ) -> None:
+        """Run items in the parent process (``jobs=1`` or degraded).
+
+        Not preemptible: timeouts are recorded after the fact but cannot
+        interrupt a hung run; process-level chaos faults degrade to
+        exceptions (see :mod:`repro.sim.chaos`).
+        """
+        cache = TraceCache()
+        current_cell: Optional[Tuple[str, int, int, int]] = None
+        queue: Deque[_Pending] = collections.deque(
+            sorted(pending, key=lambda item: item.index)
+        )
+        while queue:
+            item = queue.popleft()
+            if current_cell not in (None, item.spec.trace_key):
+                cache.clear()
+            current_cell = item.spec.trace_key
+            while True:
+                start = time.perf_counter()
+                try:
+                    key = item.key or (
+                        item.spec.key() if item.spec.chaos is not None else ""
+                    )
+                    action = chaos_mod.inject(item.spec.chaos, key, item.attempts)
+                    if action == "corrupt":
+                        raise CorruptResultError(
+                            "chaos: corrupted payload (inline)"
+                        )
+                    result = _validate_result(
+                        item.spec, _execute_spec(item.spec, cache=cache)
+                    )
+                except Exception as exc:  # noqa: BLE001 - contained per-cell
+                    wall = time.perf_counter() - start
+                    error = _error_payload(exc, wall, os.getpid())
+                    if isinstance(exc, CorruptResultError):
+                        self._fault("corrupt_payload", item, "fault_corrupt_payloads")
+                    timeout = self.policy.timeout_s
+                    if timeout is not None and wall > timeout:
+                        self._fault("timeout", item, "fault_timeouts")
+                    if self._charge_attempt(
+                        item, error, time.monotonic(), failures, sleep_inline=True
+                    ):
+                        continue
+                    break
+                wall = time.perf_counter() - start
+                self._settle_success(item, result, wall, results, records)
+                break
+
+    # -- pool execution ------------------------------------------------
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=chaos_mod.mark_worker_process
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate every worker and tear the pool down without joining
+        hung processes indefinitely."""
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+
+    def _run_pool(
+        self,
+        pending: List[_Pending],
+        results: List[Optional[RunResult]],
+        records: List[Optional[RunRecord]],
+        failures: Dict[int, RunFailure],
+    ) -> None:
+        policy = self.policy
+        workers = min(self.jobs, len(pending))
+        ready: Deque[_Pending] = collections.deque(
+            sorted(pending, key=lambda item: item.index)
+        )
+        verify: Deque[_Pending] = collections.deque()  # suspects, run solo
+        waiting: List[_Pending] = []  # backing off
+        inflight: Dict[Any, Tuple[_Pending, Optional[float]]] = {}
+        pool = self._new_pool(workers)
+        pool_breaks = 0
+
+        def submit(item: _Pending) -> bool:
+            """Submit one item; False when the pool is already broken."""
+            try:
+                future = pool.submit(
+                    _supervised_execute, item.spec, item.attempts
+                )
+            except (BrokenProcessPool, RuntimeError):
+                return False
+            deadline = None
+            if policy.timeout_s is not None:
+                deadline = time.monotonic() + policy.timeout_s
+            inflight[future] = (item, deadline)
+            return True
+
+        def respawn() -> None:
+            nonlocal pool
+            self._kill_pool(pool)
+            pool = self._new_pool(workers)
+
+        try:
+            while ready or waiting or inflight or verify:
+                now = time.monotonic()
+                still_waiting: List[_Pending] = []
+                for item in waiting:
+                    if item.eligible_at <= now:
+                        (verify if item.solo else ready).append(item)
+                    else:
+                        still_waiting.append(item)
+                waiting = still_waiting
+
+                broken = False
+                if verify and not inflight:
+                    # Serial verification: one suspect alone in the pool,
+                    # so a crash identifies the culprit with certainty.
+                    suspect = verify.popleft()
+                    if not submit(suspect):
+                        verify.appendleft(suspect)  # retry after respawn
+                        broken = True
+                elif not verify:
+                    while ready and len(inflight) < workers:
+                        item = ready.popleft()
+                        if not submit(item):
+                            ready.appendleft(item)  # retry after respawn
+                            broken = True
+                            break
+
+                if not inflight and not broken:
+                    if waiting:
+                        next_at = min(item.eligible_at for item in waiting)
+                        delay = max(0.0, next_at - time.monotonic())
+                        if delay:
+                            time.sleep(delay)
+                    continue
+
+                done: set = set()
+                if inflight and not broken:
+                    timeout = None
+                    marks = [
+                        deadline
+                        for (_, deadline) in inflight.values()
+                        if deadline is not None
+                    ]
+                    marks.extend(item.eligible_at for item in waiting)
+                    if marks:
+                        timeout = max(0.0, min(marks) - time.monotonic())
+                    done, _ = futures_wait(
+                        set(inflight), timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+
+                now = time.monotonic()
+                for future in done:
+                    item, _ = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except (BrokenProcessPool, OSError):
+                        broken = True
+                        if item.solo and not inflight:
+                            # Ran alone: this spec provably crashed its
+                            # worker — charge the attempt.
+                            self._fault(
+                                "worker_crash", item, "fault_worker_crashes"
+                            )
+                            error = (
+                                "error",
+                                "WorkerCrashError",
+                                "worker process died mid-run",
+                                "",
+                                None,
+                                0.0,
+                                None,
+                            )
+                            if self._charge_attempt(item, error, now, failures):
+                                waiting.append(item)
+                        else:
+                            item.solo = True
+                            verify.append(item)
+                        continue
+                    try:
+                        payload = _parse_payload(payload)
+                        if payload[0] == "ok":
+                            _, result, wall, _pid = payload
+                            result = _validate_result(item.spec, result)
+                            self._settle_success(
+                                item, result, wall, results, records
+                            )
+                            continue
+                        error = payload
+                    except CorruptResultError as exc:
+                        self._fault(
+                            "corrupt_payload", item, "fault_corrupt_payloads"
+                        )
+                        error = _error_payload(exc, 0.0, None)
+                    if self._charge_attempt(item, error, now, failures):
+                        waiting.append(item)
+
+                if broken:
+                    # Anything still in flight rode the broken pool down:
+                    # requeue as suspects, uncharged, for solo verification.
+                    for future, (item, _) in list(inflight.items()):
+                        item.solo = True
+                        verify.append(item)
+                    inflight.clear()
+                    pool_breaks += 1
+                    self._metric_pool_restart()
+                    if pool_breaks > policy.max_pool_restarts:
+                        self._kill_pool(pool)
+                        self._degrade(
+                            list(verify) + list(ready) + waiting,
+                            results,
+                            records,
+                            failures,
+                        )
+                        return
+                    respawn()
+                    continue
+
+                # Expired deadlines: the pool offers no per-task kill, so
+                # cancel by restarting it; innocents requeue uncharged.
+                expired = [
+                    (future, item)
+                    for future, (item, deadline) in inflight.items()
+                    if deadline is not None and deadline <= now
+                ]
+                if expired:
+                    victims = [
+                        item
+                        for future, (item, deadline) in inflight.items()
+                        if not any(future is exp for exp, _ in expired)
+                    ]
+                    inflight.clear()
+                    for _, item in expired:
+                        self._fault("timeout", item, "fault_timeouts")
+                        error = (
+                            "error",
+                            "TimeoutError",
+                            f"run exceeded {policy.timeout_s:.3f}s "
+                            f"wall-clock budget",
+                            "",
+                            None,
+                            policy.timeout_s,
+                            None,
+                        )
+                        if self._charge_attempt(item, error, now, failures):
+                            waiting.append(item)
+                    for item in victims:
+                        ready.appendleft(item)
+                    self._metric_pool_restart()
+                    respawn()
+        finally:
+            self._kill_pool(pool)
+
+    def _metric_pool_restart(self) -> None:
+        """Count one pool teardown/respawn."""
+        self.metrics.counter("fault_pool_restarts").inc()
+        self.collector.emit(CAT_FAULT, "pool_restart")
+
+    def _degrade(
+        self,
+        remaining: List[_Pending],
+        results: List[Optional[RunResult]],
+        records: List[Optional[RunRecord]],
+        failures: Dict[int, RunFailure],
+    ) -> None:
+        """Workers keep dying: finish the sweep inline (or fail it)."""
+        self.metrics.counter("fault_degraded").inc()
+        self.collector.emit(CAT_FAULT, "degrade", value=len(remaining))
+        if self.policy.degrade_inline:
+            self._run_inline(remaining, results, records, failures)
+            return
+        for item in sorted(remaining, key=lambda it: it.index):
+            item.attempts = max(item.attempts, self.policy.retries + 1)
+            item.last_error = (
+                "error",
+                "PoolExhaustedError",
+                "worker pool kept dying and inline degradation is disabled",
+                "",
+                None,
+                0.0,
+                None,
+            )
+            failure = self._failure_from(item)
+            failures[item.index] = failure
+            if self.journal is not None and item.key is not None:
+                self.journal.record_failed(item.key, failure)
+            self._done += 1
+            self._emit_failure(failure)

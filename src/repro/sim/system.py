@@ -6,6 +6,7 @@ import dataclasses
 from typing import List, Optional, Sequence
 
 from repro.analysis.timeline import TimelineSink
+from repro.common.errors import SimulationHangError
 from repro.common.params import SystemParams
 from repro.common.stats import StatSet
 from repro.common.types import SchemeKind
@@ -107,8 +108,12 @@ class System:
         """Run all cores to completion over the shared event queue.
 
         The single-core fast path delegates to :meth:`Core.run`, which
-        raises the same ``RuntimeError`` (same message, same cycle
-        budget) as the multicore loop when the hang guard trips.
+        raises the same :class:`~repro.common.errors.SimulationHangError`
+        (a ``RuntimeError`` subclass — same message, same cycle budget)
+        as the multicore loop when the hang guard trips.  The error
+        carries hang diagnostics (current cycle, per-core ROB-head
+        sequence numbers, outstanding MSHR entries, event-queue depth)
+        so a supervised run's failure record is debuggable.
         """
         if len(self.cores) == 1:
             core = self.cores[0]
@@ -121,8 +126,14 @@ class System:
             if not pending:
                 break
             if cycle >= max_cycles:
-                raise RuntimeError(
-                    f"exceeded {max_cycles} cycles; likely hang"
+                raise SimulationHangError(
+                    max_cycles,
+                    cycle=cycle,
+                    rob_head_seqs=[core.rob_head_seq for core in self.cores],
+                    mshr_outstanding=[
+                        core.mshr_outstanding(cycle) for core in self.cores
+                    ],
+                    event_queue_depth=len(self.events),
                 )
             active = False
             for core in pending:

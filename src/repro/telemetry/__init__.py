@@ -28,6 +28,7 @@ from repro.telemetry.events import (
     ALL_CATEGORIES,
     CAT_CACHE,
     CAT_COHERENCE,
+    CAT_FAULT,
     CAT_MEM_TXN,
     CAT_PIPELINE,
     CAT_RECON,
@@ -60,6 +61,7 @@ __all__ = [
     "ALL_CATEGORIES",
     "CAT_CACHE",
     "CAT_COHERENCE",
+    "CAT_FAULT",
     "CAT_MEM_TXN",
     "CAT_PIPELINE",
     "CAT_RECON",

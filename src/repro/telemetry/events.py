@@ -34,6 +34,9 @@ security   delay_start, delay_end, nda_defer, stt_taint
 shadow     enter, exit
 mem_txn    read_req, write_req, invisible_req, reveal_req (one per
            completed packet; ``value`` is the end-to-end latency)
+fault      retry, timeout, worker_crash, corrupt_payload, pool_restart,
+           exhausted, degrade, replayed_failure (engine supervision;
+           ``seq`` is the spec index, ``value`` the attempt count)
 ========== ================================================================
 """
 
@@ -49,6 +52,7 @@ __all__ = [
     "ALL_CATEGORIES",
     "CAT_CACHE",
     "CAT_COHERENCE",
+    "CAT_FAULT",
     "CAT_MEM_TXN",
     "CAT_PIPELINE",
     "CAT_RECON",
@@ -76,6 +80,10 @@ CAT_SECURITY = "security"
 CAT_SHADOW = "shadow"
 #: Memory transactions (one event per completed packet, value=latency).
 CAT_MEM_TXN = "mem_txn"
+#: Engine supervision faults (retries, timeouts, crashes, pool restarts).
+#: Emitted by the suite supervisor in the parent process, not by the
+#: simulated system — cycle is always 0, ``seq`` is the spec index.
+CAT_FAULT = "fault"
 
 #: Every category the instrumented components emit.
 ALL_CATEGORIES: FrozenSet[str] = frozenset(
@@ -87,6 +95,7 @@ ALL_CATEGORIES: FrozenSet[str] = frozenset(
         CAT_SECURITY,
         CAT_SHADOW,
         CAT_MEM_TXN,
+        CAT_FAULT,
     }
 )
 

@@ -1,0 +1,151 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.sim.chaos import (
+    CORRUPT_PAYLOAD,
+    ChaosConfig,
+    ChaosFault,
+    inject,
+    parse_chaos,
+)
+
+
+class TestChaosConfigValidation:
+    def test_defaults_inject_nothing(self):
+        chaos = ChaosConfig()
+        assert not chaos.active()
+        assert chaos.decide("any-key", 0) is None
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(crash=-0.1)
+        with pytest.raises(ValueError):
+            ChaosConfig(hang=1.5)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(crash=0.6, oom=0.6)
+        ChaosConfig(crash=0.5, oom=0.5)  # exactly 1 is fine
+
+    def test_hang_duration_positive(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(hang_s=0)
+
+    def test_faulty_attempts_positive_or_none(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(faulty_attempts=0)
+        ChaosConfig(faulty_attempts=1)
+        ChaosConfig(faulty_attempts=None)
+
+
+class TestDecideDeterminism:
+    def test_same_inputs_same_fault(self):
+        chaos = ChaosConfig(seed=7, crash=0.3, hang=0.3, corrupt=0.3)
+        decisions = [chaos.decide(f"key-{i}", 0) for i in range(50)]
+        again = [chaos.decide(f"key-{i}", 0) for i in range(50)]
+        assert decisions == again
+        assert any(d is not None for d in decisions)
+
+    def test_seed_changes_decisions(self):
+        a = ChaosConfig(seed=1, crash=0.5)
+        b = ChaosConfig(seed=2, crash=0.5)
+        keys = [f"key-{i}" for i in range(100)]
+        assert [a.decide(k, 0) for k in keys] != [b.decide(k, 0) for k in keys]
+
+    def test_attempt_changes_decisions(self):
+        chaos = ChaosConfig(seed=7, crash=0.5)
+        keys = [f"key-{i}" for i in range(100)]
+        assert [chaos.decide(k, 0) for k in keys] != [
+            chaos.decide(k, 1) for k in keys
+        ]
+
+    def test_rates_are_roughly_honoured(self):
+        chaos = ChaosConfig(seed=0, crash=0.25, oom=0.25)
+        decisions = [chaos.decide(f"key-{i}", 0) for i in range(400)]
+        crashes = decisions.count("crash")
+        ooms = decisions.count("oom")
+        nones = decisions.count(None)
+        assert 60 <= crashes <= 140
+        assert 60 <= ooms <= 140
+        assert 120 <= nones <= 280
+
+    def test_certain_fault_always_fires(self):
+        chaos = ChaosConfig(oom=1.0)
+        assert all(
+            chaos.decide(f"key-{i}", 0) == "oom" for i in range(20)
+        )
+
+    def test_faulty_attempts_gate_makes_faults_transient(self):
+        chaos = ChaosConfig(oom=1.0, faulty_attempts=1)
+        assert chaos.decide("key", 0) == "oom"
+        assert chaos.decide("key", 1) is None
+        assert chaos.decide("key", 5) is None
+
+
+class TestInjectInline:
+    """Process-level faults degrade to exceptions outside pool workers."""
+
+    def test_no_chaos_is_a_no_op(self):
+        assert inject(None, "key", 0) is None
+
+    def test_crash_raises_inline(self):
+        chaos = ChaosConfig(crash=1.0)
+        with pytest.raises(ChaosFault) as info:
+            inject(chaos, "key", 0)
+        assert info.value.kind == "crash"
+        assert info.value.attempt == 0
+
+    def test_hang_raises_inline(self):
+        chaos = ChaosConfig(hang=1.0, hang_s=60.0)
+        with pytest.raises(ChaosFault) as info:
+            inject(chaos, "key", 0)  # must not actually sleep 60s
+        assert info.value.kind == "hang"
+
+    def test_oom_is_simulated(self):
+        chaos = ChaosConfig(oom=1.0)
+        with pytest.raises(MemoryError):
+            inject(chaos, "key", 0)
+
+    def test_corrupt_returns_marker(self):
+        chaos = ChaosConfig(corrupt=1.0)
+        assert inject(chaos, "key", 0) == "corrupt"
+        assert CORRUPT_PAYLOAD == {"chaos": "corrupt payload"}
+
+
+class TestParseChaos:
+    def test_none_and_empty_mean_off(self):
+        assert parse_chaos(None) is None
+        assert parse_chaos("") is None
+        assert parse_chaos("  ") is None
+
+    def test_full_spec(self):
+        chaos = parse_chaos(
+            "seed=7,crash=0.2,hang=0.1,corrupt=0.1,oom=0.05,"
+            "hang_s=3.5,attempts=1"
+        )
+        assert chaos == ChaosConfig(
+            seed=7,
+            crash=0.2,
+            hang=0.1,
+            corrupt=0.1,
+            oom=0.05,
+            hang_s=3.5,
+            faulty_attempts=1,
+        )
+
+    def test_unknown_field_fails_loudly(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_chaos("bogus=1")
+
+    def test_malformed_value_fails_loudly(self):
+        with pytest.raises(ValueError, match="crash"):
+            parse_chaos("crash=lots")
+
+    def test_missing_equals_fails_loudly(self):
+        with pytest.raises(ValueError, match="name=value"):
+            parse_chaos("crash")
+
+    def test_invalid_rates_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            parse_chaos("crash=0.9,oom=0.9")

@@ -10,6 +10,7 @@
 import pytest
 
 from repro.common import SchemeKind, SystemParams
+from repro.common.errors import SimulationHangError
 from repro.isa import Program
 from repro.sim import System
 
@@ -77,3 +78,50 @@ class TestHangGuard:
             return str(info.value)
 
         assert trip(1) == trip(2) == "exceeded 10 cycles; likely hang"
+
+
+class TestHangDiagnostics:
+    """The hang guard raises a structured, diagnosable error."""
+
+    def _trip(self, num_traces, max_cycles=10):
+        system = System(
+            SystemParams(num_cores=num_traces),
+            programs(num_traces),
+            SchemeKind.UNSAFE,
+        )
+        with pytest.raises(SimulationHangError) as info:
+            system.run(max_cycles=max_cycles)
+        return info.value
+
+    def test_is_a_runtime_error_subclass(self):
+        # Legacy callers catching RuntimeError must keep working.
+        assert issubclass(SimulationHangError, RuntimeError)
+
+    def test_single_core_carries_state(self):
+        error = self._trip(1)
+        assert error.max_cycles == 10
+        assert error.cycle is not None and error.cycle <= 10
+        assert len(error.rob_head_seqs) == 1
+        assert error.rob_head_seqs[0] >= 0  # something stuck at the head
+        assert len(error.mshr_outstanding) == 1
+        assert error.event_queue_depth >= 0
+
+    def test_multicore_carries_per_core_state(self):
+        error = self._trip(2)
+        assert len(error.rob_head_seqs) == 2
+        assert len(error.mshr_outstanding) == 2
+
+    def test_diagnostics_dict_is_json_safe(self):
+        import json
+
+        error = self._trip(1)
+        payload = json.loads(json.dumps(error.diagnostics()))
+        assert payload["max_cycles"] == 10
+        assert "rob_head_seqs" in payload
+        assert "event_queue_depth" in payload
+
+    def test_details_one_liner_mentions_state(self):
+        error = self._trip(1)
+        text = error.details()
+        assert "cycle" in text
+        assert "rob" in text.lower()

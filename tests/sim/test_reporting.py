@@ -70,6 +70,82 @@ class TestSuiteNormalizedRows:
         assert rows[-1][0] == "geomean"
         assert abs(float(rows[-1][1]) - math.sqrt(0.5 * 0.8)) < 1e-3
 
+    def test_failed_cell_renders_na_and_skips_geomean(self):
+        """A supervised suite with a failed cell still tables cleanly."""
+        from repro.sim import suite_normalized_rows
+
+        results = {
+            ("b1", SchemeKind.UNSAFE): self._FakeResult(1.0),
+            ("b1", SchemeKind.STT): self._FakeResult(0.5),
+            ("b2", SchemeKind.UNSAFE): self._FakeResult(1.0),
+            # ("b2", STT) failed: absent from the mapping entirely.
+        }
+        rows = suite_normalized_rows(
+            results, ["b1", "b2"], [SchemeKind.STT]
+        )
+        assert rows[0] == ["b1", "0.500"]
+        assert rows[1] == ["b2", "n/a"]
+        assert rows[-1] == ["geomean", "0.500"]
+
+    def test_failed_baseline_renders_whole_bench_na(self):
+        from repro.sim import suite_normalized_rows
+
+        results = {
+            # ("b1", UNSAFE) failed: every b1 ratio is undefined.
+            ("b1", SchemeKind.STT): self._FakeResult(0.5),
+        }
+        rows = suite_normalized_rows(results, ["b1"], [SchemeKind.STT])
+        assert rows[0] == ["b1", "n/a"]
+        assert rows[-1] == ["geomean", "n/a"]
+
+
+class TestFailureRows:
+    def test_rows_compress_the_failure(self):
+        from repro.sim import RunFailure, failure_rows
+
+        failure = RunFailure(
+            bench="mcf",
+            scheme=SchemeKind.STT,
+            seed=7,
+            key=None,
+            error_type="SimulationHangError",
+            message="exceeded 100 cycles; likely hang\nsecond line",
+            traceback="...",
+            attempts=3,
+            worker_pid=42,
+            wall_time_s=1.0,
+            diagnostics={"cycle": 100},
+        )
+        rows = failure_rows([failure])
+        assert rows == [
+            [
+                "mcf",
+                "stt",
+                "SimulationHangError",
+                "3",
+                "exceeded 100 cycles; likely hang",
+            ]
+        ]
+
+    def test_long_messages_are_truncated(self):
+        from repro.sim import RunFailure, failure_rows
+
+        failure = RunFailure(
+            bench="b",
+            scheme=SchemeKind.UNSAFE,
+            seed=0,
+            key=None,
+            error_type="ValueError",
+            message="x" * 200,
+            traceback="",
+            attempts=1,
+            worker_pid=None,
+            wall_time_s=0.0,
+        )
+        (row,) = failure_rows([failure])
+        assert len(row[-1]) == 60
+        assert row[-1].endswith("...")
+
 
 class TestOverhead:
     def test_overhead(self):

@@ -2,6 +2,9 @@
 
 import dataclasses
 import json
+import warnings
+
+import pytest
 
 from repro.common import SchemeKind, SystemParams
 from repro.sim import RunConfig, run_suite
@@ -90,12 +93,37 @@ class TestResultStore:
         assert store.get("cd" * 32) is None
         assert store.misses == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_quarantined_not_swallowed(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("ab" * 32, _result())
         path = store._path("ab" * 32)
         path.write_text("{not json")
-        assert store.get("ab" * 32) is None
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.get("ab" * 32) is None
+        assert store.corrupt_entries == 1
+        assert store.misses == 1
+        # The damaged file is renamed aside, inspectable but inert.
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.read_text() == "{not json"
+        assert len(store) == 0  # *.corrupt no longer matches lookups
+
+    def test_schema_invalid_entry_is_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store._path("cd" * 32)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"valid": "json", "wrong": "schema"}))
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.get("cd" * 32) is None
+        assert store.corrupt_entries == 1
+
+    def test_missing_entry_is_a_plain_miss_no_warning(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get("ef" * 32) is None
+        assert store.corrupt_entries == 0
+        assert store.misses == 1
 
     def test_len_and_clear(self, tmp_path):
         store = ResultStore(tmp_path)

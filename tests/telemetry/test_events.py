@@ -150,9 +150,10 @@ class TestTelemetryCollector:
         assert result.metrics["counters"]["l1_hits"] == 17
 
     def test_all_categories_cover_constants(self):
-        from repro.telemetry.events import CAT_MEM_TXN
+        from repro.telemetry.events import CAT_FAULT, CAT_MEM_TXN
 
         assert CAT_PIPELINE in ALL_CATEGORIES
         assert CAT_CACHE in ALL_CATEGORIES
         assert CAT_MEM_TXN in ALL_CATEGORIES
-        assert len(ALL_CATEGORIES) == 7
+        assert CAT_FAULT in ALL_CATEGORIES
+        assert len(ALL_CATEGORIES) == 8
