@@ -1,0 +1,164 @@
+"""Hot-path throughput trajectory — vectorized vs legacy core.
+
+Times the same grid cells under both simulator backends
+(``REPRO_HOTPATH=legacy`` and ``=vector``), on pre-built traces so only
+simulation is inside the timed region, and writes the measurements to
+``results/BENCH_hotpath.json``: uops/s per cell per backend, the
+vector/legacy speedup, and a per-phase profile breakdown of the vector
+run (dispatch / issue / commit / events / memory).
+
+The regression gate compares the measured *speedup ratio* — not
+absolute uops/s, which tracks the host machine — against the committed
+baseline (``benchmarks/data/bench_hotpath_baseline.json``) and fails on
+a >10% regression.  CI runs this bench on every push and uploads the
+JSON artifact, so the trajectory of the hot path is visible per commit.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import pstats
+import time
+from pathlib import Path
+
+from repro import SchemeKind
+from repro.core.hotpath import HOTPATH_ENV
+from repro.sim import RunConfig, TraceCache, default_trace_length, run_benchmark
+from repro.workloads import BenchmarkProfile, get_benchmark
+
+from benchmarks.common import emit, results_dir
+
+#: Shorter than the figure benches: every cell runs 2 backends x 3 rounds.
+HOTPATH_LENGTH = default_trace_length(20_000)
+
+#: Every node of every chain on its own cache line: the miss-heavy chase
+#: regime (see BenchmarkProfile.node_stride_bytes) that stresses the
+#: memory-side hot path rather than the issue queue.
+_MISS_HEAVY = BenchmarkProfile(
+    name="chase64",
+    suite="micro",
+    kernel_weights={"pointer_chase": 1.0},
+    chains=24,
+    chain_nodes=2048,
+    node_stride_bytes=64,
+    chase_steps=8,
+)
+
+#: (label, profile, scheme) cells of the trajectory.
+CELLS = (
+    ("spec2017/mcf/unsafe", get_benchmark("spec2017", "mcf"), SchemeKind.UNSAFE),
+    ("spec2017/mcf/stt+recon", get_benchmark("spec2017", "mcf"), SchemeKind.STT_RECON),
+    ("spec2017/mcf/dom+recon", get_benchmark("spec2017", "mcf"), SchemeKind.DOM_RECON),
+    ("micro/chase64/stt+recon", _MISS_HEAVY, SchemeKind.STT_RECON),
+)
+
+ROUNDS = 3
+BASELINE_PATH = Path(__file__).resolve().parent / "data" / "bench_hotpath_baseline.json"
+TOLERANCE = 0.9  # fail when speedup drops below 90% of the baseline
+
+_PHASES = ("dispatch", "issue", "commit", "events", "memory")
+
+
+def _time_cell(profile, scheme, cache, backend):
+    """Best-of-ROUNDS uops/s for one cell under one backend."""
+    os.environ[HOTPATH_ENV] = backend
+    best = 0.0
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = run_benchmark(
+            profile, scheme, HOTPATH_LENGTH, config=RunConfig(cache=cache)
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, result.stats.committed_uops / elapsed)
+    return best
+
+
+def _phase_of(filename, funcname):
+    """Bucket a profiled function into a pipeline phase."""
+    if "events.py" in filename:
+        return "events"
+    if f"{os.sep}memory{os.sep}" in filename:
+        return "memory"
+    for phase in ("dispatch", "issue", "commit"):
+        if phase in funcname:
+            return phase
+    return "other"
+
+
+def _phase_breakdown(profile, scheme, cache):
+    """Fraction of vector-run self-time spent in each pipeline phase."""
+    os.environ[HOTPATH_ENV] = "vector"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_benchmark(profile, scheme, HOTPATH_LENGTH, config=RunConfig(cache=cache))
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    buckets = {phase: 0.0 for phase in (*_PHASES, "other")}
+    total = 0.0
+    for (filename, _, funcname), entry in stats.stats.items():
+        tottime = entry[2]
+        buckets[_phase_of(filename, funcname)] += tottime
+        total += tottime
+    if total <= 0:
+        return {}
+    return {phase: spent / total for phase, spent in buckets.items()}
+
+
+def _run():
+    saved = os.environ.get(HOTPATH_ENV)
+    cache = TraceCache()
+    cells = {}
+    try:
+        for label, profile, scheme in CELLS:
+            # Build the trace once, outside every timed region.
+            cache.get(profile, 1, HOTPATH_LENGTH)
+            legacy = _time_cell(profile, scheme, cache, "legacy")
+            vector = _time_cell(profile, scheme, cache, "vector")
+            cells[label] = {
+                "legacy_uops_per_sec": round(legacy),
+                "vector_uops_per_sec": round(vector),
+                "speedup": round(vector / legacy, 3) if legacy else 0.0,
+                "phases": {
+                    k: round(v, 4)
+                    for k, v in _phase_breakdown(profile, scheme, cache).items()
+                },
+            }
+    finally:
+        if saved is None:
+            os.environ.pop(HOTPATH_ENV, None)
+        else:
+            os.environ[HOTPATH_ENV] = saved
+    return {"length": HOTPATH_LENGTH, "rounds": ROUNDS, "cells": cells}
+
+
+def test_hotpath_throughput_trajectory(benchmark):
+    payload = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out = results_dir() / "BENCH_hotpath.json"
+    out.write_text(json.dumps(payload, indent=2))
+
+    rows = []
+    for label, cell in payload["cells"].items():
+        rows.append(
+            f"{label:28s} legacy {cell['legacy_uops_per_sec'] / 1000:7.1f}k"
+            f"  vector {cell['vector_uops_per_sec'] / 1000:7.1f}k"
+            f"  speedup {cell['speedup']:.2f}x"
+        )
+    emit("BENCH_hotpath", "hot-path throughput (uops/s)", "\n".join(rows))
+
+    for label, cell in payload["cells"].items():
+        assert cell["vector_uops_per_sec"] > 0, label
+        assert cell["legacy_uops_per_sec"] > 0, label
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    for label, base_cell in baseline["cells"].items():
+        cell = payload["cells"].get(label)
+        assert cell is not None, f"baseline cell {label} missing from bench"
+        floor = base_cell["speedup"] * TOLERANCE
+        assert cell["speedup"] >= floor, (
+            f"{label}: vector/legacy speedup {cell['speedup']:.2f}x fell "
+            f"below {floor:.2f}x (baseline {base_cell['speedup']:.2f}x "
+            f"- 10% tolerance); the hot path has regressed"
+        )

@@ -6,14 +6,16 @@ simulated out-of-order core under the unsafe baseline, NDA, STT, and both
 with ReCon, and prints normalized performance plus the ReCon activity
 counters — a miniature of the paper's Figures 5-7.
 
+Everything here imports from ``repro.api``, the stable programmatic
+surface — the rest of the package is internal and may move.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import RunConfig, SchemeKind, get_benchmark, run_benchmark
-from repro.sim import format_table
-from repro.sim.runner import TraceCache
+from repro.api import RunRequest, SchemeKind, run_single
 
 LENGTH = 12_000
+BENCH = "spec2017/mcf"
 
 SCHEMES = (
     SchemeKind.UNSAFE,
@@ -25,36 +27,25 @@ SCHEMES = (
 
 
 def main() -> None:
-    profile = get_benchmark("spec2017", "mcf")
-    print(f"benchmark: {profile.label}  trace length: {LENGTH} micro-ops\n")
+    print(f"benchmark: {BENCH}  trace length: {LENGTH} micro-ops\n")
 
-    config = RunConfig(cache=TraceCache())  # every scheme: identical trace
     results = {
-        scheme: run_benchmark(profile, scheme, LENGTH, config=config)
+        scheme: run_single(RunRequest(BENCH, scheme, LENGTH))
         for scheme in SCHEMES
     }
     baseline = results[SchemeKind.UNSAFE].ipc
 
-    rows = []
+    header = f"{'scheme':12s} {'IPC':>6s} {'vs unsafe':>10s} {'tainted':>8s} {'pairs':>6s} {'reveal hits':>12s}"
+    print(header)
+    print("-" * len(header))
     for scheme in SCHEMES:
-        result = results[scheme]
-        stats = result.stats
-        rows.append(
-            [
-                scheme.value,
-                f"{result.ipc:.3f}",
-                f"{result.ipc / baseline:.3f}",
-                str(stats.tainted_loads),
-                str(stats.load_pairs_detected),
-                str(stats.reveal_hits),
-            ]
+        record = results[scheme]
+        stats = record.stats
+        print(
+            f"{scheme.value:12s} {record.ipc:6.3f} "
+            f"{record.ipc / baseline:10.3f} {stats.tainted_loads:8d} "
+            f"{stats.load_pairs_detected:6d} {stats.reveal_hits:12d}"
         )
-    print(
-        format_table(
-            ["scheme", "IPC", "vs unsafe", "tainted", "pairs", "reveal hits"],
-            rows,
-        )
-    )
 
     stt = results[SchemeKind.STT].ipc / baseline
     recon = results[SchemeKind.STT_RECON].ipc / baseline

@@ -1,0 +1,45 @@
+"""Capture the pipeline-stats parity golden.
+
+Run once against the *reference* cycle loop (before any hot-path
+optimization is enabled) to produce
+``tests/data/pipeline_stats_golden.json``::
+
+    REPRO_HOTPATH=legacy PYTHONPATH=src:tests python scripts/capture_pipeline_golden.py
+
+The golden pins the exact cycle counts and every StatSet field of the
+cells in ``tests/core/hotpath_driver.py``; the parity suite
+(``tests/core/test_hotpath_parity.py``) replays them on the optimized
+backend and fails on any drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.core.hotpath_driver import GOLDEN_PATH, run_cells  # noqa: E402
+
+
+def main() -> int:
+    runs = run_cells()
+    payload = {
+        "description": (
+            "Pipeline-stats golden: cycles and StatSet fields captured on "
+            "the reference (pure-Python, pre-optimization) cycle loop."
+        ),
+        "runs": runs,
+    }
+    out = REPO / GOLDEN_PATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(runs)} cells to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

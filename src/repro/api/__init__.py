@@ -1,0 +1,291 @@
+"""Stable programmatic API for running and loading experiments.
+
+This module is the supported import surface for scripts, notebooks, and
+downstream tooling.  Everything else under :mod:`repro` is an internal
+implementation detail and may be rearranged between releases; code that
+imports only from ``repro.api`` keeps working.
+
+Three entry points cover the common cases:
+
+* :func:`run_single` — run one (benchmark, scheme) cell and get a flat
+  :class:`RunRecord` back.
+* :func:`run_suite` — run a batch of :class:`RunRequest` cells (with
+  optional parallelism, fault-tolerant supervision, and telemetry) and
+  get a :class:`~repro.sim.engine.SuiteResult` grid back.
+* :func:`load_result` — fetch a previously completed run from the
+  on-disk result store by its content key, without simulating anything.
+
+The supporting types — :class:`~repro.sim.config.RunConfig`,
+:class:`~repro.common.types.SchemeKind`,
+:class:`~repro.telemetry.events.TelemetryConfig`,
+:class:`~repro.sim.supervisor.FaultPolicy`, and the result types — are
+re-exported here so callers never need a second import root::
+
+    from repro.api import RunRequest, run_single
+
+    record = run_single(RunRequest("spec2017/mcf", "stt+recon", 5000))
+    print(record.ipc, record.stats.delayed_loads)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.common.stats import StatSet
+from repro.common.types import SchemeKind
+from repro.sim.config import RunConfig
+from repro.sim.engine import RunSpec, SuiteResult, execute_specs
+from repro.sim.runner import RunResult
+from repro.sim.store import ResultStore, default_store_root
+from repro.sim.supervisor import FaultPolicy, RunFailure
+from repro.telemetry.events import TelemetryConfig, TelemetryResult
+from repro.workloads.profile import BenchmarkProfile
+from repro.workloads.suites import get_benchmark
+
+__all__ = [
+    "FaultPolicy",
+    "RunConfig",
+    "RunFailure",
+    "RunRecord",
+    "RunRequest",
+    "RunResult",
+    "SchemeKind",
+    "SuiteResult",
+    "TelemetryConfig",
+    "load_result",
+    "run_single",
+    "run_suite",
+]
+
+
+def _resolve_benchmark(benchmark: Union[str, BenchmarkProfile]) -> BenchmarkProfile:
+    """Accept a profile or a ``"suite/name"`` label; ValueError otherwise."""
+    if isinstance(benchmark, BenchmarkProfile):
+        return benchmark
+    if not isinstance(benchmark, str) or "/" not in benchmark:
+        raise ValueError(
+            f"benchmark must be a BenchmarkProfile or a 'suite/name' label, "
+            f"got {benchmark!r}"
+        )
+    suite, _, name = benchmark.partition("/")
+    try:
+        return get_benchmark(suite, name)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
+
+
+def _resolve_scheme(scheme: Union[str, SchemeKind]) -> SchemeKind:
+    """Accept a :class:`SchemeKind` or its string value; ValueError otherwise."""
+    if isinstance(scheme, SchemeKind):
+        return scheme
+    try:
+        return SchemeKind(scheme)
+    except ValueError:
+        known = ", ".join(kind.value for kind in SchemeKind)
+        raise ValueError(f"unknown scheme {scheme!r}; known: {known}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRequest:
+    """What to run: one (benchmark, scheme, length) cell plus its config.
+
+    Attributes:
+        benchmark: a :class:`~repro.workloads.profile.BenchmarkProfile`
+            or a ``"suite/name"`` label such as ``"spec2017/mcf"``.
+        scheme: a :class:`SchemeKind` or its string value such as
+            ``"stt+recon"``.
+        length: trace length in micro-ops.
+        config: execution knobs (:class:`RunConfig`); ``None`` means the
+            defaults (single thread, Table-2 parameters, 40% warm-up).
+    """
+
+    benchmark: Union[str, BenchmarkProfile]
+    scheme: Union[str, SchemeKind]
+    length: int
+    config: Optional[RunConfig] = None
+
+    def resolve(self) -> RunSpec:
+        """The fully concrete :class:`~repro.sim.engine.RunSpec`.
+
+        String benchmark/scheme fields are looked up here, so typos
+        raise :class:`ValueError` before any simulation starts.
+        """
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        return RunSpec.build(
+            _resolve_benchmark(self.benchmark),
+            _resolve_scheme(self.scheme),
+            self.length,
+            self.config or RunConfig(),
+        )
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One completed run, flattened for direct consumption.
+
+    Combines the measurement (:attr:`cycles`, :attr:`stats`,
+    :attr:`per_core`) with its provenance (:attr:`key`,
+    :attr:`from_store`, :attr:`wall_time_s`) so callers need neither the
+    internal result nor the engine's bookkeeping types.
+    """
+
+    #: ``"suite/name"`` label of the benchmark that ran.
+    benchmark: str
+    #: The protection scheme that ran.
+    scheme: SchemeKind
+    #: Trace length in micro-ops.
+    length: int
+    #: Simulated cycles (post-warm-up region).
+    cycles: int
+    #: Aggregate pipeline statistics across cores.
+    stats: StatSet
+    #: Per-core pipeline statistics.
+    per_core: List[StatSet]
+    #: Result-store content key; :func:`load_result` accepts it later.
+    key: str
+    #: Wall-clock seconds this run took (0.0 when served from the store).
+    wall_time_s: float
+    #: True when the result came from the on-disk store, not a fresh run.
+    from_store: bool
+    #: Collected telemetry (``None`` unless the run traced).
+    telemetry: Optional[TelemetryResult] = None
+
+    @property
+    def ipc(self) -> float:
+        """Committed micro-ops per simulated cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.stats.committed_uops / self.cycles
+
+
+def _default_store() -> Optional[ResultStore]:
+    root = default_store_root()
+    return ResultStore(root) if root is not None else None
+
+
+def _resolve_store(store: Union[bool, ResultStore, None]) -> Optional[ResultStore]:
+    """Map the ``store`` argument onto a concrete :class:`ResultStore`."""
+    if store is True:
+        return _default_store()
+    if store is False or store is None:
+        return None
+    return store
+
+
+def run_single(
+    request: RunRequest,
+    *,
+    store: Union[bool, ResultStore, None] = True,
+) -> RunRecord:
+    """Run one cell and return its flat :class:`RunRecord`.
+
+    ``store`` controls result memoization: ``True`` (default) uses the
+    standard on-disk store (honouring the ``REPRO_STORE`` environment
+    variable), ``False`` disables it, and a
+    :class:`~repro.sim.store.ResultStore` instance uses that store.
+    Telemetry-enabled runs always bypass the store.
+    """
+    spec = request.resolve()
+    results, records = execute_specs(
+        [spec],
+        config=request.config or RunConfig(),
+        jobs=1,
+        store=_resolve_store(store),
+    )
+    result, record = results[0], records[0]
+    return RunRecord(
+        benchmark=spec.profile.label,
+        scheme=spec.scheme,
+        length=spec.length,
+        cycles=result.cycles,
+        stats=result.stats,
+        per_core=result.per_core,
+        key=spec.key(),
+        wall_time_s=record.wall_time_s,
+        from_store=record.from_store,
+        telemetry=result.telemetry,
+    )
+
+
+def run_suite(
+    requests: Iterable[RunRequest],
+    *,
+    jobs: Optional[int] = None,
+    supervise: Union[bool, FaultPolicy] = False,
+    telemetry: Union[None, bool, TelemetryConfig] = None,
+    store: Union[bool, ResultStore, None] = True,
+    progress: bool = False,
+) -> SuiteResult:
+    """Run a batch of cells and return the :class:`SuiteResult` grid.
+
+    Args:
+        requests: the cells to run; duplicates are allowed (later cells
+            overwrite earlier ones in the grid mapping, as in the CLI).
+        jobs: worker processes (``None`` honours ``REPRO_JOBS``, then
+            runs inline).
+        supervise: ``True`` routes execution through the fault-tolerant
+            supervisor with the default :class:`FaultPolicy`; a policy
+            instance uses that policy; ``False`` (default) is the plain
+            fail-fast path.  Supervised cells that exhaust their retries
+            land in ``SuiteResult.failures`` instead of raising.
+        telemetry: ``True`` enables tracing with default
+            :class:`TelemetryConfig` knobs on every cell; a config
+            instance applies that config; ``None`` leaves each request's
+            own ``config.telemetry`` in force.
+        store: result memoization, as in :func:`run_single`.
+        progress: print a per-run progress line to stderr.
+    """
+    specs = [request.resolve() for request in requests]
+    if telemetry is not None:
+        override = TelemetryConfig() if telemetry is True else telemetry
+        specs = [dataclasses.replace(spec, telemetry=override) for spec in specs]
+    resolved_store = _resolve_store(store)
+    start = time.perf_counter()
+    failures: List[RunFailure] = []
+    fault_counters: Dict[str, int] = {}
+    if supervise:
+        # Imported lazily: the supervisor pulls in the worker-pool stack.
+        from repro.sim.supervisor import Supervisor
+
+        policy = supervise if isinstance(supervise, FaultPolicy) else None
+        supervisor = Supervisor(
+            policy, jobs=jobs, store=resolved_store, progress=progress
+        )
+        results, records, failures = supervisor.execute(specs)
+        fault_counters = supervisor.fault_counters
+    else:
+        results, records = execute_specs(
+            specs,
+            jobs=jobs,
+            store=resolved_store,
+            progress=progress,
+        )
+    wall = time.perf_counter() - start
+    mapping: Dict[Tuple[str, SchemeKind], RunResult] = {
+        (spec.profile.name, spec.scheme): result
+        for spec, result in zip(specs, results)
+        if result is not None
+    }
+    return SuiteResult(
+        mapping,
+        records,
+        wall_time_s=wall,
+        failures=failures,
+        fault_counters=fault_counters,
+    )
+
+
+def load_result(key: str) -> Optional[RunResult]:
+    """Fetch a stored run by its content key; ``None`` when absent.
+
+    ``key`` is the value of :attr:`RunRecord.key` (or
+    :meth:`~repro.sim.engine.RunSpec.key`).  Returns ``None`` when the
+    store is disabled (``REPRO_STORE=off``) or holds no such entry.
+    """
+    store = _default_store()
+    if store is None:
+        return None
+    return store.get(key)

@@ -1,23 +1,30 @@
 """Command-line interface.
 
-Subcommands::
+Commands are grouped by what they do::
 
-    python -m repro list                      # available benchmarks
-    python -m repro run spec2017/mcf          # one benchmark, all schemes
-    python -m repro suite spec2017            # whole suite table
-    python -m repro leakage spec2017/gcc      # Clueless analysis
-    python -m repro sweep-lpt spec2017/mcf    # LPT size sensitivity
-    python -m repro sweep-levels spec2017/omnetpp   # Fig. 10-style sweep
+    python -m repro list                          # available benchmarks
+    python -m repro run one spec2017/mcf          # one benchmark, all schemes
+    python -m repro run suite spec2017            # whole suite table
+    python -m repro run replay mcf.trace          # run a saved trace file
+    python -m repro run leakage spec2017/gcc      # Clueless analysis
+    python -m repro sweep lpt spec2017/mcf        # LPT size sensitivity
+    python -m repro sweep levels spec2017/omnetpp # Fig. 10-style sweep
+    python -m repro telemetry summarize trace.json  # summarize a trace
     python -m repro save-trace spec2017/mcf mcf.trace   # export a trace
-    python -m repro replay mcf.trace          # run a saved trace file
-    python -m repro telemetry trace.json      # summarize an event trace
+
+The pre-grouping spellings (``run <benchmark>``, ``suite``, ``replay``,
+``leakage``, ``sweep-lpt``, ``sweep-levels``, ``telemetry <trace>``)
+still work as hidden aliases for one release: they are rewritten onto
+the grouped tree and emit a :class:`DeprecationWarning` naming the
+replacement.
 
 Common options: ``--length`` (trace micro-ops), ``--schemes`` (comma
 list), ``--threads`` (parallel workloads), ``--seed`` (override profile
 seed), ``--jobs`` (worker processes; also the ``REPRO_JOBS`` environment
 variable), ``--no-store`` (skip the persistent result store).
 
-Observability options on ``run``/``suite`` (see ``docs/observability.md``):
+Observability options on ``run one``/``run suite`` (see
+``docs/observability.md``):
 ``--trace PATH`` collects the telemetry event stream and writes a Chrome
 trace-event JSON (plus a Konata pipeline view and leakage CSV per grid
 cell next to it), ``--trace-filter CATS`` restricts collection to a
@@ -32,7 +39,8 @@ by default; move it with ``REPRO_STORE=<dir>`` or disable it with
 ``suite`` also writes the full structured result (per-run wall times,
 store hit counts, every counter) to ``results/suite_<name>.json``.
 
-Robustness options on ``run``/``suite`` (see ``docs/robustness.md``):
+Robustness options on ``run one``/``run suite`` (see
+``docs/robustness.md``):
 ``--timeout SECONDS`` bounds each run's wall-clock time, ``--retries N``
 re-attempts failing runs with backoff, ``--resume`` continues an
 interrupted sweep from its checkpoint journal, and ``--chaos SPEC``
@@ -48,6 +56,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -519,152 +528,239 @@ def cmd_sweep_levels(args: argparse.Namespace) -> int:
     return _run_sweep(args, recon_level_variants())
 
 
+def _parent_parsers():
+    """The shared option groups, as ``parents=`` parsers.
+
+    Each parser carries one concern; subcommands compose exactly the
+    groups they honour, so ``--help`` never advertises a flag a command
+    would silently ignore.
+    """
+    workload = argparse.ArgumentParser(add_help=False)
+    workload.add_argument(
+        "--length",
+        type=int,
+        default=default_trace_length(12_000),
+        help="trace length in micro-ops",
+    )
+    workload.add_argument("--seed", type=int, default=None, help="override seed")
+
+    schemes = argparse.ArgumentParser(add_help=False)
+    schemes.add_argument(
+        "--schemes",
+        default=",".join(s.value for s in _DEFAULT_SCHEMES),
+        help="comma-separated scheme list",
+    )
+
+    execution = argparse.ArgumentParser(add_help=False)
+    execution.add_argument("--threads", type=int, default=1)
+    execution.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    execution.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the persistent result store",
+    )
+
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="collect telemetry and write a Chrome trace-event JSON "
+        "(plus Konata and leakage-CSV views) to PATH",
+    )
+    telemetry.add_argument(
+        "--trace-filter",
+        default=None,
+        metavar="CATS",
+        help="comma list of event categories to collect "
+        "(pipeline,cache,coherence,recon,security,shadow,mem_txn,fault; "
+        "default all)",
+    )
+    telemetry.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the telemetry metrics registry as JSON to PATH",
+    )
+
+    robustness = argparse.ArgumentParser(add_help=False)
+    robustness.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock budget; an expired run is cancelled "
+        "and retried (requires --jobs >= 2 to preempt)",
+    )
+    robustness.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for a failing run before it is reported "
+        "as a failure (default 2 when supervision is active)",
+    )
+    robustness.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep from its checkpoint "
+        "journal (kept next to the result store)",
+    )
+    robustness.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'seed=7,crash=0.2,hang=0.1,corrupt=0.1,attempts=1' "
+        "(fields: seed,crash,hang,corrupt,oom,hang_s,attempts)",
+    )
+
+    return workload, schemes, execution, telemetry, robustness
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The grouped command tree (``run`` / ``sweep`` / ``telemetry``)."""
+    workload, schemes, execution, telemetry, robustness = _parent_parsers()
+    grid_parents = [workload, schemes, execution, telemetry, robustness]
+
     parser = argparse.ArgumentParser(
         prog="repro", description="ReCon (MICRO 2023) reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p, benchmark=True):
-        if benchmark:
-            p.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
-        p.add_argument(
-            "--length",
-            type=int,
-            default=default_trace_length(12_000),
-            help="trace length in micro-ops",
-        )
-        p.add_argument("--seed", type=int, default=None, help="override seed")
-        p.add_argument(
-            "--schemes",
-            default=",".join(s.value for s in _DEFAULT_SCHEMES),
-            help="comma-separated scheme list",
-        )
-        p.add_argument("--threads", type=int, default=1)
-        p.add_argument(
-            "--jobs",
-            type=int,
-            default=None,
-            help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
-        )
-        p.add_argument(
-            "--no-store",
-            action="store_true",
-            help="do not read or write the persistent result store",
-        )
-        p.add_argument(
-            "--trace",
-            default=None,
-            metavar="PATH",
-            help="collect telemetry and write a Chrome trace-event JSON "
-            "(plus Konata and leakage-CSV views) to PATH",
-        )
-        p.add_argument(
-            "--trace-filter",
-            default=None,
-            metavar="CATS",
-            help="comma list of event categories to collect "
-            "(pipeline,cache,coherence,recon,security,shadow,mem_txn,fault; "
-            "default all)",
-        )
-        p.add_argument(
-            "--metrics-out",
-            default=None,
-            metavar="PATH",
-            help="write the telemetry metrics registry as JSON to PATH",
-        )
-        p.add_argument(
-            "--timeout",
-            type=float,
-            default=None,
-            metavar="SECONDS",
-            help="per-run wall-clock budget; an expired run is cancelled "
-            "and retried (requires --jobs >= 2 to preempt)",
-        )
-        p.add_argument(
-            "--retries",
-            type=int,
-            default=None,
-            metavar="N",
-            help="extra attempts for a failing run before it is reported "
-            "as a failure (default 2 when supervision is active)",
-        )
-        p.add_argument(
-            "--resume",
-            action="store_true",
-            help="continue an interrupted sweep from its checkpoint "
-            "journal (kept next to the result store)",
-        )
-        p.add_argument(
-            "--chaos",
-            default=None,
-            metavar="SPEC",
-            help="deterministic fault injection, e.g. "
-            "'seed=7,crash=0.2,hang=0.1,corrupt=0.1,attempts=1' "
-            "(fields: seed,crash,hang,corrupt,oom,hang_s,attempts)",
-        )
-
     sub.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)
 
-    p_run = sub.add_parser("run", help="run one benchmark under schemes")
-    add_common(p_run)
-    p_run.set_defaults(func=cmd_run)
+    p_run = sub.add_parser(
+        "run", help="run simulations (one / suite / replay / leakage)"
+    )
+    run_sub = p_run.add_subparsers(dest="run_command", required=True)
 
-    p_suite = sub.add_parser("suite", help="run a whole suite")
+    p_one = run_sub.add_parser(
+        "one", help="run one benchmark under schemes", parents=grid_parents
+    )
+    p_one.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
+    p_one.set_defaults(func=cmd_run)
+
+    p_suite = run_sub.add_parser(
+        "suite", help="run a whole suite", parents=grid_parents
+    )
     p_suite.add_argument("suite", help="spec2017 | spec2006 | parsec")
-    add_common(p_suite, benchmark=False)
     p_suite.set_defaults(func=cmd_suite)
 
-    p_leak = sub.add_parser("leakage", help="Clueless leakage analysis")
-    add_common(p_leak)
-    p_leak.set_defaults(func=cmd_leakage)
-
-    p_lpt = sub.add_parser("sweep-lpt", help="LPT size sensitivity")
-    add_common(p_lpt)
-    p_lpt.set_defaults(func=cmd_sweep_lpt)
-
-    p_lvl = sub.add_parser("sweep-levels", help="ReCon cache-level sweep")
-    add_common(p_lvl)
-    p_lvl.set_defaults(func=cmd_sweep_levels)
-
-    p_save = sub.add_parser("save-trace", help="export a workload trace file")
-    p_save.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
-    p_save.add_argument("path", help="output trace file")
-    p_save.add_argument(
-        "--length", type=int, default=default_trace_length(12_000)
+    p_replay = run_sub.add_parser(
+        "replay", help="run a saved trace file", parents=[schemes]
     )
-    p_save.add_argument("--seed", type=int, default=None)
-    p_save.set_defaults(func=cmd_save_trace)
-
-    p_replay = sub.add_parser("replay", help="run a saved trace file")
     p_replay.add_argument("path", help="trace file from save-trace")
-    p_replay.add_argument(
-        "--schemes",
-        default=",".join(s.value for s in _DEFAULT_SCHEMES),
-        help="comma-separated scheme list",
-    )
     p_replay.set_defaults(func=cmd_replay)
 
-    p_tel = sub.add_parser(
-        "telemetry", help="summarize a Chrome trace written by --trace"
+    p_leak = run_sub.add_parser(
+        "leakage",
+        help="Clueless leakage analysis",
+        parents=[workload, schemes],
     )
-    p_tel.add_argument("path", help="trace JSON file from --trace")
-    p_tel.add_argument(
+    p_leak.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
+    p_leak.set_defaults(func=cmd_leakage)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sensitivity sweeps (lpt / levels)"
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    p_lpt = sweep_sub.add_parser(
+        "lpt", help="LPT size sensitivity", parents=[workload, schemes]
+    )
+    p_lpt.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
+    p_lpt.set_defaults(func=cmd_sweep_lpt)
+
+    p_lvl = sweep_sub.add_parser(
+        "levels", help="ReCon cache-level sweep", parents=[workload, schemes]
+    )
+    p_lvl.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
+    p_lvl.set_defaults(func=cmd_sweep_levels)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="inspect collected telemetry (summarize)"
+    )
+    tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
+
+    p_sum = tel_sub.add_parser(
+        "summarize", help="summarize a Chrome trace written by --trace"
+    )
+    p_sum.add_argument("path", help="trace JSON file from --trace")
+    p_sum.add_argument(
         "--metrics",
         default=None,
         metavar="PATH",
         help="also summarize a metrics JSON from --metrics-out "
         "(histograms incl. MSHR occupancy and NoC queue depth)",
     )
-    p_tel.set_defaults(func=cmd_telemetry)
+    p_sum.set_defaults(func=cmd_telemetry)
+
+    p_save = sub.add_parser(
+        "save-trace", help="export a workload trace file", parents=[workload]
+    )
+    p_save.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
+    p_save.add_argument("path", help="output trace file")
+    p_save.set_defaults(func=cmd_save_trace)
 
     return parser
+
+
+#: Retired top-level commands and their grouped replacements.
+_ALIASES = {
+    "suite": ("run", "suite"),
+    "replay": ("run", "replay"),
+    "leakage": ("run", "leakage"),
+    "sweep-lpt": ("sweep", "lpt"),
+    "sweep-levels": ("sweep", "levels"),
+}
+
+#: ``run``'s subcommands; anything else after ``run`` is a benchmark label.
+_RUN_SUBCOMMANDS = frozenset({"one", "suite", "replay", "leakage"})
+
+
+def _warn_alias(old: str, new: str) -> None:
+    warnings.warn(
+        f"'repro {old}' is deprecated; use 'repro {new}'",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _rewrite_legacy_argv(argv: List[str]) -> List[str]:
+    """Map pre-grouping invocations onto the grouped command tree.
+
+    Rewrites emit a :class:`DeprecationWarning` naming the replacement;
+    already-grouped invocations pass through untouched.
+    """
+    if not argv:
+        return argv
+    head = argv[0]
+    if head in _ALIASES:
+        new = _ALIASES[head]
+        _warn_alias(head, " ".join(new))
+        return list(new) + argv[1:]
+    follower = argv[1] if len(argv) > 1 else None
+    bare = follower is not None and not follower.startswith("-")
+    if head == "run" and bare and follower not in _RUN_SUBCOMMANDS:
+        _warn_alias("run <benchmark>", "run one <benchmark>")
+        return ["run", "one"] + argv[1:]
+    if head == "telemetry" and bare and follower != "summarize":
+        _warn_alias("telemetry <trace>", "telemetry summarize <trace>")
+        return ["telemetry", "summarize"] + argv[1:]
+    return argv
 
 
 def main(argv: Sequence[str] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = parser.parse_args(_rewrite_legacy_argv(argv))
     if hasattr(args, "jobs"):
         try:
             resolve_jobs(args.jobs)

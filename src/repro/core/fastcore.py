@@ -1,0 +1,744 @@
+"""The optimized cycle loop (hot-path backend ``vector``).
+
+:class:`FastCore` is a drop-in subclass of
+:class:`repro.core.pipeline.Core` that reimplements every hot phase of
+the cycle loop for throughput.  It is **observably identical** to the
+reference loop — the same cycle counts and the same
+:class:`~repro.common.stats.StatSet`, field for field, on every config —
+which ``tests/core/test_hotpath_parity.py`` enforces against both the
+checked-in golden (``tests/data/pipeline_stats_golden.json``) and live
+A/B runs.  Anything that would change observable behavior belongs in
+the reference loop first, with a freshly captured golden.
+
+What is different, and why it cannot change results:
+
+* **No telemetry.**  :class:`~repro.sim.system.System` only instantiates
+  FastCore when tracing is disabled; every ``telemetry.enabled`` branch
+  the reference loop carries is simply gone.  Constructing a FastCore
+  with a live collector raises.
+* **Phase early-outs.**  ``step`` skips a phase when its inputs are
+  empty (no blocked branches, empty store buffer, ROB head incomplete,
+  empty ready queue).  The reference phases return immediately in those
+  states; skipping the call is the same.
+* **Closure-free events.**  Completions ride
+  :meth:`~repro.common.events.EventQueue.push` entries ``(fn, inst)``
+  instead of per-event lambdas.  The run loops never tick past a due
+  event, so the due cycle handed to the callback equals the service
+  cycle the legacy closures received.
+* **Operand-taint memo.**  A waiting instruction's source taints cannot
+  change between issue attempts (its physical registers are not
+  reallocated until after it commits), so the union is computed once
+  and cached on the instruction (``_Inst.taint_cache``) instead of
+  per attempt.
+* **Policy-hook devirtualization.**  Hooks a policy does not override
+  (``on_commit``, ``word_is_public``, ``on_load_value``, the issue
+  gates) are skipped entirely; the base implementations are no-ops or
+  constants, precomputed here.  ``on_visibility`` is only called when
+  the frontier actually moved — the STT-family implementation is
+  idempotent at a fixed frontier, and new taint roots are always ahead
+  of it.
+* **Sorted-ready maintenance.**  The reference loop re-sorts the ready
+  queue every cycle; FastCore keeps it sorted and re-sorts (via
+  :func:`repro.core.hotpath.sort_ready`, numpy argsort above its
+  threshold) only after out-of-order wakeups append to it.  Sequence
+  numbers are unique, so sorting is a permutation with a single fixed
+  result — resort timing cannot change the order issued.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import FrozenSet, List, Optional
+
+from repro.common.types import MemPrediction, OpClass, SpeculationModel
+from repro.core.hotpath import count_unready, sort_ready
+from repro.core.pipeline import Core, Observation, _Inst
+from repro.core.shadows import NO_SHADOW
+from repro.memory.packet import MemPacket, PacketKind
+from repro.security.policy import EMPTY_TAINT, SecurityPolicy
+from repro.security.stt import SttPolicy
+
+__all__ = ["FastCore"]
+
+_ALU = OpClass.ALU
+_MUL = OpClass.MUL
+_DIV = OpClass.DIV
+_FP = OpClass.FP
+_LOAD = OpClass.LOAD
+_STORE = OpClass.STORE
+_BRANCH = OpClass.BRANCH
+
+_READ_REQ = PacketKind.READ_REQ
+_WRITE_REQ = PacketKind.WRITE_REQ
+_INVISIBLE_REQ = PacketKind.INVISIBLE_REQ
+
+_STF = MemPrediction.STF
+
+
+class FastCore(Core):
+    """Throughput-optimized core; bit-identical to the reference loop."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.telemetry.enabled:
+            raise ValueError(
+                "FastCore carries no telemetry instrumentation; "
+                "traced runs must use the reference Core"
+            )
+        core = self.params.core
+        self._decode_width = core.decode_width
+        self._issue_width = core.issue_width
+        self._commit_width = core.commit_width
+        self._rob_entries = core.rob_entries
+        self._iq_entries = core.iq_entries
+        self._mispredict_penalty = core.mispredict_penalty
+        self._sb_drain = core.sb_drain_per_cycle
+        self._lat_alu = core.alu_latency
+        self._lat_mul = core.mul_latency
+        self._lat_div = core.div_latency
+        self._lat_fp = core.fp_latency
+        self._lat_branch = core.branch_latency
+        self._trace_len = len(self.trace)
+        self._lpt_sources = self.params.lpt_sources
+        model = self.params.speculation_model
+        self._futuristic = model is SpeculationModel.FUTURISTIC
+        self._store_shadows = model is not SpeculationModel.CONTROL_ONLY
+        self._mdp_on = self.params.memory_dependence_speculation
+
+        # Which policy hooks are actually overridden; base-class hooks
+        # are no-ops/constants and their call sites collapse.
+        policy = self.policy
+        cls = type(policy)
+        base = SecurityPolicy
+        self._blocks_loads = cls.load_issue_blocked is not base.load_issue_blocked
+        self._blocks_stores = (
+            cls.store_issue_blocked is not base.store_issue_blocked
+        )
+        self._blocks_branches = (
+            cls.branch_resolution_blocked is not base.branch_resolution_blocked
+        )
+        self._gates_on_miss = policy.gates_on_miss
+        self._invisible = policy.invisible_speculation
+        self._use_recon = policy.use_recon
+        self._has_word_public = cls.word_is_public is not base.word_is_public
+        self._has_on_load_value = cls.on_load_value is not base.on_load_value
+        self._has_on_commit = cls.on_commit is not base.on_commit
+        self._has_on_visibility = cls.on_visibility is not base.on_visibility
+        if cls.propagate_taint is base.propagate_taint:
+            self._prop_mode = 0  # always EMPTY_TAINT
+        elif cls.propagate_taint is SttPolicy.propagate_taint:
+            self._prop_mode = 1  # identity (operand taint flows through)
+        else:  # pragma: no cover - no third implementation exists today
+            self._prop_mode = 2  # call the hook
+
+        self._ready_dirty = False
+        self._warm_pending = self.warmup_uops > 0
+        self._last_frontier: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000):
+        step = self.step
+        next_wake = self.next_wake
+        while not self.done:
+            cycle = self.cycle
+            if cycle >= max_cycles:
+                raise self.hang_error(max_cycles)
+            if step(cycle) or self.done:
+                self.cycle = cycle + 1
+            else:
+                self.cycle = next_wake(cycle)
+        return self.stats
+
+    def next_wake(self, cycle: int) -> int:
+        heap = self.events._heap
+        best = -1
+        if heap:
+            pending = heap[0][0]
+            if pending > cycle:
+                best = pending
+        if self._fetch_blocked_by is None:
+            resume = self._fetch_resume_cycle
+            if resume > cycle and (best < 0 or resume < best):
+                best = resume
+        floor = cycle + 1
+        return best if best > floor else floor
+
+    def step(self, cycle: int) -> bool:
+        if self.done:
+            return False
+        activity = self.events.service(cycle)
+        if self._blocked_branches:
+            if self._resolve_blocked_branches(cycle):
+                activity = True
+                self.events.epoch += 1  # resolutions broadcast registers
+
+        # -- visibility (reference: _advance_visibility, every cycle) --
+        active = self.shadows._active
+        frontier = active[0] if active else NO_SHADOW
+        if frontier != self._last_frontier:
+            self._last_frontier = frontier
+            self.events.epoch += 1  # shadow frontier moved: re-poll blocked
+            if self._has_on_visibility:
+                # Idempotent at a fixed frontier, so calling only on
+                # movement matches the reference's every-cycle call.
+                self.policy.on_visibility(frontier)
+        deferred = self._deferred
+        while deferred and deferred[0][0] < frontier:
+            _, inst = heappop(deferred)
+            self._broadcast(inst, EMPTY_TAINT)
+        exposes = self._pending_exposes
+        if exposes and exposes[0][0] < frontier:
+            submit = self.hierarchy.submit
+            core_id = self.core_id
+            while exposes and exposes[0][0] < frontier:
+                # Expose: install the line for real, off the critical path.
+                _, addr = heappop(exposes)
+                submit(MemPacket.request(_READ_REQ, core_id, addr, cycle))
+
+        lsq = self.lsq
+        sb = lsq._sb
+        if sb:
+            submit = self.hierarchy.submit
+            core_id = self.core_id
+            for _ in range(self._sb_drain):
+                if not sb:
+                    break
+                entry = sb.popleft()
+                submit(MemPacket.request(_WRITE_REQ, core_id, entry.addr, cycle))
+            activity = True
+            self.events.epoch += 1  # stores performed: cache state changed
+
+        rob = self._rob
+        head = self._rob_head
+        if head < len(rob) and rob[head].completed:
+            if self._commit(cycle) > 0:
+                activity = True
+                self.events.epoch += 1  # commits move reveal/LSQ state
+        if self._ready:
+            activity |= self._issue(cycle) > 0
+        if (
+            self._fetch_idx < self._trace_len
+            and self._fetch_blocked_by is None
+            and cycle >= self._fetch_resume_cycle
+        ):
+            activity |= self._dispatch(cycle) > 0
+        if (
+            self._fetch_idx >= self._trace_len
+            and self._rob_head >= len(self._rob)
+            and not sb
+        ):
+            self.done = True
+            self.stats.cycles = cycle + 1
+            if self.lpt is not None:
+                self.stats.lpt_conflicts = self.lpt.conflicts
+        return bool(activity)
+
+    # ------------------------------------------------------------------
+    # completion events (scheduled closure-free via EventQueue.push)
+    # ------------------------------------------------------------------
+    def _complete(self, inst: _Inst, cycle: int) -> None:
+        uop = inst.uop
+        oc = uop.opclass
+        if oc is _STORE:
+            violated = self.lsq.resolve_store(inst.seq)
+            if violated:
+                stats = self.stats
+                mdp = self.mdp
+                bound = cycle + self._mispredict_penalty
+                for load in violated:
+                    stats.mem_order_violations += 1
+                    mdp.train_violation(load.pc)
+                if bound > self._fetch_resume_cycle:
+                    self._fetch_resume_cycle = bound
+            if self._store_shadows:
+                self.shadows.resolve(inst.seq)
+            inst.agen_done = True
+            if inst.data_pending == 0:
+                inst.completed = True
+        elif oc is _BRANCH:
+            if self._blocks_branches and self.policy.branch_resolution_blocked(
+                inst.captured_taint
+            ):
+                self._blocked_branches.append(inst)
+            else:
+                self._resolve_branch(inst, cycle)
+        else:
+            mode = self._prop_mode
+            if mode == 0:
+                taint = EMPTY_TAINT
+            elif mode == 1:
+                taint = inst.captured_taint
+            else:  # pragma: no cover - no third implementation exists today
+                taint = self.policy.propagate_taint(inst.captured_taint)
+            self._broadcast(inst, taint)
+            inst.completed = True
+
+    def _resolve_branch(self, inst: _Inst, cycle: int) -> None:
+        self.shadows.resolve(inst.seq)
+        inst.completed = True
+        if inst.uop.mispredict:
+            self.stats.mispredicted_branches += 1
+            if self._fetch_blocked_by == inst.seq:
+                self._fetch_blocked_by = None
+                resume = cycle + self._mispredict_penalty
+                if resume > self._fetch_resume_cycle:
+                    self._fetch_resume_cycle = resume
+
+    def _load_return(self, inst: _Inst, cycle: int) -> None:
+        shadows = self.shadows
+        if self._futuristic:
+            shadows.resolve(inst.seq)
+        active = shadows._active
+        speculative = inst.seq > (active[0] if active else NO_SHADOW)
+        use_recon = self._use_recon
+        went = inst.went_to_memory
+        revealed = inst.mem_revealed and use_recon
+        if not revealed and went and self._has_word_public:
+            revealed = self.policy.word_is_public(inst.uop.addr)
+        if speculative and use_recon and went:
+            if revealed:
+                self.stats.reveal_hits += 1
+            else:
+                self.stats.reveal_misses += 1
+        if self._has_on_load_value:
+            broadcast_now, taint = self.policy.on_load_value(
+                inst.seq, speculative, revealed, inst.fwd_taint
+            )
+        else:
+            broadcast_now, taint = True, EMPTY_TAINT
+        inst.completed = True
+        if broadcast_now:
+            self._broadcast(inst, taint)
+        else:
+            heappush(self._deferred, (inst.seq, inst))
+
+    def _broadcast(self, inst: _Inst, taint: FrozenSet[int]) -> None:
+        dest = inst.dest_phys
+        if dest is None:
+            return
+        regfile = self.regfile
+        regfile.ready[dest] = True
+        regfile.taint[dest] = taint
+        waiters = regfile.waiters.pop(dest, None)
+        if waiters:
+            ready_q = self._ready
+            woke = False
+            for waiter in waiters:
+                waiter.pending -= 1
+                if waiter.pending == 0:
+                    ready_q.append(waiter)
+                    woke = True
+            if woke:
+                self._ready_dirty = True
+        data_waiters = self._data_waiters.pop(dest, None)
+        if data_waiters:
+            for waiter in data_waiters:
+                waiter.data_pending -= 1
+                if waiter.data_pending == 0:
+                    self._store_data_ready(waiter)
+
+    def _store_data_ready(self, inst: _Inst) -> None:
+        taints = self.regfile.taint
+        taint = EMPTY_TAINT
+        for phys in inst.data_phys:
+            t = taints[phys]
+            if t:
+                taint = taint | t
+        self.lsq.set_store_data(inst.seq, taint)
+        if inst.agen_done:
+            inst.completed = True
+
+    # ------------------------------------------------------------------
+    # commit
+    # ------------------------------------------------------------------
+    def _commit(self, cycle: int) -> int:
+        rob = self._rob
+        head = self._rob_head
+        rob_len = len(rob)
+        width = self._commit_width
+        committed = 0
+        stats = self.stats
+        lsq = self.lsq
+        sb = lsq._sb
+        sq_entries = lsq.sq_entries
+        lpt = self.lpt
+        policy = self.policy
+        has_on_commit = self._has_on_commit
+        release = self.regfile.release
+        while committed < width and head < rob_len:
+            inst = rob[head]
+            if not inst.completed:
+                break
+            uop = inst.uop
+            oc = uop.opclass
+            if oc is _STORE:
+                if len(sb) >= sq_entries:
+                    break
+                lsq.commit_store(inst.seq)
+                stats.committed_stores += 1
+                if lpt is not None:
+                    lpt.on_other_commit(inst.dest_phys)
+            elif oc is _LOAD:
+                lsq.commit_load(inst.seq)
+                stats.committed_loads += 1
+                if lpt is not None:
+                    self._lpt_load_commit(inst, cycle)
+            else:
+                if oc is _BRANCH:
+                    stats.committed_branches += 1
+                if lpt is not None:
+                    lpt.on_other_commit(inst.dest_phys)
+            if has_on_commit:
+                policy.on_commit(uop)
+            if inst.freed_on_commit is not None:
+                release(inst.freed_on_commit)
+            rob[head] = None  # type: ignore[call-overload]
+            head += 1
+            stats.committed_uops += 1
+            committed += 1
+            if self._warm_pending and stats.committed_uops >= self.warmup_uops:
+                self._warm_pending = False
+                stats.cycles = cycle
+                self._warm_snapshot = stats.snapshot()
+        self._rob_head = head
+        if head > 4096 and head == rob_len:
+            del rob[:head]
+            self._rob_head = 0
+        return committed
+
+    def _lpt_load_commit(self, inst: _Inst, cycle: int) -> None:
+        lpt = self.lpt
+        reveals = lpt.on_load_commit_multi(
+            inst.dest_phys, inst.src_phys[: self._lpt_sources], inst.uop.addr or 0
+        )
+        if reveals:
+            self.stats.load_pairs_detected += len(reveals)
+            reveal_commit = self.hierarchy.reveal_commit
+            for addr in reveals:
+                reveal_commit(self.core_id, addr, cycle)
+
+    # ------------------------------------------------------------------
+    # issue
+    # ------------------------------------------------------------------
+    def _issue(self, cycle: int) -> int:
+        ready = self._ready
+        if not ready:
+            return 0
+        if self._ready_dirty:
+            ready = sort_ready(ready)
+            self._ready = ready
+            self._ready_dirty = False
+        issued = 0
+        kept: List[_Inst] = []
+        kept_append = kept.append
+        width = self._issue_width
+        events = self.events
+        events_push = events.push
+        complete = self._complete
+        taints = self.regfile.taint
+        stats = self.stats
+        lat_alu = self._lat_alu
+        lat_branch = self._lat_branch
+        n = len(ready)
+        index = 0
+        while index < n:
+            inst = ready[index]
+            if issued >= width:
+                kept.extend(ready[index:])
+                break
+            uop = inst.uop
+            oc = uop.opclass
+            if oc is _LOAD:
+                # Epoch memo: a blocked verdict only changes when state
+                # it reads changes, and every such change bumps the
+                # epoch — skip the (side-effect-free) re-poll until then.
+                if inst.blocked_epoch == events.epoch:
+                    kept_append(inst)
+                    index += 1
+                    continue
+                ok = self._try_issue_load(inst, cycle)
+            elif oc is _STORE:
+                if inst.blocked_epoch == events.epoch:
+                    kept_append(inst)
+                    index += 1
+                    continue
+                ok = self._try_issue_store(inst, cycle)
+            else:
+                taint = EMPTY_TAINT
+                for phys in inst.src_phys:
+                    t = taints[phys]
+                    if t:
+                        taint = taint | t
+                inst.captured_taint = taint
+                if oc is _ALU:
+                    lat = lat_alu
+                elif oc is _BRANCH:
+                    lat = lat_branch
+                elif oc is _MUL:
+                    lat = self._lat_mul
+                elif oc is _FP:
+                    lat = self._lat_fp
+                elif oc is _DIV:
+                    lat = self._lat_div
+                else:  # NOP
+                    lat = 1
+                events_push(cycle + lat, complete, inst)
+                ok = True
+            if ok:
+                issued += 1
+            else:
+                # reference: _note_blocked
+                if inst.first_blocked < 0:
+                    inst.first_blocked = cycle
+                if not inst.counted_delayed and oc is _LOAD:
+                    inst.counted_delayed = True
+                    stats.delayed_loads += 1
+                inst.blocked_epoch = events.epoch
+                kept_append(inst)
+            index += 1
+        self._iq_count -= issued
+        self._ready = kept
+        return issued
+
+    def _try_issue_store(self, inst: _Inst, cycle: int) -> bool:
+        taint = inst.taint_cache
+        if taint is None:
+            taints = self.regfile.taint
+            taint = EMPTY_TAINT
+            for phys in inst.src_phys:
+                t = taints[phys]
+                if t:
+                    taint = taint | t
+            inst.taint_cache = taint
+        if self._blocks_stores and self.policy.store_issue_blocked(taint):
+            return False
+        inst.captured_taint = taint
+        if inst.first_blocked >= 0:
+            self.stats.delay_cycles += cycle - inst.first_blocked
+        self.events.push(cycle + self._lat_alu, self._complete, inst)
+        return True
+
+    def _try_issue_load(self, inst: _Inst, cycle: int) -> bool:
+        taint = inst.taint_cache
+        if taint is None:
+            taints = self.regfile.taint
+            taint = EMPTY_TAINT
+            for phys in inst.src_phys:
+                t = taints[phys]
+                if t:
+                    taint = taint | t
+            inst.taint_cache = taint
+        policy = self.policy
+        if self._blocks_loads and policy.load_issue_blocked(taint):
+            return False
+        uop = inst.uop
+        addr = uop.addr
+        shadows = self.shadows
+        if self._gates_on_miss:
+            l1_hit, revealed = self.hierarchy.peek_access(self.core_id, addr)
+            if not policy.may_issue_load(
+                shadows.is_speculative(inst.seq), l1_hit, revealed
+            ):
+                return False
+        invisible = False
+        if self._invisible:
+            _, revealed = self.hierarchy.peek_access(self.core_id, addr)
+            invisible = policy.load_must_be_invisible(
+                shadows.is_speculative(inst.seq), revealed
+            )
+        lsq = self.lsq
+        forward = lsq.forwarding_store(inst.seq, addr)
+        if forward is not None and not forward.data_ready:
+            return False  # matching older store exists but has no data yet
+        unresolved = lsq.has_older_unresolved_store(inst.seq)
+        if self._mdp_on:
+            prediction = uop.forced_prediction or self.mdp.predict(uop.pc)
+            if prediction is _STF:
+                if unresolved:
+                    return False  # wait for older store addresses
+                if forward is None:
+                    self.mdp.train_no_dependence(uop.pc)
+            # MEM prediction (or STF that found nothing): proceed; a match
+            # with a resolved store always forwards.
+        else:
+            if unresolved:
+                return False
+        inst.captured_taint = taint
+        if inst.first_blocked >= 0:
+            self.stats.delay_cycles += cycle - inst.first_blocked
+        events_push = self.events.push
+        if forward is not None:
+            inst.fwd_taint = forward.taint
+            inst.mem_revealed = False  # forwarded data is always concealed
+            self.stats.store_forwards += 1
+            events_push(cycle + 2, self._load_return, inst)
+        elif invisible:
+            access_cycle = cycle + 1
+            self.events.epoch += 1  # MDP may train on this issue
+            pkt = self.hierarchy.submit(
+                MemPacket.request(
+                    _INVISIBLE_REQ, self.core_id, addr, access_cycle
+                )
+            )
+            inst.mem_revealed = False
+            entry = lsq._lq.get(inst.seq)
+            if entry is not None:
+                entry.went_to_memory = True
+            heappush(self._pending_exposes, (inst.seq, addr))
+            events_push(pkt.issued_at + pkt.latency, self._load_return, inst)
+        else:
+            access_cycle = cycle + 1  # address generation
+            self.events.epoch += 1  # fill/evict can change later DoM peeks
+            pkt = self.hierarchy.submit(
+                MemPacket.request(_READ_REQ, self.core_id, addr, access_cycle)
+            )
+            inst.mem_revealed = pkt.revealed
+            inst.went_to_memory = True
+            entry = lsq._lq.get(inst.seq)
+            if entry is not None:
+                entry.went_to_memory = True
+            self.observations.append(
+                Observation(
+                    inst.seq,
+                    uop.pc,
+                    addr,
+                    access_cycle,
+                    shadows.is_speculative(inst.seq),
+                )
+            )
+            events_push(pkt.issued_at + pkt.latency, self._load_return, inst)
+        return True
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, cycle: int) -> int:
+        if self._fetch_blocked_by is not None or cycle < self._fetch_resume_cycle:
+            return 0
+        trace = self.trace
+        idx = self._fetch_idx
+        n = self._trace_len
+        decode_width = self._decode_width
+        rob_entries = self._rob_entries
+        iq_entries = self._iq_entries
+        rob = self._rob
+        rob_append = rob.append
+        rob_occ = len(rob) - self._rob_head
+        iq = self._iq_count
+        regfile = self.regfile
+        rmap = regfile._map
+        free = regfile._free
+        ready = regfile.ready
+        rtaint = regfile.taint
+        waiters = regfile.waiters
+        lsq = self.lsq
+        lq = lsq._lq
+        lq_entries = lsq.lq_entries
+        sq = lsq._sq
+        sq_entries = lsq.sq_entries
+        ready_q = self._ready
+        data_waiters = self._data_waiters
+        shadow_heap = self.shadows._active
+        futuristic = self._futuristic
+        store_shadows = self._store_shadows
+        dispatched = 0
+        woke = False
+        blocked_by = None
+        while dispatched < decode_width and idx < n:
+            uop = trace[idx]
+            oc = uop.opclass
+            if rob_occ >= rob_entries or iq >= iq_entries:
+                break
+            if oc is _LOAD:
+                if len(lq) >= lq_entries:
+                    break
+            elif oc is _STORE:
+                if len(sq) >= sq_entries:
+                    break
+            dest = uop.dest
+            if dest is not None and not free:
+                break
+            seq = uop.seq
+            inst = _Inst(seq, uop)
+            srcs = uop.srcs
+            if srcs:
+                inst.src_phys = src_phys = tuple([rmap[a] for a in srcs])
+            else:
+                src_phys = ()
+            data_srcs = uop.data_srcs
+            if data_srcs:
+                inst.data_phys = data_phys = tuple(
+                    [rmap[a] for a in data_srcs]
+                )
+            else:
+                data_phys = ()
+            if dest is not None:
+                inst.freed_on_commit = rmap[dest]
+                dest_phys = free.popleft()
+                rmap[dest] = dest_phys
+                ready[dest_phys] = False
+                rtaint[dest_phys] = EMPTY_TAINT
+                inst.dest_phys = dest_phys
+            rob_append(inst)
+            rob_occ += 1
+            iq += 1
+            if oc is _LOAD:
+                lsq.add_load(seq, uop.pc, uop.addr)
+                if futuristic:
+                    heappush(shadow_heap, seq)
+            elif oc is _STORE:
+                lsq.add_store(seq, uop.pc, uop.addr)
+                if store_shadows:
+                    heappush(shadow_heap, seq)
+            elif oc is _BRANCH:
+                heappush(shadow_heap, seq)
+                if uop.mispredict:
+                    blocked_by = seq
+            if len(src_phys) > 3:  # wide uop: vectorized scoreboard scan
+                pending = count_unready(ready, src_phys)
+            else:
+                pending = 0
+                for phys in src_phys:
+                    if not ready[phys]:
+                        pending += 1
+            inst.pending = pending
+            if pending == 0:
+                ready_q.append(inst)
+                woke = True
+            else:
+                for phys in src_phys:
+                    if not ready[phys]:
+                        waiting = waiters.get(phys)
+                        if waiting is None:
+                            waiters[phys] = [inst]
+                        else:
+                            waiting.append(inst)
+            if oc is _STORE:
+                data_pending = 0
+                for phys in data_phys:
+                    if not ready[phys]:
+                        data_pending += 1
+                inst.data_pending = data_pending
+                if data_pending == 0:
+                    self._store_data_ready(inst)
+                else:
+                    for phys in data_phys:
+                        if not ready[phys]:
+                            waiting = data_waiters.get(phys)
+                            if waiting is None:
+                                data_waiters[phys] = [inst]
+                            else:
+                                waiting.append(inst)
+            idx += 1
+            dispatched += 1
+            if blocked_by is not None:
+                break  # mispredicted branch: stop supplying younger uops
+        self._fetch_idx = idx
+        self._iq_count = iq
+        if blocked_by is not None:
+            self._fetch_blocked_by = blocked_by
+        if woke:
+            self._ready_dirty = True
+        return dispatched

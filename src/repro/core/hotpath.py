@@ -1,0 +1,167 @@
+"""Hot-path backend selection and vectorized kernels.
+
+The cycle loop exists twice:
+
+* :class:`repro.core.pipeline.Core` — the *reference* loop: readable,
+  telemetry-instrumented, unchanged by the hot-path work.  Traced runs
+  and the parity/golden suites run here.
+* :class:`repro.core.fastcore.FastCore` — the optimized loop: same
+  observable behavior (bit-identical stats, proven by
+  ``tests/core/test_hotpath_parity.py``), several times faster.
+
+This module decides which one a :class:`~repro.sim.system.System`
+instantiates.  The ``REPRO_HOTPATH`` environment variable selects:
+
+``auto`` (default)
+    The compiled kernel if one is importable, else the vectorized
+    pure-Python fast path.
+``vector``
+    Force the pure-Python fast path (:class:`FastCore`).
+``legacy``
+    Force the reference loop (:class:`Core`).
+``compiled``
+    Force the compiled kernel; falls back to ``vector`` (with a
+    warning) when no compiled module is present.
+
+The compiled kernel is an *optional* mypyc/Cython build of the fast
+path (``repro.core._fastcore_compiled``).  No build machinery is
+required — or present — in the default environment: the import is
+attempted once and quietly skipped, so the pure-Python fast path is
+what runs everywhere the extension has not been built.
+
+The numpy kernels below follow one rule, measured rather than assumed:
+vectorization only pays above a size threshold.  Pipeline operand scans
+touch one to three registers and a ready queue of a few dozen entries —
+at those sizes the numpy call overhead (array creation + dispatch)
+exceeds the loop it replaces, so each kernel falls back to plain Python
+below its threshold and numpy engages only on the rare wide cases.
+When numpy is absent entirely, the fallbacks are the implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "BACKENDS",
+    "HOTPATH_ENV",
+    "HAVE_COMPILED",
+    "HAVE_NUMPY",
+    "core_class",
+    "count_unready",
+    "resolve_backend",
+    "sort_ready",
+]
+
+#: Environment variable naming the backend.
+HOTPATH_ENV = "REPRO_HOTPATH"
+
+#: Recognized backend names.
+BACKENDS = ("auto", "vector", "legacy", "compiled")
+
+try:  # pragma: no cover - exercised only where numpy is missing
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAVE_NUMPY = False
+
+_compiled_core = None
+try:  # pragma: no cover - no compiled kernel in the default environment
+    from repro.core._fastcore_compiled import (  # type: ignore[import-not-found]
+        CompiledCore as _compiled_core,
+    )
+
+    HAVE_COMPILED = True
+except ImportError:
+    HAVE_COMPILED = False
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``name`` overrides the ``REPRO_HOTPATH`` environment variable;
+    the result is one of ``vector``, ``legacy``, or ``compiled``.
+    """
+    if name is None:
+        name = os.environ.get(HOTPATH_ENV, "auto")
+    name = name.strip().lower() or "auto"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown hot-path backend {name!r}; expected one of {BACKENDS}"
+        )
+    if name == "auto":
+        return "compiled" if HAVE_COMPILED else "vector"
+    if name == "compiled" and not HAVE_COMPILED:
+        warnings.warn(
+            "REPRO_HOTPATH=compiled but no compiled kernel is built; "
+            "falling back to the pure-Python fast path",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "vector"
+    return name
+
+
+def core_class(backend: Optional[str] = None):
+    """The core class implementing the selected backend."""
+    resolved = resolve_backend(backend)
+    if resolved == "legacy":
+        from repro.core.pipeline import Core
+
+        return Core
+    if resolved == "compiled":  # pragma: no cover - optional extension
+        return _compiled_core
+    from repro.core.fastcore import FastCore
+
+    return FastCore
+
+
+# ---------------------------------------------------------------------------
+# vectorized kernels (numpy above thresholds, plain Python below/without)
+# ---------------------------------------------------------------------------
+
+#: Below this ready-queue length, ``list.sort`` beats an argsort round trip.
+SORT_READY_THRESHOLD = 64
+
+#: Below this operand count, a scalar loop beats a numpy ``take``.
+SCOREBOARD_THRESHOLD = 16
+
+
+def _seq_of(inst) -> int:
+    return inst.seq
+
+
+def sort_ready(insts: List) -> List:
+    """Order a wakeup/select queue by sequence number (oldest first).
+
+    The per-cycle select scan: the issue stage walks this order and the
+    reference loop re-sorts every cycle.  Large queues (many blocked
+    loads under a secure scheme) take the numpy argsort path; small ones
+    sort in place.
+    """
+    if HAVE_NUMPY and len(insts) >= SORT_READY_THRESHOLD:
+        seqs = _np.fromiter((inst.seq for inst in insts), dtype=_np.int64, count=len(insts))
+        return [insts[i] for i in _np.argsort(seqs, kind="stable")]
+    insts.sort(key=_seq_of)
+    return insts
+
+
+def count_unready(ready: Sequence[bool], phys: Sequence[int]) -> int:
+    """Scoreboard scan: how many of ``phys`` are not ready yet.
+
+    ``ready`` is the physical-register scoreboard; ``phys`` the operand
+    registers of one instruction (1–3 in practice, so the scalar loop is
+    the common path).
+    """
+    if HAVE_NUMPY and len(phys) >= SCOREBOARD_THRESHOLD:
+        board = _np.fromiter(ready, dtype=bool, count=len(ready))
+        return int(len(phys) - _np.count_nonzero(board[list(phys)]))
+    count = 0
+    for reg in phys:
+        if not ready[reg]:
+            count += 1
+    return count

@@ -4,12 +4,18 @@ Committed stores sit in the store buffer (SB) until performed; stores in
 the store queue (SQ) are in-flight (paper §4.4.2).  Loads forward from
 either — and forwarded data is always **concealed** under ReCon, so the
 pipeline never lifts defenses for a forwarded value (§4.5).
+
+The ordering/violation queries are answered from incremental indexes
+(an SQ map keyed by sequence number, per-word LQ lists, and a sorted
+list of unresolved store sequence numbers) instead of linear scans; the
+indexes are pure accelerations — every query returns exactly what the
+scan-based implementation returned, in the same order.
 """
 
 from __future__ import annotations
 
 import collections
-from typing import Deque, Dict, FrozenSet, List, Optional
+from typing import Deque, Dict, FrozenSet, List, Optional, Set
 
 from repro.common.types import word_addr
 from repro.memory.packet import MemPacket, PacketKind
@@ -72,6 +78,15 @@ class LoadStoreUnit:
         self._sq: Deque[StoreEntry] = collections.deque()
         self._sb: Deque[StoreEntry] = collections.deque()
         self._lq: Dict[int, LoadEntry] = {}
+        #: SQ entries by sequence number (dispatch adds, commit removes).
+        self._sq_map: Dict[int, StoreEntry] = {}
+        #: LQ entries grouped by word, each list in dispatch order — the
+        #: same relative order a full LQ scan would visit them in.
+        self._lq_words: Dict[int, List[LoadEntry]] = {}
+        #: Unresolved store seqs, ascending (dispatch order), drained
+        #: lazily from the front as stores resolve.
+        self._unresolved: List[int] = []
+        self._resolved_seqs: Set[int] = set()
         #: Telemetry sink + core id (wired by the owning core).
         self.telemetry = NULL_TELEMETRY
         self.telemetry_core = 0
@@ -98,12 +113,19 @@ class LoadStoreUnit:
         """Allocate an SQ entry at dispatch (address not yet resolved)."""
         entry = StoreEntry(seq, pc, addr)
         self._sq.append(entry)
+        self._sq_map[seq] = entry
+        self._unresolved.append(seq)  # seqs arrive ascending
         return entry
 
     def add_load(self, seq: int, pc: int, addr: int) -> LoadEntry:
         """Allocate an LQ entry at dispatch."""
         entry = LoadEntry(seq, pc, addr)
         self._lq[seq] = entry
+        word_list = self._lq_words.get(entry.word)
+        if word_list is None:
+            self._lq_words[entry.word] = [entry]
+        else:
+            word_list.append(entry)
         return entry
 
     def resolve_store(self, seq: int) -> List[LoadEntry]:
@@ -112,14 +134,19 @@ class LoadStoreUnit:
         A violation is a younger load to the same word that already issued
         to memory (it read stale data past this store).
         """
-        entry = self._find_sq(seq)
+        entry = self._sq_map.get(seq)
         if entry is None:
             raise KeyError(f"store #{seq} not in SQ")
         entry.resolved = True
+        self._resolved_seqs.add(seq)
+        unresolved = self._unresolved
+        resolved = self._resolved_seqs
+        while unresolved and unresolved[0] in resolved:
+            resolved.discard(unresolved.pop(0))
         violated = [
             load
-            for load in self._lq.values()
-            if load.seq > seq and load.word == entry.word and load.went_to_memory
+            for load in self._lq_words.get(entry.word, ())
+            if load.seq > seq and load.went_to_memory
         ]
         if self.telemetry.enabled:
             for load in violated:
@@ -134,7 +161,7 @@ class LoadStoreUnit:
 
     def set_store_data(self, seq: int, taint: FrozenSet[int]) -> None:
         """The store's data register became available (with its taint)."""
-        entry = self._find_sq(seq)
+        entry = self._sq_map.get(seq)
         if entry is None:
             raise KeyError(f"store #{seq} not in SQ")
         entry.data_ready = True
@@ -145,13 +172,20 @@ class LoadStoreUnit:
         if not self._sq or self._sq[0].seq != seq:
             raise ValueError(f"store #{seq} is not the SQ head")
         entry = self._sq.popleft()
+        del self._sq_map[seq]
         entry.committed = True
         self._sb.append(entry)
         return entry
 
     def commit_load(self, seq: int) -> None:
         """Release the LQ entry of a committing load."""
-        self._lq.pop(seq, None)
+        entry = self._lq.pop(seq, None)
+        if entry is not None:
+            word_list = self._lq_words.get(entry.word)
+            if word_list is not None:
+                word_list.remove(entry)
+                if not word_list:
+                    del self._lq_words[entry.word]
 
     def pop_performable_store(self) -> Optional[StoreEntry]:
         """Remove and return the oldest SB entry (drained to the cache)."""
@@ -164,7 +198,13 @@ class LoadStoreUnit:
     # ------------------------------------------------------------------
     def has_older_unresolved_store(self, load_seq: int) -> bool:
         """Any store older than ``load_seq`` with an unresolved address?"""
-        return any(s.seq < load_seq and not s.resolved for s in self._sq)
+        unresolved = self._unresolved
+        if not unresolved:
+            return False
+        resolved = self._resolved_seqs
+        while unresolved and unresolved[0] in resolved:
+            resolved.discard(unresolved.pop(0))
+        return bool(unresolved) and unresolved[0] < load_seq
 
     def forwarding_store(self, load_seq: int, addr: int) -> Optional[StoreEntry]:
         """Youngest older resolved store matching ``addr``'s word, if any.
@@ -174,10 +214,10 @@ class LoadStoreUnit:
         """
         word = word_addr(addr)
         best: Optional[StoreEntry] = None
-        for entry in self._sq:
+        for entry in reversed(self._sq):
             if entry.seq < load_seq and entry.resolved and entry.word == word:
-                if best is None or entry.seq > best.seq:
-                    best = entry
+                best = entry  # SQ is seq-ordered: first match from the
+                break  # back is the youngest
         if best is not None:
             return best  # SQ entries are younger than all SB entries
         for entry in reversed(self._sb):
@@ -186,10 +226,7 @@ class LoadStoreUnit:
         return None
 
     def _find_sq(self, seq: int) -> Optional[StoreEntry]:
-        for entry in self._sq:
-            if entry.seq == seq:
-                return entry
-        return None
+        return self._sq_map.get(seq)
 
     def load_entry(self, seq: int) -> Optional[LoadEntry]:
         """The LQ entry for ``seq``, if still allocated."""

@@ -93,6 +93,8 @@ class _Inst:
         "went_to_memory",
         "first_blocked",
         "counted_delayed",
+        "taint_cache",
+        "blocked_epoch",
     )
 
     def __init__(self, seq: int, uop: MicroOp) -> None:
@@ -112,6 +114,20 @@ class _Inst:
         self.went_to_memory = False
         self.first_blocked = -1
         self.counted_delayed = False
+        #: Fast-path memo of the operand-taint union (None = not taken).
+        #: A waiting instruction's source taints cannot change between
+        #: issue attempts — the physical registers it reads are not
+        #: reallocated until after it commits — so the union is computed
+        #: once.  The reference loop recomputes it every attempt; both
+        #: produce the same value.
+        self.taint_cache: Optional[FrozenSet[int]] = None
+        #: Fast-path memo: the event-queue epoch at which this
+        #: instruction last polled as blocked.  While the epoch is
+        #: unchanged, nothing that could unblock it has happened, so the
+        #: poll (which mutates no state on a blocked outcome) may be
+        #: skipped.  The reference loop re-polls every cycle; both issue
+        #: on the same cycle.
+        self.blocked_epoch = -1
 
 
 class Core:

@@ -503,6 +503,29 @@ class MemoryHierarchy:
         )
         return pkt.acknowledged
 
+    def reveal_commit(self, core: int, addr: int, now: int) -> None:
+        """Packet-free REVEAL_REQ for the hot path.
+
+        Performs exactly the state and stat updates a submitted
+        REVEAL_REQ would (port grant, private lookup with LRU touch,
+        reveal bit, ``dropped_reveals``) without building a
+        :class:`MemPacket` the caller would discard.  REVEAL_REQ never
+        touches the NoC or DRAM, so the queue-cycle deltas ``submit``
+        accumulates are identically zero here.  Not telemetry
+        instrumented: traced runs go through :meth:`submit`.
+        """
+        priv = self._privs[core]
+        port = priv.port
+        if port.width is None:
+            port.grants += 1
+        else:
+            self._stats[core].port_stall_cycles += port.acquire(now)
+        line, level = self._private_lookup(core, line_addr(addr))
+        if line is None or (level is not None and not self._tracks(level)):
+            self.dropped_reveals += 1
+            return
+        line.reveal = recon_bits.reveal_word(line.reveal, addr)
+
     # ------------------------------------------------------------------
     # request handlers
     # ------------------------------------------------------------------

@@ -20,17 +20,36 @@ Write misses occupy an entry (they hold an MSHR in real hardware) but
 never become merge targets: the legacy model completes the ownership
 acquisition synchronously and never registered write fills, and the
 parity suite keeps it that way.
+
+Expiry is batched through a min-heap of ``(ready, line, is_write)``
+entries rather than rebuilding the occupancy dicts on every query (the
+old ``_prune`` rebuilt both dicts per occupancy check, which showed up
+in miss-heavy profiles).  Heap entries can go stale — a line retired
+eagerly or re-registered with a new fill time leaves its old entry
+behind — so a popped entry only deletes the dict slot when the recorded
+ready time still matches.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["MSHRFile"]
 
 
 class MSHRFile:
     """Outstanding-miss tracking for one core's private hierarchy."""
+
+    __slots__ = (
+        "entries",
+        "hits_under_miss",
+        "stall_cycles",
+        "peak_occupancy",
+        "_fills",
+        "_writes",
+        "_expiry",
+    )
 
     def __init__(self, entries: Optional[int] = None) -> None:
         if entries is not None and entries <= 0:
@@ -44,18 +63,20 @@ class MSHRFile:
         self.peak_occupancy = 0
         self._fills: Dict[int, int] = {}  # line -> fill completion time
         self._writes: Dict[int, int] = {}  # line -> ack time (no merging)
+        #: (ready, line, is_write) min-heap driving batched expiry.
+        self._expiry: List[Tuple[int, int, bool]] = []
 
     # -- occupancy -----------------------------------------------------
 
     def _prune(self, now: int) -> None:
-        self._fills = {
-            line: ready for line, ready in self._fills.items() if ready > now
-        }
-        self._writes = {
-            line: ready
-            for line, ready in self._writes.items()
-            if ready > now
-        }
+        expiry = self._expiry
+        fills = self._fills
+        writes = self._writes
+        while expiry and expiry[0][0] <= now:
+            ready, line, is_write = heappop(expiry)
+            table = writes if is_write else fills
+            if table.get(line) == ready:
+                del table[line]
 
     def occupancy(self, now: int) -> int:
         """Entries outstanding at ``now``."""
@@ -88,15 +109,19 @@ class MSHRFile:
     def register_fill(self, line_addr: int, ready: int, now: int) -> None:
         """Record a read primary miss: line fills at ``ready``."""
         self._fills[line_addr] = ready
+        heappush(self._expiry, (ready, line_addr, False))
         self._note_peak(now)
 
     def register_write(self, line_addr: int, ready: int, now: int) -> None:
         """Record a write miss: occupies an entry, never a merge target."""
         self._writes[line_addr] = ready
+        heappush(self._expiry, (ready, line_addr, True))
         self._note_peak(now)
 
     def _note_peak(self, now: int) -> None:
-        self.peak_occupancy = max(self.peak_occupancy, self.occupancy(now))
+        occupancy = self.occupancy(now)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
 
     # -- secondary misses ----------------------------------------------
 

@@ -18,11 +18,16 @@ A packet's life cycle::
 ``on_complete`` lets the issuer attach a callback fired by the event
 queue when the response lands, which is how non-blocking loads deliver
 their data without the core polling.
+
+``MemPacket`` is a hand-written ``__slots__`` class rather than a
+dataclass: one packet is allocated per memory transaction, which makes
+construction cost part of the simulator's hot path (dataclass
+``__init__`` plus ``__dict__`` allocation measurably slowed miss-heavy
+cells; ``slots=True`` needs Python 3.10+ while CI still runs 3.9).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 import itertools
 from typing import Callable, Optional
@@ -68,7 +73,6 @@ _REQUEST_KINDS = frozenset(
 _packet_ids = itertools.count()
 
 
-@dataclasses.dataclass
 class MemPacket:
     """One memory transaction (request that mutates into its response).
 
@@ -80,27 +84,59 @@ class MemPacket:
     response carrying them arrives.
     """
 
-    kind: PacketKind
-    core: int
-    addr: int
-    issued_at: int
-    src: Optional[int] = None
-    dst: Optional[int] = None
-    #: Monotonic id for tracing/debugging.
-    packet_id: int = dataclasses.field(
-        default_factory=lambda: next(_packet_ids)
+    __slots__ = (
+        "kind",
+        "core",
+        "addr",
+        "issued_at",
+        "src",
+        "dst",
+        "packet_id",
+        "latency",
+        "level",
+        "reveal_vector",
+        "revealed",
+        "acknowledged",
+        "on_complete",
     )
-    #: Filled in by the hierarchy when the transaction completes.
-    latency: Optional[int] = None
-    level: Optional[CacheLevel] = None
-    #: ReCon bit-vector payload (None = not carried / not applicable).
-    reveal_vector: Optional[int] = None
-    #: Whether the requested word was revealed *and* visible to the core.
-    revealed: bool = False
-    #: For REVEAL_REQ: whether the reveal took effect (line present).
-    acknowledged: bool = False
-    #: Fired by the event queue when the response lands.
-    on_complete: Optional[Callable[["MemPacket"], None]] = None
+
+    def __init__(
+        self,
+        kind: PacketKind,
+        core: int,
+        addr: int,
+        issued_at: int,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        packet_id: Optional[int] = None,
+        latency: Optional[int] = None,
+        level: Optional[CacheLevel] = None,
+        reveal_vector: Optional[int] = None,
+        revealed: bool = False,
+        acknowledged: bool = False,
+        on_complete: Optional[Callable[["MemPacket"], None]] = None,
+    ) -> None:
+        self.kind = kind
+        self.core = core
+        self.addr = addr
+        self.issued_at = issued_at
+        self.src = src
+        self.dst = dst
+        #: Monotonic id for tracing/debugging.
+        self.packet_id = (
+            next(_packet_ids) if packet_id is None else packet_id
+        )
+        #: Filled in by the hierarchy when the transaction completes.
+        self.latency = latency
+        self.level = level
+        #: ReCon bit-vector payload (None = not carried / not applicable).
+        self.reveal_vector = reveal_vector
+        #: Whether the requested word was revealed *and* visible to the core.
+        self.revealed = revealed
+        #: For REVEAL_REQ: whether the reveal took effect (line present).
+        self.acknowledged = acknowledged
+        #: Fired by the event queue when the response lands.
+        self.on_complete = on_complete
 
     @classmethod
     def request(
@@ -112,13 +148,13 @@ class MemPacket:
         on_complete: Optional[Callable[["MemPacket"], None]] = None,
     ) -> "MemPacket":
         """Build a request packet originating at ``core``'s node."""
-        if not kind.is_request:
+        if kind not in _REQUEST_KINDS:
             raise ValueError(f"{kind} is not a request kind")
         return cls(
-            kind=kind,
-            core=core,
-            addr=addr,
-            issued_at=issued_at,
+            kind,
+            core,
+            addr,
+            issued_at,
             src=core,
             on_complete=on_complete,
         )
@@ -168,3 +204,10 @@ class MemPacket:
         callback, self.on_complete = self.on_complete, None
         if callback is not None:
             callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"resp@{self.ready_at}" if self.latency is not None else "req"
+        return (
+            f"<MemPacket #{self.packet_id} {self.kind.value} core={self.core}"
+            f" [{self.addr:#x}] {state}>"
+        )

@@ -124,9 +124,12 @@ def coerce_config(
                 "pass either config=RunConfig(...) or the legacy kwargs "
                 f"({', '.join(sorted(legacy))}), not both"
             )
+        passed = ", ".join(sorted(legacy))
+        fields = ", ".join(f"{name}=..." for name in sorted(legacy))
         warnings.warn(
-            "the params/threads/cache/warmup_uops kwargs are deprecated; "
-            "pass config=RunConfig(...) instead",
+            f"the {passed} kwarg{'s are' if len(legacy) > 1 else ' is'} "
+            f"deprecated; each maps to the RunConfig field of the same "
+            f"name — pass config=RunConfig({fields}) instead",
             DeprecationWarning,
             stacklevel=3,
         )

@@ -1,0 +1,91 @@
+"""Deterministic driver for the pipeline-stats parity golden.
+
+The hot-path optimization (``repro.core.fastcore``) must reproduce the
+reference cycle loop (``repro.core.pipeline.Core``) *exactly*: the same
+cycle count and the same :class:`~repro.common.stats.StatSet`,
+field-for-field, on every cell below.  This module holds the stimulus
+shared by
+
+* ``scripts/capture_pipeline_golden.py`` — run once against the
+  pre-optimization loop to produce
+  ``tests/data/pipeline_stats_golden.json`` (checked in), and
+* ``tests/core/test_hotpath_parity.py`` — re-runs the same cells on the
+  selected backend and compares every stat field.
+
+Nothing here may depend on wall-clock time, hashing order, or any other
+non-determinism: the same code must produce the same record stream on
+both sides of the optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.types import SchemeKind
+from repro.sim.config import RunConfig
+from repro.sim.runner import TraceCache, run_benchmark
+from repro.workloads import get_benchmark
+
+__all__ = ["CELLS", "GOLDEN_PATH", "run_cells", "run_one"]
+
+#: Repo-relative location of the checked-in golden file.
+GOLDEN_PATH = "tests/data/pipeline_stats_golden.json"
+
+#: (suite, bench, scheme, length, threads) cells covering every policy
+#: family (taint gating, deferred broadcast, miss gating, invisible
+#: speculation, SPT DIFT), single- and multi-core, with the default
+#: 40% detailed warm-up in effect.
+CELLS: List[Tuple[str, str, SchemeKind, int, int]] = [
+    ("spec2017", "mcf", SchemeKind.UNSAFE, 6000, 1),
+    ("spec2017", "mcf", SchemeKind.STT, 6000, 1),
+    ("spec2017", "mcf", SchemeKind.STT_RECON, 6000, 1),
+    ("spec2017", "mcf", SchemeKind.NDA, 6000, 1),
+    ("spec2017", "mcf", SchemeKind.NDA_RECON, 6000, 1),
+    ("spec2017", "mcf", SchemeKind.DOM, 4000, 1),
+    ("spec2017", "mcf", SchemeKind.DOM_RECON, 4000, 1),
+    ("spec2017", "mcf", SchemeKind.INVISPEC, 4000, 1),
+    ("spec2017", "mcf", SchemeKind.INVISPEC_RECON, 4000, 1),
+    ("spec2017", "gcc", SchemeKind.UNSAFE, 6000, 1),
+    ("spec2017", "gcc", SchemeKind.STT_RECON, 6000, 1),
+    ("spec2017", "gcc", SchemeKind.STT_SPT, 4000, 1),
+    ("spec2017", "omnetpp", SchemeKind.NDA_RECON, 6000, 1),
+    ("spec2017", "xalancbmk", SchemeKind.STT_RECON, 6000, 1),
+    ("parsec", "canneal", SchemeKind.UNSAFE, 4000, 2),
+    ("parsec", "canneal", SchemeKind.STT_RECON, 4000, 2),
+    ("parsec", "streamcluster", SchemeKind.NDA_RECON, 4000, 4),
+]
+
+
+def cell_key(suite: str, bench: str, scheme: SchemeKind, length: int, threads: int) -> str:
+    return f"{suite}/{bench}/{scheme.value}/len{length}/t{threads}"
+
+
+def run_one(
+    suite: str,
+    bench: str,
+    scheme: SchemeKind,
+    length: int,
+    threads: int,
+    cache: TraceCache,
+) -> Dict[str, object]:
+    """Run one cell; returns its JSON-safe record (cycles + every stat)."""
+    profile = get_benchmark(suite, bench)
+    result = run_benchmark(
+        profile,
+        scheme,
+        length,
+        config=RunConfig(threads=threads, cache=cache),
+    )
+    return {
+        "cycles": result.cycles,
+        "stats": result.stats.as_dict(),
+        "per_core": [s.as_dict() for s in result.per_core],
+    }
+
+
+def run_cells() -> Dict[str, Dict[str, object]]:
+    """Run every golden cell; key -> record, in deterministic order."""
+    cache = TraceCache()
+    return {
+        cell_key(*cell): run_one(*cell, cache=cache) for cell in CELLS
+    }

@@ -228,3 +228,69 @@ class TestTraceWorkflow:
              "unsafe,stt+spt"]
         ) == 0
         assert "stt+spt" in capsys.readouterr().out
+
+
+class TestGroupedCommands:
+    """The run/sweep/telemetry groups and their deprecated aliases."""
+
+    def test_run_one_new_form(self, capsys, recwarn):
+        code = main(
+            ["run", "one", "spec2017/gcc", "--length", "600",
+             "--schemes", "unsafe"]
+        )
+        assert code == 0
+        assert "unsafe" in capsys.readouterr().out
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_new_forms_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["run", "suite", "spec2017"])
+        assert args.suite == "spec2017"
+        args = parser.parse_args(["run", "replay", "x.trace"])
+        assert args.path == "x.trace"
+        args = parser.parse_args(["run", "leakage", "spec2017/gcc"])
+        assert args.benchmark == "spec2017/gcc"
+        args = parser.parse_args(["sweep", "lpt", "spec2017/mcf"])
+        assert args.benchmark == "spec2017/mcf"
+        args = parser.parse_args(["sweep", "levels", "spec2017/mcf"])
+        assert args.benchmark == "spec2017/mcf"
+        args = parser.parse_args(["telemetry", "summarize", "t.json"])
+        assert args.path == "t.json"
+
+    def test_legacy_run_benchmark_warns(self, capsys):
+        with pytest.warns(DeprecationWarning, match="run one"):
+            code = main(
+                ["run", "spec2017/gcc", "--length", "600",
+                 "--schemes", "unsafe"]
+            )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_legacy_suite_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="run suite"):
+            with pytest.raises(SystemExit):
+                main(["suite", "nonsuite", "--length", "500"])
+
+    def test_legacy_sweep_aliases_warn(self):
+        with pytest.warns(DeprecationWarning, match="sweep lpt"):
+            with pytest.raises(SystemExit):
+                main(["sweep-lpt", "badlabel"])
+        with pytest.warns(DeprecationWarning, match="sweep levels"):
+            with pytest.raises(SystemExit):
+                main(["sweep-levels", "badlabel"])
+
+    def test_legacy_telemetry_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="telemetry summarize"):
+            with pytest.raises(SystemExit):
+                main(["telemetry", "/nonexistent.json"])
+
+    def test_telemetry_summarize_new_form_does_not_warn(self, recwarn):
+        with pytest.raises(SystemExit):
+            main(["telemetry", "summarize", "/nonexistent.json"])
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

@@ -61,6 +61,20 @@ class TestDeprecationShim:
             )
         assert suite.get("gcc", SchemeKind.UNSAFE).ipc > 0
 
+    def test_warning_names_the_replacement_fields(self):
+        profile = get_benchmark("spec2017", "gcc")
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"config=RunConfig\(cache=\.\.\., warmup_uops=\.\.\.\)",
+        ):
+            run_benchmark(
+                profile, SchemeKind.UNSAFE, 800, cache=TraceCache(), warmup_uops=0
+            )
+        with pytest.warns(
+            DeprecationWarning, match=r"config=RunConfig\(threads=\.\.\.\)"
+        ):
+            run_benchmark(profile, SchemeKind.UNSAFE, 800, threads=1)
+
     def test_mixing_config_and_legacy_kwargs_is_an_error(self):
         profile = get_benchmark("spec2017", "gcc")
         with pytest.raises(TypeError):

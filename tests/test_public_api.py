@@ -22,6 +22,7 @@ class TestExports:
             "repro.analysis",
             "repro.workloads",
             "repro.sim",
+            "repro.api",
             "repro.cli",
         ],
     )
@@ -38,14 +39,26 @@ class TestExports:
 
 class TestReadmeQuickstart:
     def test_quickstart_snippet(self):
-        from repro import SchemeKind, get_benchmark, run_benchmark
+        from repro.api import RunRequest, run_single
 
-        profile = get_benchmark("spec2017", "mcf")
-        unsafe = run_benchmark(profile, SchemeKind.UNSAFE, length=2_000)
-        stt = run_benchmark(profile, SchemeKind.STT, length=2_000)
-        recon = run_benchmark(profile, SchemeKind.STT_RECON, length=2_000)
+        unsafe = run_single(RunRequest("spec2017/mcf", "unsafe", 2_000), store=False)
+        stt = run_single(RunRequest("spec2017/mcf", "stt", 2_000), store=False)
+        recon = run_single(RunRequest("spec2017/mcf", "stt+recon", 2_000), store=False)
         assert 0 < stt.ipc / unsafe.ipc <= 1.2
         assert 0 < recon.ipc / unsafe.ipc <= 1.2
+
+    def test_suite_snippet(self):
+        from repro.api import RunRequest, SchemeKind, run_suite
+
+        requests = [
+            RunRequest(f"spec2017/{name}", scheme, 800)
+            for name in ("mcf", "gcc")
+            for scheme in ("unsafe", "stt+recon")
+        ]
+        suite = run_suite(requests, store=False)
+        assert suite.get("mcf", SchemeKind.STT_RECON).ipc > 0
+        norm = suite.normalized_ipc()[("mcf", SchemeKind.STT_RECON)]
+        assert 0 < norm <= 1.2
 
     def test_micro_program_snippet(self):
         from repro import Program, SchemeKind, StatSet, SystemParams
