@@ -2,37 +2,36 @@
 """Clueless demo: characterize non-speculative leakage of the suites.
 
 Reproduces the paper's §6.2 methodology in miniature: for a few
-benchmarks, run the Clueless analyzer over the trace and report what
-fraction of the program's memory footprint leaks its contents through
-*any* dependence chain (global DIFT) and through *direct load pairs*
-only — the subset ReCon detects with the load-pair table.
+benchmarks, run the Clueless analyzer over the trace — via the stable
+:func:`repro.api.leakage_report` facade — and report what fraction of
+the program's memory footprint leaks its contents through *any*
+dependence chain (global DIFT) and through *direct load pairs* only —
+the subset ReCon detects with the load-pair table.
 
 Run:  python examples/leakage_analysis.py
 """
 
-from repro import Clueless, build_trace, get_benchmark
-from repro.sim import format_table
+from repro.api import format_table, leakage_report
 
 LENGTH = 8_000
 
 BENCHMARKS = (
-    ("spec2017", "mcf"),
-    ("spec2017", "gcc"),
-    ("spec2017", "xalancbmk"),
-    ("spec2017", "deepsjeng"),
-    ("spec2017", "cactuBSSN"),
-    ("spec2017", "lbm"),
+    "spec2017/mcf",
+    "spec2017/gcc",
+    "spec2017/xalancbmk",
+    "spec2017/deepsjeng",
+    "spec2017/cactuBSSN",
+    "spec2017/lbm",
 )
 
 
 def main() -> None:
     rows = []
-    for suite, name in BENCHMARKS:
-        profile = get_benchmark(suite, name)
-        report = Clueless().run(build_trace(profile, LENGTH).trace())
+    for label in BENCHMARKS:
+        report = leakage_report(label, LENGTH)
         rows.append(
             [
-                profile.label,
+                label,
                 str(report.footprint_words),
                 f"{report.dift_fraction:.1%}",
                 f"{report.pair_fraction:.1%}",

@@ -1,19 +1,18 @@
 #!/usr/bin/env python3
-"""Security demo: a Spectre-v1 gadget under each scheme.
+"""Security demo: Spectre-v1 gadgets from the catalog under each scheme.
 
-Builds the paper's motivating pattern (§1):
+Thin wrapper over the gadget catalog (:mod:`repro.workloads.gadgets`)
+and the red-team harness (:func:`repro.api.run_redteam`).  Two catalog
+entries reproduce the paper's motivating pattern (§1):
 
-    // non-speculative execution
-    PC1: load r1, [0x13]      ; the pointer at PTR leaks...
-    PC2: load r2, [r1]        ; ...because PC2 dereferences it
+* ``v1_bounds_bypass`` — a bounds-check-bypass gadget on a secret that
+  never leaks non-speculatively;
+* ``reveal_rederef`` — the same transmitter, but the pointer it
+  dereferences was already revealed by committed execution (PC1/PC2 of
+  the paper), so per the SPT/ReCon threat model it is public.
 
-    // speculative execution (under an unresolved bounds check)
-    PC3: load r3, [0x13]      ; safe to read: already revealed
-    PC4: load r4, [r3]        ; safe to transmit: nothing new leaks
-
-and a true Spectre gadget on a *never-leaked* secret.  For each scheme it
-reports whether the transmitter was observable (accessed the cache) while
-speculative:
+For each scheme the harness reports whether the transmitter accessed
+the cache while speculative:
 
 * unsafe baseline — leaks the secret;
 * STT / NDA — never transmit speculatively;
@@ -23,78 +22,43 @@ speculative:
 Run:  python examples/spectre_gadget.py
 """
 
-from repro import Program, SchemeKind, StatSet, SystemParams
-from repro.core import Core
-from repro.memory import MemoryHierarchy
-from repro.security import make_policy
+from repro.api import SchemeKind, run_redteam
 
-SLOW = 0x40000      # cold line: keeps the bounds check unresolved
-PTR = 0x1000        # a pointer that the program dereferences architecturally
-SECRET = 0x5000     # a secret that never leaks non-speculatively
-
-
-def build_gadget(reveal_first: bool, target: int) -> "tuple[Program, int]":
-    """The gadget; returns (program, seq of the transmitter load)."""
-    prog = Program()
-    prog.poke(PTR, 0x2000)
-    prog.poke(SECRET, 0x7000)
-
-    if reveal_first:
-        # Non-speculative execution dereferences the pointer: PC1/PC2.
-        prog.li(1, PTR)
-        prog.load(2, base=1)
-        prog.load(3, base=2)
-        # Serialize so the reveal is ancient history before the gadget.
-        prog.branch(3, mispredict=True)
-
-    # if (x < size) { y = B[A[x]]; }  — the bounds check stays unresolved
-    # while the body runs speculatively.
-    prog.li(4, SLOW)
-    prog.load(5, base=4)
-    prog.branch(5)
-    prog.li(6, target)
-    prog.load(7, base=6)                  # speculative access
-    transmit = prog.load(8, base=7)       # the transmitter
-    return prog, transmit.seq
+SCHEMES = (
+    SchemeKind.UNSAFE,
+    SchemeKind.NDA,
+    SchemeKind.STT,
+    SchemeKind.NDA_RECON,
+    SchemeKind.STT_RECON,
+)
 
 
-def run(scheme: SchemeKind, reveal_first: bool, target: int) -> str:
-    prog, transmit_seq = build_gadget(reveal_first, target)
-    params = SystemParams()
-    stats = StatSet()
-    core = Core(
-        0,
-        params,
-        prog.trace(),
-        MemoryHierarchy(params),
-        make_policy(scheme, stats),
-        stats,
-    )
-    core.run()
-    for obs in core.observations:
-        if obs.seq == transmit_seq:
-            if obs.speculative:
-                return "TRANSMITTED while speculative"
-            return "transmitted only after the shadow resolved"
+def describe(cell) -> str:
+    """One line of transmitter behaviour for a matrix cell."""
+    if cell is None:
+        return "n/a"
+    if cell.observed_speculative:
+        return "TRANSMITTED while speculative"
+    if cell.observed:
+        return "transmitted only after the shadow resolved"
     return "never transmitted"
 
 
 def main() -> None:
-    schemes = (
-        SchemeKind.UNSAFE,
-        SchemeKind.NDA,
-        SchemeKind.STT,
-        SchemeKind.NDA_RECON,
-        SchemeKind.STT_RECON,
+    matrix = run_redteam(
+        gadgets=["v1_bounds_bypass", "reveal_rederef"], schemes=SCHEMES
     )
     print("=== gadget on a NEVER-LEAKED secret ===")
-    for scheme in schemes:
-        print(f"  {scheme.value:10s}: {run(scheme, False, SECRET)}")
+    for scheme in SCHEMES:
+        cell = matrix.cell("v1_bounds_bypass", scheme)
+        print(f"  {scheme.value:10s}: {describe(cell)}")
     print("\n=== gadget on an ALREADY-REVEALED pointer ===")
     print("(the pointer leaked non-speculatively; per the SPT/ReCon threat")
     print(" model it is public, so transmitting it loses nothing)")
-    for scheme in schemes:
-        print(f"  {scheme.value:10s}: {run(scheme, True, PTR)}")
+    for scheme in SCHEMES:
+        cell = matrix.cell("reveal_rederef", scheme)
+        print(f"  {scheme.value:10s}: {describe(cell)}")
+    assert matrix.ok, "verdict matrix diverged from the catalog expectations"
 
 
 if __name__ == "__main__":

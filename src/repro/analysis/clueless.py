@@ -18,7 +18,7 @@ carries a mark leaks the marked address.  Stores conceal in both trackers.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Optional, Set
 
 from repro.common.types import OpClass, word_addr
 from repro.analysis.dift import DiftEngine
@@ -94,6 +94,22 @@ class Clueless:
         elif uop.dest is not None:
             # Any non-load producer breaks direct dependence.
             self._direct_from[uop.dest] = None
+
+    @property
+    def dift_leaked(self) -> FrozenSet[int]:
+        """Words currently leaked under global DIFT (live set).
+
+        "Currently": a concealing store removes its word, so this is
+        the leak state *at this point* of the trace — which is what the
+        red-team harness needs to decide whether a transmitted word was
+        already public at attack time.
+        """
+        return frozenset(self._dift.leaked)
+
+    @property
+    def pair_leaked(self) -> FrozenSet[int]:
+        """Words currently leaked by direct load pairs (live set)."""
+        return frozenset(self._pair_leaked)
 
     def report(self) -> LeakageReport:
         """Leakage summary for everything processed so far."""

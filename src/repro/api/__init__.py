@@ -15,6 +15,10 @@ Three entry points cover the common cases:
 * :func:`load_result` — fetch a previously completed run from the
   on-disk result store by its content key, without simulating anything.
 
+Security-analysis entry points ride along: :func:`leakage_report` runs
+the Clueless trackers over a benchmark trace, and :func:`run_redteam`
+runs the gadget-catalog verdict matrix (see :mod:`repro.redteam`).
+
 The supporting types — :class:`~repro.sim.config.RunConfig`,
 :class:`~repro.common.types.SchemeKind`,
 :class:`~repro.telemetry.events.TelemetryConfig`,
@@ -33,6 +37,7 @@ import dataclasses
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.analysis.clueless import Clueless, LeakageReport
 from repro.common.stats import StatSet
 from repro.common.types import SchemeKind
 from repro.sim.config import RunConfig
@@ -40,12 +45,19 @@ from repro.sim.engine import RunSpec, SuiteResult, execute_specs
 from repro.sim.runner import RunResult
 from repro.sim.store import ResultStore, default_store_root
 from repro.sim.supervisor import FaultPolicy, RunFailure
+from repro.sim.reporting import format_table
 from repro.telemetry.events import TelemetryConfig, TelemetryResult
+from repro.redteam.harness import MatrixResult
+from repro.workloads.gadgets import Verdict, gadget_catalog
+from repro.workloads.kernels import build_trace
 from repro.workloads.profile import BenchmarkProfile
 from repro.workloads.suites import get_benchmark
 
 __all__ = [
+    "Clueless",
     "FaultPolicy",
+    "LeakageReport",
+    "MatrixResult",
     "RunConfig",
     "RunFailure",
     "RunRecord",
@@ -54,7 +66,12 @@ __all__ = [
     "SchemeKind",
     "SuiteResult",
     "TelemetryConfig",
+    "Verdict",
+    "format_table",
+    "gadget_catalog",
+    "leakage_report",
     "load_result",
+    "run_redteam",
     "run_single",
     "run_suite",
 ]
@@ -275,6 +292,52 @@ def run_suite(
         wall_time_s=wall,
         failures=failures,
         fault_counters=fault_counters,
+    )
+
+
+def leakage_report(
+    benchmark: Union[str, BenchmarkProfile], length: int
+) -> LeakageReport:
+    """Clueless leakage analysis of one benchmark trace.
+
+    Builds the deterministic trace for ``benchmark`` (a profile or
+    ``"suite/name"`` label) at ``length`` micro-ops and runs both the
+    global-DIFT and direct-load-pair trackers over it, returning the
+    :class:`~repro.analysis.clueless.LeakageReport` the ``run leakage``
+    CLI command prints.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    profile = _resolve_benchmark(benchmark)
+    return Clueless().run(build_trace(profile, length).trace())
+
+
+def run_redteam(
+    gadgets: Optional[Iterable[str]] = None,
+    schemes: Optional[Iterable[Union[str, SchemeKind]]] = None,
+    *,
+    jobs: Optional[int] = None,
+    progress: bool = False,
+) -> MatrixResult:
+    """Run the gadget x scheme red-team matrix (see :mod:`repro.redteam`).
+
+    ``gadgets`` defaults to the whole catalog and ``schemes`` to the
+    standard matrix columns; scheme strings such as ``"stt+recon"`` are
+    accepted.  Returns the :class:`~repro.redteam.harness.MatrixResult`
+    whose ``ok`` property asserts every cell's expected verdict.
+    """
+    from repro.redteam import run_matrix
+
+    resolved_schemes = (
+        [_resolve_scheme(scheme) for scheme in schemes]
+        if schemes is not None
+        else None
+    )
+    return run_matrix(
+        gadgets=list(gadgets) if gadgets is not None else None,
+        schemes=resolved_schemes,
+        jobs=jobs,
+        progress=progress,
     )
 
 

@@ -11,6 +11,8 @@ Commands are grouped by what they do::
     python -m repro sweep levels spec2017/omnetpp # Fig. 10-style sweep
     python -m repro telemetry summarize trace.json  # summarize a trace
     python -m repro save-trace spec2017/mcf mcf.trace   # export a trace
+    python -m repro redteam matrix                # gadget x scheme verdicts
+    python -m repro redteam audit                 # metadata AUC audit
 
 The pre-grouping spellings (``run <benchmark>``, ``suite``, ``replay``,
 ``leakage``, ``sweep-lpt``, ``sweep-levels``, ``telemetry <trace>``)
@@ -520,6 +522,131 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_redteam_matrix(args: argparse.Namespace) -> int:
+    """Run the gadget x scheme matrix and assert every verdict."""
+    from repro.redteam import run_matrix
+    from repro.workloads.gadgets import MATRIX_SCHEMES, gadget_catalog
+
+    gadgets = (
+        [token.strip() for token in args.gadgets.split(",") if token.strip()]
+        if args.gadgets
+        else [case.name for case in gadget_catalog()]
+    )
+    schemes = (
+        _parse_schemes(args.schemes) if args.schemes else list(MATRIX_SCHEMES)
+    )
+    try:
+        result = run_matrix(gadgets=gadgets, schemes=schemes, jobs=args.jobs)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+
+    headers = ["gadget"] + [scheme.value for scheme in schemes]
+    rows = []
+    for gadget in gadgets:
+        row = [gadget]
+        for scheme in schemes:
+            cell = result.cell(gadget, scheme)
+            if cell is None:
+                row.append("n/a")
+            else:
+                row.append(
+                    cell.verdict.value if cell.ok else f"{cell.verdict.value}!"
+                )
+        rows.append(row)
+    print(format_table(headers, rows))
+    print(
+        f"\n{len(result.cells)} cells, {len(result.mismatches)} mismatches, "
+        f"{len(result.failed_cells)} failed  [{result.wall_time_s:.1f}s]",
+        file=sys.stderr,
+    )
+
+    exit_code = 0
+    for cell in result.mismatches:
+        print(
+            f"verdict mismatch: {cell.gadget}/{cell.scheme.value} "
+            f"expected {cell.expected.value}, got {cell.verdict.value}",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if result.failed_cells:
+        exit_code = 1
+
+    if args.expected:
+        try:
+            baseline = json.loads(Path(args.expected).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load expected matrix: {exc}")
+        baseline = baseline.get("verdicts", baseline)
+        for gadget, row in result.verdict_map().items():
+            for scheme_value, verdict in row.items():
+                want = baseline.get(gadget, {}).get(scheme_value)
+                if want is not None and want != verdict:
+                    print(
+                        f"regression vs {args.expected}: {gadget}/{scheme_value} "
+                        f"was {want}, now {verdict}",
+                        file=sys.stderr,
+                    )
+                    exit_code = 1
+
+    if not args.no_audit:
+        from repro.redteam import audit_all
+
+        for audit in audit_all(trials=args.trials):
+            status = "ok" if audit.ok else "OUT OF BAND"
+            print(
+                f"audit {audit.scheme.value}: worst AUC "
+                f"{audit.worst_auc:.3f} ({audit.worst_feature}) {status}",
+                file=sys.stderr,
+            )
+            if not audit.ok:
+                exit_code = 1
+
+    if args.out:
+        out = Path(args.out)
+        result.save(out)
+        print(f"matrix -> {out}", file=sys.stderr)
+    return exit_code
+
+
+def cmd_redteam_audit(args: argparse.Namespace) -> int:
+    """Audit protection metadata for secret-dependence (AUC must be ~0.5)."""
+    from repro.redteam import PROTECTED_SCHEMES, audit_scheme, control_audit
+
+    schemes = (
+        _parse_schemes(args.schemes) if args.schemes else list(PROTECTED_SCHEMES)
+    )
+    rows = []
+    exit_code = 0
+    for scheme in schemes:
+        try:
+            audit = audit_scheme(scheme, args.gadget, trials=args.trials)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        rows.append(
+            [
+                scheme.value,
+                f"{audit.worst_auc:.3f}",
+                audit.worst_feature,
+                "ok" if audit.ok else "OUT OF BAND",
+            ]
+        )
+        if not audit.ok:
+            exit_code = 1
+    control = control_audit(trials=args.trials)
+    rows.append(
+        [
+            "unsafe (control)",
+            f"{control.worst_auc:.3f}",
+            control.worst_feature,
+            "channel found" if not control.ok else "CONTROL FAILED",
+        ]
+    )
+    if control.ok:  # the control must detect the planted channel
+        exit_code = 1
+    print(format_table(["scheme", "worst AUC", "feature", "status"], rows))
+    return exit_code
+
+
 def cmd_sweep_lpt(args: argparse.Namespace) -> int:
     return _run_sweep(args, lpt_size_variants())
 
@@ -700,6 +827,77 @@ def build_parser() -> argparse.ArgumentParser:
         "(histograms incl. MSHR occupancy and NoC queue depth)",
     )
     p_sum.set_defaults(func=cmd_telemetry)
+
+    p_red = sub.add_parser(
+        "redteam", help="adversarial leakage harness (matrix / audit)"
+    )
+    red_sub = p_red.add_subparsers(dest="redteam_command", required=True)
+
+    p_matrix = red_sub.add_parser(
+        "matrix", help="run the gadget x scheme verdict matrix"
+    )
+    p_matrix.add_argument(
+        "--gadgets",
+        default=None,
+        help="comma list of gadget names (default: whole catalog)",
+    )
+    p_matrix.add_argument(
+        "--schemes",
+        default=None,
+        help="comma list of schemes (default: the matrix columns)",
+    )
+    p_matrix.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    p_matrix.add_argument(
+        "--out",
+        default=str(Path("results") / "BENCH_gadgets.json"),
+        metavar="PATH",
+        help="write the verdict-matrix JSON artifact (default: %(default)s)",
+    )
+    p_matrix.add_argument(
+        "--expected",
+        default=None,
+        metavar="PATH",
+        help="committed verdict matrix to diff against; any changed "
+        "verdict fails the command",
+    )
+    p_matrix.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the metadata AUC audit after the matrix",
+    )
+    p_matrix.add_argument(
+        "--trials",
+        type=int,
+        default=4,
+        help="matched trial pairs per audited scheme (default: %(default)s)",
+    )
+    p_matrix.set_defaults(func=cmd_redteam_matrix)
+
+    p_audit = red_sub.add_parser(
+        "audit", help="metadata AUC audit of the protected schemes"
+    )
+    p_audit.add_argument(
+        "--schemes",
+        default=None,
+        help="comma list of schemes (default: all protected schemes)",
+    )
+    p_audit.add_argument(
+        "--gadget",
+        default="v1_bounds_bypass",
+        help="secret-tunable gadget to audit with (default: %(default)s)",
+    )
+    p_audit.add_argument(
+        "--trials",
+        type=int,
+        default=6,
+        help="matched trial pairs per scheme (default: %(default)s)",
+    )
+    p_audit.set_defaults(func=cmd_redteam_audit)
 
     p_save = sub.add_parser(
         "save-trace", help="export a workload trace file", parents=[workload]

@@ -608,6 +608,14 @@ class Core:
             self._schedule_packet_return(pkt, inst)
         else:
             access_cycle = cycle + 1  # address generation
+            speculative = self.shadows.is_speculative(inst.seq)
+            observe_hit = False
+            if self.telemetry.enabled:
+                # Peek *before* the access installs the line: the event
+                # records whether this access perturbed the cache (the
+                # attacker-visible side channel) — a speculative L1 hit
+                # leaves no footprint.
+                observe_hit, _ = self.hierarchy.peek_access(self.core_id, addr)
             # Non-blocking load: the packet completes with a callback;
             # the core keeps issuing younger work while the miss (and any
             # misses merged into its MSHR entry) is outstanding.
@@ -627,9 +635,21 @@ class Core:
                     uop.pc,
                     addr,
                     access_cycle,
-                    self.shadows.is_speculative(inst.seq),
+                    speculative,
                 )
             )
+            if self.telemetry.enabled:
+                # bit 0: L1 hit at access time; bit 1: issued under a
+                # speculation shadow.  The red-team harness classifies
+                # verdicts from this event.
+                self.telemetry.emit(
+                    CAT_SECURITY,
+                    "observe",
+                    core=self.core_id,
+                    seq=inst.seq,
+                    addr=addr,
+                    value=(2 if speculative else 0) | (1 if observe_hit else 0),
+                )
             self._schedule_packet_return(pkt, inst)
         return True
 

@@ -1,0 +1,41 @@
+"""Adversarial red-team harness for the security schemes.
+
+Runs the :mod:`repro.workloads.gadgets` catalog across the scheme
+matrix, classifies each cell as leak / protected / benign from
+speculation-tagged cache-observation telemetry plus an architectural
+Clueless DIFT pass, and audits each protected scheme's own metadata for
+secret-dependence with a Mann-Whitney AUC classifier (which must stay
+≈ 0.5).  See ``docs/security.md`` for the methodology.
+"""
+
+from repro.redteam.audit import (
+    AUDIT_STAT_FEATURES,
+    AuditResult,
+    PROTECTED_SCHEMES,
+    audit_all,
+    audit_scheme,
+    control_audit,
+    mann_whitney_auc,
+)
+from repro.redteam.harness import (
+    CellOutcome,
+    MatrixResult,
+    arch_leaked_words,
+    hotpath_note,
+    run_matrix,
+)
+
+__all__ = [
+    "AUDIT_STAT_FEATURES",
+    "AuditResult",
+    "CellOutcome",
+    "MatrixResult",
+    "PROTECTED_SCHEMES",
+    "arch_leaked_words",
+    "audit_all",
+    "audit_scheme",
+    "control_audit",
+    "hotpath_note",
+    "mann_whitney_auc",
+    "run_matrix",
+]

@@ -1,0 +1,357 @@
+"""The red-team harness: gadget x scheme verdict matrix.
+
+:func:`run_matrix` routes every (gadget, scheme) cell through the
+existing experiment engine — each cell is a telemetry-enabled
+:class:`~repro.sim.engine.RunSpec` executed by
+:func:`~repro.sim.engine.execute_specs` (or the fault-tolerant
+:class:`~repro.sim.supervisor.Supervisor`), so the matrix fans out over
+worker processes, benefits from the engine's crash handling, and lands
+in a :class:`~repro.sim.engine.SuiteResult` like any benchmark grid.
+Telemetry-enabled specs always bypass the result store, so verdicts can
+never be served stale.
+
+A cell's verdict combines two analyses:
+
+* the **cache-observability probe** — the pipeline's ``security/observe``
+  telemetry event, one per real cache access by a load, recording
+  whether the access ran under a speculation shadow and whether it hit
+  in the L1.  *Transmission* means a speculative access that missed
+  (perturbed attacker-visible cache state); a speculative L1 hit leaves
+  no footprint.
+* the **Clueless DIFT analyzer** over the gadget's architectural prefix
+  — the committed, non-speculative part of the trace — deciding whether
+  the secret word was already public at attack time (the SPT/ReCon
+  threat model: architecturally leaked data is public).
+
+``transmitted and not public``  -> LEAK;
+``transmitted and public``      -> BENIGN;
+``not transmitted``             -> PROTECTED.
+
+The harness forces the telemetry-instrumented reference core: attaching
+a :class:`~repro.telemetry.events.TelemetryConfig` makes
+:class:`~repro.sim.system.System` select the reference ``Core`` (the
+optimized FastCore carries no instrumentation and refuses telemetry),
+regardless of ``REPRO_HOTPATH``.  When that variable requests another
+backend, :func:`hotpath_note` says so in one line instead of letting a
+worker raise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.clueless import Clueless
+from repro.common.types import SchemeKind
+from repro.core.hotpath import HOTPATH_ENV
+from repro.sim.config import RunConfig
+from repro.sim.engine import RunSpec, SuiteResult, execute_specs
+from repro.sim.runner import RunResult
+from repro.sim.supervisor import FaultPolicy, RunFailure
+from repro.telemetry.events import (
+    CAT_RECON,
+    CAT_REDTEAM,
+    CAT_SECURITY,
+    TelemetryCollector,
+    TelemetryConfig,
+)
+from repro.workloads.gadgets import (
+    CATALOG,
+    MATRIX_SCHEMES,
+    BuiltGadget,
+    GadgetCase,
+    Verdict,
+    build_gadget,
+    gadget_profile,
+    get_gadget,
+)
+
+__all__ = [
+    "CellOutcome",
+    "MatrixResult",
+    "arch_leaked_words",
+    "hotpath_note",
+    "run_matrix",
+]
+
+#: Telemetry collected inside each matrix cell: the observe probe plus
+#: ReCon reveal traffic (enough for verdicts; small ring footprint).
+_CELL_TELEMETRY = TelemetryConfig(
+    sample_rate=1, categories=frozenset({CAT_SECURITY, CAT_RECON})
+)
+
+
+def hotpath_note(stream=None) -> Optional[str]:
+    """One-line note when ``REPRO_HOTPATH`` requests a non-reference core.
+
+    The red-team matrix and the AUC audit need telemetry, which only the
+    reference core carries; the harness therefore always runs on it.
+    Returns the note (also printed to ``stream``, default stderr) or
+    ``None`` when the environment is compatible.
+    """
+    backend = os.environ.get(HOTPATH_ENV, "").strip().lower()
+    if not backend or backend in ("legacy", "auto"):
+        return None
+    note = (
+        f"redteam: {HOTPATH_ENV}={backend} ignored — the gadget matrix and "
+        f"AUC audit require telemetry, which only the reference core "
+        f"carries; using the reference (legacy) core."
+    )
+    print(note, file=stream if stream is not None else sys.stderr)
+    return note
+
+
+def arch_leaked_words(built: BuiltGadget) -> FrozenSet[int]:
+    """Words architecturally public at attack time, per Clueless DIFT.
+
+    Each core's *architectural prefix* (the leading micro-ops modeling
+    committed non-speculative execution) runs through its own
+    :class:`Clueless` instance — register namespaces are per-core — and
+    the leaked sets are unioned: a word any core made public is public
+    system-wide (that is what the coherent reveal bits implement).
+    """
+    leaked: set = set()
+    for prog, end in zip(built.programs, built.prefix_ends):
+        analyzer = Clueless()
+        for uop in prog.trace()[:end]:
+            analyzer.step(uop)
+        leaked |= analyzer.dift_leaked
+    return frozenset(leaked)
+
+
+@dataclasses.dataclass(frozen=True)
+class CellOutcome:
+    """One (gadget, scheme) cell of the verdict matrix."""
+
+    gadget: str
+    scheme: SchemeKind
+    verdict: Verdict
+    expected: Verdict
+    #: The transmitter performed a real cache access at some point.
+    observed: bool
+    #: ...while a speculation shadow was up (hit or miss).
+    observed_speculative: bool
+    #: ...speculatively AND missing in the L1 (perturbed cache state).
+    transmitted: bool
+    #: The secret word was architecturally public at attack time.
+    secret_arch_leaked: bool
+    cycles: int
+    reveal_hits: int
+    reveal_misses: int
+    delayed_loads: int
+    tainted_loads: int
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is self.expected
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready cell record (enums as strings, plus ``ok``)."""
+        d = dataclasses.asdict(self)
+        d["scheme"] = self.scheme.value
+        d["verdict"] = self.verdict.value
+        d["expected"] = self.expected.value
+        d["ok"] = self.ok
+        return d
+
+
+@dataclasses.dataclass
+class MatrixResult:
+    """The full verdict matrix plus its engine-level provenance."""
+
+    cells: List[CellOutcome]
+    suite: SuiteResult
+    #: CAT_REDTEAM event counts from the harness's own collector.
+    event_counts: Dict[str, int]
+    wall_time_s: float
+    #: Cells that failed to execute under supervision (spec label list).
+    failed_cells: List[Tuple[str, str]] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_cells and all(cell.ok for cell in self.cells)
+
+    @property
+    def mismatches(self) -> List[CellOutcome]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def cell(self, gadget: str, scheme: SchemeKind) -> Optional[CellOutcome]:
+        """The outcome for one (gadget, scheme); ``None`` when absent."""
+        for c in self.cells:
+            if c.gadget == gadget and c.scheme is scheme:
+                return c
+        return None
+
+    def verdict_map(self) -> Dict[str, Dict[str, str]]:
+        """``{gadget: {scheme value: verdict value}}`` (JSON-friendly)."""
+        out: Dict[str, Dict[str, str]] = {}
+        for c in self.cells:
+            out.setdefault(c.gadget, {})[c.scheme.value] = c.verdict.value
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-ready artifact payload (``results/BENCH_gadgets.json``)."""
+        return {
+            "version": 1,
+            "cells": [c.as_dict() for c in self.cells],
+            "verdicts": self.verdict_map(),
+            "event_counts": dict(self.event_counts),
+            "failed_cells": [list(fc) for fc in self.failed_cells],
+            "summary": {
+                "cells": len(self.cells),
+                "mismatches": len(self.mismatches),
+                "ok": self.ok,
+            },
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Atomically write the matrix artifact (``BENCH_gadgets.json``)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path
+
+
+def _classify(
+    built: BuiltGadget, result: RunResult, public: bool
+) -> Tuple[Verdict, bool, bool, bool]:
+    """Verdict + (observed, observed_speculative, transmitted) for a cell."""
+    observed = spec_any = spec_miss = False
+    telemetry = result.telemetry
+    events = telemetry.events if telemetry is not None else []
+    for ev in events:
+        if (
+            ev.category == CAT_SECURITY
+            and ev.kind == "observe"
+            and ev.core == built.transmit_core
+            and ev.seq == built.transmit_seq
+        ):
+            observed = True
+            if ev.value & 2:
+                spec_any = True
+                if not (ev.value & 1):
+                    spec_miss = True
+    if spec_miss:
+        verdict = Verdict.BENIGN if public else Verdict.LEAK
+    else:
+        verdict = Verdict.PROTECTED
+    return verdict, observed, spec_any, spec_miss
+
+
+def run_matrix(
+    gadgets: Optional[Iterable[str]] = None,
+    schemes: Optional[Sequence[SchemeKind]] = None,
+    *,
+    jobs: Optional[int] = None,
+    supervise: Union[bool, FaultPolicy] = False,
+    progress: bool = False,
+) -> MatrixResult:
+    """Run the gadget x scheme matrix through the experiment engine.
+
+    Args:
+        gadgets: gadget names (default: the whole catalog).
+        schemes: matrix columns (default: :data:`MATRIX_SCHEMES`).
+        jobs: engine worker processes (``None`` honours ``REPRO_JOBS``).
+        supervise: route execution through the fault-tolerant supervisor
+            (``True`` = default :class:`FaultPolicy`); failed cells land
+            in :attr:`MatrixResult.failed_cells` instead of raising.
+        progress: per-run progress lines on stderr.
+    """
+    hotpath_note()
+    cases: List[GadgetCase] = (
+        [get_gadget(name) for name in gadgets] if gadgets else list(CATALOG)
+    )
+    scheme_list: Tuple[SchemeKind, ...] = tuple(schemes or MATRIX_SCHEMES)
+
+    specs: List[RunSpec] = []
+    meta: List[Tuple[GadgetCase, BuiltGadget]] = []
+    for case in cases:
+        built = build_gadget(case.name)
+        config = RunConfig(
+            threads=built.threads, warmup_uops=0, telemetry=_CELL_TELEMETRY
+        )
+        for scheme in scheme_list:
+            specs.append(
+                RunSpec.build(gadget_profile(case.name), scheme, built.length, config)
+            )
+            meta.append((case, built))
+
+    start = time.perf_counter()
+    failures: List[RunFailure] = []
+    if supervise:
+        from repro.sim.supervisor import Supervisor
+
+        policy = supervise if isinstance(supervise, FaultPolicy) else None
+        supervisor = Supervisor(policy, jobs=jobs, store=None, progress=progress)
+        results, records, failures = supervisor.execute(specs)
+    else:
+        results, records = execute_specs(
+            specs, jobs=jobs, store=None, progress=progress
+        )
+    wall = time.perf_counter() - start
+
+    collector = TelemetryCollector(
+        TelemetryConfig(categories=frozenset({CAT_REDTEAM}))
+    )
+    cells: List[CellOutcome] = []
+    failed: List[Tuple[str, str]] = []
+    public_cache: Dict[str, FrozenSet[int]] = {}
+    for index, (spec, (case, built), result) in enumerate(
+        zip(specs, meta, results)
+    ):
+        if result is None:
+            failed.append((case.name, spec.scheme.value))
+            continue
+        if case.name not in public_cache:
+            public_cache[case.name] = arch_leaked_words(built)
+        public = built.secret_word in public_cache[case.name]
+        verdict, observed, spec_any, transmitted = _classify(built, result, public)
+        cell = CellOutcome(
+            gadget=case.name,
+            scheme=spec.scheme,
+            verdict=verdict,
+            expected=case.expected[spec.scheme],
+            observed=observed,
+            observed_speculative=spec_any,
+            transmitted=transmitted,
+            secret_arch_leaked=public,
+            cycles=result.cycles,
+            reveal_hits=result.stats.reveal_hits,
+            reveal_misses=result.stats.reveal_misses,
+            delayed_loads=result.stats.delayed_loads,
+            tainted_loads=result.stats.tainted_loads,
+        )
+        cells.append(cell)
+        collector.emit(
+            CAT_REDTEAM, "verdict", seq=index, value=1 if cell.ok else 0
+        )
+        if not cell.ok:
+            collector.emit(CAT_REDTEAM, "verdict_mismatch", seq=index)
+
+    counts: Dict[str, int] = {}
+    for ev in collector.events:
+        counts[ev.kind] = counts.get(ev.kind, 0) + 1
+
+    mapping: Dict[Tuple[str, SchemeKind], RunResult] = {
+        (case.name, spec.scheme): result
+        for spec, (case, _), result in zip(specs, meta, results)
+        if result is not None
+    }
+    suite = SuiteResult(
+        mapping, records, wall_time_s=wall, failures=failures
+    )
+    return MatrixResult(
+        cells=cells,
+        suite=suite,
+        event_counts=counts,
+        wall_time_s=wall,
+        failed_cells=failed,
+    )

@@ -32,6 +32,7 @@ from repro.telemetry.events import (
     CAT_MEM_TXN,
     CAT_PIPELINE,
     CAT_RECON,
+    CAT_REDTEAM,
     CAT_SECURITY,
     CAT_SHADOW,
     Event,
@@ -65,6 +66,7 @@ __all__ = [
     "CAT_MEM_TXN",
     "CAT_PIPELINE",
     "CAT_RECON",
+    "CAT_REDTEAM",
     "CAT_SECURITY",
     "CAT_SHADOW",
     "Counter",

@@ -30,13 +30,18 @@ cache      l1_hit, l1_miss, l2_hit, l2_miss, llc_hit, llc_miss, evict
 coherence  mesi, merge, invalidate
 recon      reveal, conceal, reveal_hit, reveal_miss, reveal_dropped,
            lpt_pair, lpt_conflict
-security   delay_start, delay_end, nda_defer, stt_taint
+security   delay_start, delay_end, nda_defer, stt_taint, observe (one per
+           real cache access by a load; ``value`` bit 0 = L1 hit at
+           access time, bit 1 = issued under a speculation shadow)
 shadow     enter, exit
 mem_txn    read_req, write_req, invisible_req, reveal_req (one per
            completed packet; ``value`` is the end-to-end latency)
 fault      retry, timeout, worker_crash, corrupt_payload, pool_restart,
            exhausted, degrade, replayed_failure (engine supervision;
            ``seq`` is the spec index, ``value`` the attempt count)
+redteam    verdict, verdict_mismatch, audit (red-team harness; emitted
+           in the parent process like ``fault`` — ``seq`` is the matrix
+           cell index, ``value`` 1 = as expected / in band)
 ========== ================================================================
 """
 
@@ -56,6 +61,7 @@ __all__ = [
     "CAT_MEM_TXN",
     "CAT_PIPELINE",
     "CAT_RECON",
+    "CAT_REDTEAM",
     "CAT_SECURITY",
     "CAT_SHADOW",
     "Event",
@@ -84,6 +90,10 @@ CAT_MEM_TXN = "mem_txn"
 #: Emitted by the suite supervisor in the parent process, not by the
 #: simulated system — cycle is always 0, ``seq`` is the spec index.
 CAT_FAULT = "fault"
+#: Red-team harness verdicts and audits (:mod:`repro.redteam`).  Like
+#: ``fault``, emitted in the parent process: ``seq`` is the matrix cell
+#: index and ``value`` records whether the cell matched expectations.
+CAT_REDTEAM = "redteam"
 
 #: Every category the instrumented components emit.
 ALL_CATEGORIES: FrozenSet[str] = frozenset(
@@ -96,6 +106,7 @@ ALL_CATEGORIES: FrozenSet[str] = frozenset(
         CAT_SHADOW,
         CAT_MEM_TXN,
         CAT_FAULT,
+        CAT_REDTEAM,
     }
 )
 

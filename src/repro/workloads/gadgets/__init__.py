@@ -1,0 +1,43 @@
+"""Catalog of parameterized Spectre-style attack scenarios.
+
+The catalog (:mod:`.catalog`) names ~11 gadgets — Spectre v1 variants,
+v1.1 speculative-store, v4/SSB store bypass, the paper's
+reveal-then-redereference patterns, STT implicit channels, and a
+multi-core reveal-sharing case — each with an expected leak/no-leak
+verdict per protection scheme.  The builders (:mod:`.builders`) emit the
+actual micro-op programs.  The red-team harness (:mod:`repro.redteam`)
+runs the full gadget x scheme matrix and asserts the verdicts.
+"""
+
+from repro.workloads.gadgets.builders import BuiltGadget, GadgetSite
+from repro.workloads.gadgets.catalog import (
+    CATALOG,
+    GADGET_SUITE,
+    MATRIX_SCHEMES,
+    GadgetCase,
+    Verdict,
+    build_gadget,
+    build_gadget_parallel_traces,
+    build_gadget_trace,
+    gadget_catalog,
+    gadget_profile,
+    gadget_profiles,
+    get_gadget,
+)
+
+__all__ = [
+    "CATALOG",
+    "GADGET_SUITE",
+    "MATRIX_SCHEMES",
+    "BuiltGadget",
+    "GadgetCase",
+    "GadgetSite",
+    "Verdict",
+    "build_gadget",
+    "build_gadget_parallel_traces",
+    "build_gadget_trace",
+    "gadget_catalog",
+    "gadget_profile",
+    "gadget_profiles",
+    "get_gadget",
+]

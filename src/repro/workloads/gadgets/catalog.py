@@ -1,0 +1,312 @@
+"""The gadget catalog: named attack cases with expected verdicts.
+
+Each :class:`GadgetCase` couples a builder from
+:mod:`repro.workloads.gadgets.builders` with the verdict it *should*
+produce under every scheme of the red-team matrix.  The expected
+verdicts are the security contract of this reproduction; the committed
+copy in ``tests/data/redteam_expected_matrix.json`` guards them against
+regression in CI.
+
+Verdict semantics (decided by :mod:`repro.redteam.harness`):
+
+* ``LEAK`` — the transmitter perturbed the cache (a speculative L1
+  miss) and the secret word was **not** architecturally public at
+  attack time: real information leaked.
+* ``BENIGN`` — the transmitter ran speculatively, but the word it
+  encoded had already leaked through committed execution (per the
+  SPT/ReCon threat model, public data; transmitting it loses nothing).
+* ``PROTECTED`` — the transmitter never perturbed the cache while
+  speculative: the scheme blocked the channel.
+
+Gadget profiles live in the ``"gadgets"`` suite so that
+``repro run one --bench gadgets/<name>`` works, but they are *not* part
+of :func:`repro.workloads.suites.all_benchmarks` — they are adversarial
+micro-traces, not performance benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from types import MappingProxyType
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from repro.common.types import SchemeKind
+from repro.isa.program import Program
+from repro.workloads.gadgets import builders as _b
+from repro.workloads.gadgets.builders import INSTANCE_STRIDE, BuiltGadget
+from repro.workloads.profile import BenchmarkProfile
+
+__all__ = [
+    "CATALOG",
+    "GADGET_SUITE",
+    "GadgetCase",
+    "MATRIX_SCHEMES",
+    "Verdict",
+    "build_gadget",
+    "build_gadget_parallel_traces",
+    "build_gadget_trace",
+    "gadget_catalog",
+    "gadget_profile",
+    "gadget_profiles",
+    "get_gadget",
+]
+
+#: Suite name under which gadget profiles are addressable.
+GADGET_SUITE = "gadgets"
+
+#: The red-team matrix columns (ISSUE order).
+MATRIX_SCHEMES: Tuple[SchemeKind, ...] = (
+    SchemeKind.UNSAFE,
+    SchemeKind.NDA,
+    SchemeKind.STT,
+    SchemeKind.NDA_RECON,
+    SchemeKind.STT_RECON,
+    SchemeKind.DOM,
+)
+
+
+class Verdict(enum.Enum):
+    """Outcome of one gadget x scheme cell (see module docstring)."""
+
+    LEAK = "leak"
+    PROTECTED = "protected"
+    BENIGN = "benign"
+
+
+def _expected(
+    unsafe: Verdict,
+    nda: Verdict,
+    stt: Verdict,
+    nda_recon: Verdict,
+    stt_recon: Verdict,
+    dom: Verdict,
+) -> Mapping[SchemeKind, Verdict]:
+    return MappingProxyType(
+        {
+            SchemeKind.UNSAFE: unsafe,
+            SchemeKind.NDA: nda,
+            SchemeKind.STT: stt,
+            SchemeKind.NDA_RECON: nda_recon,
+            SchemeKind.STT_RECON: stt_recon,
+            SchemeKind.DOM: dom,
+        }
+    )
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class GadgetCase:
+    """One catalog entry: builder, shape, and expected verdicts."""
+
+    #: Unique name; also the benchmark name in the ``gadgets`` suite.
+    name: str
+    #: One-line description for tables and ``repro list``.
+    summary: str
+    #: Simulated cores the gadget needs.
+    threads: int
+    #: True when the architectural leak (if any) is a *direct* load
+    #: pair — i.e. the LPT/pair tracker sees it, not just global DIFT.
+    direct_pair: bool
+    #: Expected verdict per matrix scheme.
+    expected: Mapping[SchemeKind, Verdict]
+    #: The emitter from :mod:`.builders`.
+    emitter: Callable[..., _b.GadgetSite]
+    #: Whether the emitter accepts ``secret_value`` (the audit needs it).
+    secret_tunable: bool = True
+
+    def emit(self, progs: List[Program], base: int, **kwargs: object) -> _b.GadgetSite:
+        """Append one instance at ``base`` to ``progs``."""
+        return self.emitter(progs, base, **kwargs)
+
+
+_LEAK = Verdict.LEAK
+_PROT = Verdict.PROTECTED
+_BENIGN = Verdict.BENIGN
+
+#: Every gadget the red-team harness knows about.
+CATALOG: Tuple[GadgetCase, ...] = (
+    GadgetCase(
+        name="v1_bounds_bypass",
+        summary="Spectre v1: bounds-check bypass dereferencing a secret",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_LEAK, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_v1_bounds_bypass,
+    ),
+    GadgetCase(
+        name="v1_indexed",
+        summary="Spectre v1 via a two-source indexed load (table[secret])",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_LEAK, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_v1_indexed,
+    ),
+    GadgetCase(
+        name="v1_deep_chain",
+        summary="Spectre v1 with a triple dereference chain",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_LEAK, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_v1_deep_chain,
+    ),
+    GadgetCase(
+        name="v1_1_spec_store_forward",
+        summary="Spectre v1.1: secret laundered through a speculative store",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_LEAK, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_v11_spec_store_forward,
+    ),
+    GadgetCase(
+        name="v4_ssb_store_bypass",
+        summary="Spectre v4/SSB: load bypasses an older store, derefs stale ptr",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_LEAK, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_v4_ssb_store_bypass,
+    ),
+    GadgetCase(
+        name="reveal_rederef",
+        summary="ReCon §1: re-dereference of an architecturally leaked pointer",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_BENIGN, _PROT, _PROT, _BENIGN, _BENIGN, _PROT),
+        emitter=_b.emit_reveal_rederef,
+    ),
+    GadgetCase(
+        name="reveal_conceal_rederef",
+        summary="Reveal, conceal by store, then re-dereference (a true leak)",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_LEAK, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_reveal_conceal_rederef,
+        secret_tunable=False,
+    ),
+    GadgetCase(
+        name="implicit_branch",
+        summary="STT implicit channel: secret-dependent branch gates a probe",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_LEAK, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_implicit_branch,
+    ),
+    GadgetCase(
+        name="implicit_branch_revealed",
+        summary="Implicit channel on a revealed word (ReCon resolves early)",
+        threads=1,
+        direct_pair=True,
+        expected=_expected(_BENIGN, _PROT, _PROT, _BENIGN, _BENIGN, _PROT),
+        emitter=_b.emit_implicit_branch_revealed,
+        secret_tunable=False,
+    ),
+    GadgetCase(
+        name="indirect_chain",
+        summary="Architectural leak via ALU copy: DIFT sees it, the LPT cannot",
+        threads=1,
+        direct_pair=False,
+        expected=_expected(_BENIGN, _PROT, _PROT, _PROT, _PROT, _PROT),
+        emitter=_b.emit_indirect_chain,
+        secret_tunable=False,
+    ),
+    GadgetCase(
+        name="multicore_secret_sharing",
+        summary="Core 0 reveals a pointer; core 1 re-derefs it via MESI bits",
+        threads=2,
+        direct_pair=True,
+        expected=_expected(_BENIGN, _PROT, _PROT, _BENIGN, _BENIGN, _PROT),
+        emitter=_b.emit_multicore_secret_sharing,
+        secret_tunable=False,
+    ),
+)
+
+_BY_NAME = {case.name: case for case in CATALOG}
+
+
+def gadget_catalog() -> Tuple[GadgetCase, ...]:
+    """Every registered gadget case, in catalog order."""
+    return CATALOG
+
+
+def get_gadget(name: str) -> GadgetCase:
+    """Look up one case; raises KeyError with the known names."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown gadget {name!r}; known: {sorted(_BY_NAME)}")
+    return _BY_NAME[name]
+
+
+def build_gadget(name: str, **kwargs: object) -> BuiltGadget:
+    """Build the canonical instance (base 0, noise seed 0 unless given)."""
+    case = get_gadget(name)
+    progs = [Program() for _ in range(case.threads)]
+    site = case.emit(progs, 0, **kwargs)
+    return BuiltGadget(name=case.name, programs=tuple(progs), site=site)
+
+
+# ----------------------------------------------------------------------
+# engine integration: profiles + trace-builder dispatch
+# ----------------------------------------------------------------------
+def gadget_profile(name: str) -> BenchmarkProfile:
+    """The :class:`BenchmarkProfile` addressing one gadget.
+
+    ``kernel_weights`` is a validation placeholder — gadget traces come
+    from the catalog emitters, not the synthetic kernel mix.
+    """
+    case = get_gadget(name)
+    index = CATALOG.index(case)
+    return BenchmarkProfile(
+        name=case.name,
+        suite=GADGET_SUITE,
+        kernel_weights={"pointer_chase": 1.0},
+        seed=7000 + index,
+    )
+
+
+def gadget_profiles() -> List[BenchmarkProfile]:
+    """One profile per catalog entry (``gadgets/<name>`` labels)."""
+    return [gadget_profile(case.name) for case in CATALOG]
+
+
+def _fill(
+    case: GadgetCase, progs: List[Program], length: int
+) -> None:
+    """Emit instances until every trace reaches ``length`` micro-ops.
+
+    Instance ``i`` lives at ``i * INSTANCE_STRIDE`` with noise seed
+    ``i``, so instance 0 is always the canonical :func:`build_gadget`
+    layout (the harness's transmitter seq stays valid) and repeats start
+    cold.
+    """
+    i = 0
+    while i == 0 or min(len(p) for p in progs) < length:
+        case.emit(progs, i * INSTANCE_STRIDE, noise_seed=i)
+        i += 1
+
+
+def build_gadget_trace(profile: BenchmarkProfile, length: int) -> Program:
+    """Single-thread gadget trace of at least ``length`` micro-ops."""
+    case = get_gadget(profile.name)
+    if case.threads != 1:
+        raise ValueError(
+            f"gadget {case.name!r} needs {case.threads} threads; "
+            f"run it with --threads {case.threads}"
+        )
+    prog = Program()
+    _fill(case, [prog], length)
+    return prog
+
+
+def build_gadget_parallel_traces(
+    profile: BenchmarkProfile, num_threads: int, length: int
+) -> List[Program]:
+    """Per-thread gadget traces (``num_threads`` must match the case)."""
+    case = get_gadget(profile.name)
+    if num_threads != case.threads:
+        raise ValueError(
+            f"gadget {case.name!r} is written for {case.threads} thread(s), "
+            f"got --threads {num_threads}"
+        )
+    if case.threads == 1:
+        return [build_gadget_trace(profile, length)]
+    progs = [Program() for _ in range(case.threads)]
+    _fill(case, progs, length)
+    return progs

@@ -465,7 +465,17 @@ class WorkloadBuilder:
 
 
 def build_trace(profile: BenchmarkProfile, length: int) -> Program:
-    """Build a single-thread trace of roughly ``length`` micro-ops."""
+    """Build a single-thread trace of roughly ``length`` micro-ops.
+
+    Profiles in the ``gadgets`` suite dispatch to the attack-scenario
+    catalog (:mod:`repro.workloads.gadgets`) instead of the synthetic
+    kernel mix; the import is lazy to keep the catalog off the hot
+    import path of ordinary runs.
+    """
+    if profile.suite == "gadgets":
+        from repro.workloads.gadgets import build_gadget_trace
+
+        return build_gadget_trace(profile, length)
     return WorkloadBuilder(profile).build(length)
 
 
@@ -479,6 +489,10 @@ def build_parallel_traces(
     metadata), so each trace stays self-consistent while the *addresses*
     exercise real sharing, invalidations, and reveal-bit coherence.
     """
+    if profile.suite == "gadgets":
+        from repro.workloads.gadgets import build_gadget_parallel_traces
+
+        return build_gadget_parallel_traces(profile, num_threads, length)
     return [
         WorkloadBuilder(profile, thread_id=t, num_threads=num_threads).build(length)
         for t in range(num_threads)

@@ -1,0 +1,99 @@
+"""Clueless's direct load-pair mode on the adversarial gadget traces.
+
+The red-team harness decides "was the secret public at attack time"
+with *global DIFT* over each gadget's architectural prefix.  ReCon's
+hardware detector is the cheaper *direct load-pair* tracker, so these
+tests pin down exactly where the two modes agree on the catalog:
+
+* on the architectural prefix — the committed execution the harness
+  analyzes — the pair tracker flags each gadget's secret word exactly
+  where full DIFT does, for every gadget except ``indirect_chain``;
+* ``indirect_chain`` is the catalog's deliberate divergence: the
+  pointer leaks through an ALU copy, which DIFT follows and the pair
+  tracker (like the LPT) does not — so ReCon stays conservative there;
+* on the full trace, ``v1_1_spec_store_forward`` shows the other
+  blind spot: taint laundered through memory (store then forwarded
+  load) reaches DIFT but never forms a direct pair on the secret.
+"""
+
+import pytest
+
+from repro.analysis import Clueless
+from repro.workloads.gadgets import CATALOG, build_gadget
+
+#: Gadgets whose architectural prefix leaks the secret through a chain
+#: the pair tracker cannot follow (DIFT yes, pairs no).
+PREFIX_DIVERGENT = frozenset({"indirect_chain"})
+
+#: Gadgets whose *full* trace leaks the secret only through memory
+#: indirection (DIFT yes, pairs no).
+FULL_TRACE_DIVERGENT = frozenset({"v1_1_spec_store_forward", "implicit_branch"})
+
+
+def _leaked_sets(built, *, prefix_only):
+    """(dift, pair) leaked-word unions across the gadget's cores."""
+    dift, pair = set(), set()
+    for prog, end in zip(built.programs, built.prefix_ends):
+        trace = prog.trace()
+        if prefix_only:
+            trace = trace[:end]
+        clueless = Clueless()
+        for uop in trace:
+            clueless.step(uop)
+        dift |= clueless.dift_leaked
+        pair |= clueless.pair_leaked
+    return dift, pair
+
+
+@pytest.mark.parametrize("case", CATALOG, ids=lambda case: case.name)
+def test_pair_mode_matches_dift_on_architectural_prefix(case):
+    """Pair-only tracking flags the secret exactly where DIFT does."""
+    built = build_gadget(case.name)
+    dift, pair = _leaked_sets(built, prefix_only=True)
+    secret = built.secret_word
+    if case.name in PREFIX_DIVERGENT:
+        assert secret in dift and secret not in pair
+    else:
+        assert (secret in dift) == (secret in pair)
+
+
+@pytest.mark.parametrize("case", CATALOG, ids=lambda case: case.name)
+def test_pair_mode_on_full_adversarial_trace(case):
+    """Once the speculative region commits, the transmitter's own
+    dereference turns every direct-pair gadget into a pair-mode hit —
+    except the two chains the LPT is blind to by design."""
+    built = build_gadget(case.name)
+    dift, pair = _leaked_sets(built, prefix_only=False)
+    secret = built.secret_word
+    if case.name == "implicit_branch":
+        # The implicit channel never turns the secret into an address:
+        # invisible to both explicit-flow trackers.
+        assert secret not in dift and secret not in pair
+    elif case.name in FULL_TRACE_DIVERGENT:
+        assert secret in dift and secret not in pair
+    else:
+        assert secret in dift and secret in pair
+
+
+def test_reveal_then_conceal_is_private_again():
+    """The concealing store retracts the reveal in BOTH trackers."""
+    built = build_gadget("reveal_conceal_rederef")
+    dift, pair = _leaked_sets(built, prefix_only=True)
+    secret = built.secret_word
+    assert secret not in dift
+    assert secret not in pair
+
+
+def test_multicore_reveal_is_unioned_across_cores():
+    """Core 0's architectural reveal makes the word public system-wide."""
+    built = build_gadget("multicore_secret_sharing")
+    assert built.threads == 2
+    secret = built.secret_word
+    per_core = []
+    for prog, end in zip(built.programs, built.prefix_ends):
+        clueless = Clueless()
+        for uop in prog.trace()[:end]:
+            clueless.step(uop)
+        per_core.append(clueless.dift_leaked)
+    assert secret in per_core[0]  # the revealing core
+    assert secret not in per_core[1]  # the attacking core alone sees nothing

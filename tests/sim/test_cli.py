@@ -1,5 +1,8 @@
 """Unit tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -294,3 +297,62 @@ class TestGroupedCommands:
         assert not [
             w for w in recwarn if issubclass(w.category, DeprecationWarning)
         ]
+
+
+class TestRedteam:
+    def test_matrix_prints_verdicts_and_saves_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_gadgets.json"
+        code = main(
+            ["redteam", "matrix", "--gadgets",
+             "v1_bounds_bypass,reveal_rederef", "--no-audit",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "v1_bounds_bypass" in out
+        assert "leak" in out and "protected" in out and "benign" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["ok"] is True
+
+    def test_matrix_regression_gate(self, capsys, tmp_path):
+        """A committed matrix with a different verdict fails the run."""
+        baseline = {
+            "verdicts": {"v1_bounds_bypass": {"unsafe": "protected"}}
+        }
+        expected = tmp_path / "expected.json"
+        expected.write_text(json.dumps(baseline))
+        code = main(
+            ["redteam", "matrix", "--gadgets", "v1_bounds_bypass",
+             "--schemes", "unsafe", "--no-audit",
+             "--out", str(tmp_path / "out.json"),
+             "--expected", str(expected)]
+        )
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_matrix_matches_committed_expected_matrix(self, capsys, tmp_path):
+        expected = (
+            Path(__file__).resolve().parents[1]
+            / "data" / "redteam_expected_matrix.json"
+        )
+        code = main(
+            ["redteam", "matrix", "--gadgets", "v1_indexed", "--no-audit",
+             "--out", str(tmp_path / "out.json"),
+             "--expected", str(expected)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_matrix_unknown_gadget_exits(self):
+        with pytest.raises(SystemExit):
+            main(["redteam", "matrix", "--gadgets", "heartbleed",
+                  "--no-audit"])
+
+    def test_audit_table(self, capsys):
+        code = main(
+            ["redteam", "audit", "--schemes", "stt+recon", "--trials", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stt+recon" in out
+        assert "channel found" in out  # the unsafe control row

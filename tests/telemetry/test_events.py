@@ -156,4 +156,7 @@ class TestTelemetryCollector:
         assert CAT_CACHE in ALL_CATEGORIES
         assert CAT_MEM_TXN in ALL_CATEGORIES
         assert CAT_FAULT in ALL_CATEGORIES
-        assert len(ALL_CATEGORIES) == 8
+        from repro.telemetry.events import CAT_REDTEAM
+
+        assert CAT_REDTEAM in ALL_CATEGORIES
+        assert len(ALL_CATEGORIES) == 9

@@ -1,0 +1,126 @@
+"""Unit tests for the attack-scenario gadget catalog."""
+
+import pytest
+
+from repro.workloads import build_parallel_traces, build_trace, get_benchmark
+from repro.workloads.gadgets import (
+    CATALOG,
+    GADGET_SUITE,
+    MATRIX_SCHEMES,
+    Verdict,
+    build_gadget,
+    build_gadget_trace,
+    gadget_catalog,
+    gadget_profile,
+    gadget_profiles,
+    get_gadget,
+)
+
+
+class TestCatalogIntegrity:
+    def test_catalog_is_nonempty_and_unique(self):
+        names = [case.name for case in CATALOG]
+        assert len(names) >= 10
+        assert len(set(names)) == len(names)
+
+    def test_every_case_declares_every_matrix_column(self):
+        for case in CATALOG:
+            assert set(case.expected) == set(MATRIX_SCHEMES), case.name
+            for verdict in case.expected.values():
+                assert isinstance(verdict, Verdict)
+
+    def test_unsafe_never_protects(self):
+        """The baseline column proves each gadget actually transmits."""
+        for case in CATALOG:
+            unsafe = case.expected[MATRIX_SCHEMES[0]]
+            assert unsafe in (Verdict.LEAK, Verdict.BENIGN), case.name
+
+    def test_secure_schemes_never_leak_a_secret(self):
+        """No protected scheme may have an expected LEAK anywhere."""
+        for case in CATALOG:
+            for scheme in MATRIX_SCHEMES[1:]:
+                assert case.expected[scheme] is not Verdict.LEAK, (
+                    case.name,
+                    scheme,
+                )
+
+    def test_expected_verdicts_are_immutable(self):
+        case = CATALOG[0]
+        with pytest.raises(TypeError):
+            case.expected[MATRIX_SCHEMES[0]] = Verdict.LEAK
+
+    def test_get_gadget_unknown_name(self):
+        with pytest.raises(KeyError, match="v1_bounds_bypass"):
+            get_gadget("nonexistent_gadget")
+
+    def test_gadget_catalog_matches_registry(self):
+        listing = gadget_catalog()
+        assert tuple(listing) == tuple(CATALOG)
+        assert all(get_gadget(case.name) is case for case in listing)
+
+
+class TestBuildGadget:
+    @pytest.mark.parametrize("case", CATALOG, ids=lambda case: case.name)
+    def test_build_is_deterministic(self, case):
+        first = build_gadget(case.name)
+        second = build_gadget(case.name)
+        assert len(first.programs) == case.threads
+        assert first.transmit_seq == second.transmit_seq
+        assert first.secret_word == second.secret_word
+        for a, b in zip(first.programs, second.programs):
+            assert [u.seq for u in a.trace()] == [u.seq for u in b.trace()]
+
+    @pytest.mark.parametrize("case", CATALOG, ids=lambda case: case.name)
+    def test_site_is_inside_the_trace(self, case):
+        built = build_gadget(case.name)
+        assert 0 <= built.transmit_core < built.threads
+        trace = built.programs[built.transmit_core].trace()
+        assert any(uop.seq == built.transmit_seq for uop in trace)
+        for prog, end in zip(built.programs, built.prefix_ends):
+            assert 0 <= end <= len(prog.trace())
+
+    def test_secret_tunable_changes_the_image(self):
+        base = build_gadget("v1_bounds_bypass", secret_value=0x7000)
+        other = build_gadget("v1_bounds_bypass", secret_value=0x7800)
+        word = base.secret_word
+        assert base.programs[0].memory[word] == 0x7000
+        assert other.programs[0].memory[word] == 0x7800
+
+    def test_noise_seed_perturbs_without_moving_the_site(self):
+        a = build_gadget("v1_bounds_bypass", noise_seed=0)
+        b = build_gadget("v1_bounds_bypass", noise_seed=3)
+        assert a.secret_word == b.secret_word
+        assert len(a.programs[0].trace()) != len(b.programs[0].trace())
+
+
+class TestEngineDispatch:
+    def test_gadget_profile_routes_through_get_benchmark(self):
+        profile = get_benchmark(GADGET_SUITE, "v1_indexed")
+        assert profile.suite == GADGET_SUITE
+        assert profile.name == "v1_indexed"
+
+    def test_profiles_cover_the_catalog(self):
+        assert {p.name for p in gadget_profiles()} == {
+            case.name for case in CATALOG
+        }
+
+    def test_build_trace_fills_to_length(self):
+        profile = gadget_profile("v1_bounds_bypass")
+        prog = build_trace(profile, 500)
+        assert len(prog.trace()) >= 500
+
+    def test_parallel_fill_matches_thread_count(self):
+        profile = gadget_profile("multicore_secret_sharing")
+        progs = build_parallel_traces(profile, 2, 300)
+        assert len(progs) == 2
+        assert min(len(p.trace()) for p in progs) >= 300
+
+    def test_single_thread_guard(self):
+        profile = gadget_profile("multicore_secret_sharing")
+        with pytest.raises(ValueError, match="--threads"):
+            build_gadget_trace(profile, 200)
+
+    def test_wrong_thread_count_guard(self):
+        profile = gadget_profile("v1_bounds_bypass")
+        with pytest.raises(ValueError):
+            build_parallel_traces(profile, 4, 200)
