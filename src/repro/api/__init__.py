@@ -19,6 +19,12 @@ Security-analysis entry points ride along: :func:`leakage_report` runs
 the Clueless trackers over a benchmark trace, and :func:`run_redteam`
 runs the gadget-catalog verdict matrix (see :mod:`repro.redteam`).
 
+When a ``repro serve`` endpoint is running (see
+:mod:`repro.sim.service`), :func:`submit_suite` / :func:`poll` /
+:func:`result` drive suites over HTTP instead of in-process — submit a
+batch of :class:`RunRequest` cells, poll the job's progress counters,
+and fetch the finished :class:`~repro.sim.engine.SuiteResult` grid.
+
 The supporting types — :class:`~repro.sim.config.RunConfig`,
 :class:`~repro.common.types.SchemeKind`,
 :class:`~repro.telemetry.events.TelemetryConfig`,
@@ -34,6 +40,7 @@ re-exported here so callers never need a second import root::
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -71,9 +78,12 @@ __all__ = [
     "gadget_catalog",
     "leakage_report",
     "load_result",
+    "poll",
+    "result",
     "run_redteam",
     "run_single",
     "run_suite",
+    "submit_suite",
 ]
 
 
@@ -235,6 +245,8 @@ def run_suite(
     telemetry: Union[None, bool, TelemetryConfig] = None,
     store: Union[bool, ResultStore, None] = True,
     progress: bool = False,
+    backend: Optional[object] = None,
+    observer: Optional[object] = None,
 ) -> SuiteResult:
     """Run a batch of cells and return the :class:`SuiteResult` grid.
 
@@ -254,6 +266,14 @@ def run_suite(
             own ``config.telemetry`` in force.
         store: result memoization, as in :func:`run_single`.
         progress: print a per-run progress line to stderr.
+        backend: execution substrate — a name (``inline`` / ``threads``
+            / ``process`` / ``queue``) or an
+            :class:`~repro.sim.backends.ExecutionBackend` instance;
+            ``None`` honours ``REPRO_BACKEND``, then the jobs-based
+            default.
+        observer: callable receiving each settled engine record (and,
+            supervised, each :class:`RunFailure`) as it lands — the
+            sweep service streams these to HTTP clients.
     """
     specs = [request.resolve() for request in requests]
     if telemetry is not None:
@@ -269,7 +289,12 @@ def run_suite(
 
         policy = supervise if isinstance(supervise, FaultPolicy) else None
         supervisor = Supervisor(
-            policy, jobs=jobs, store=resolved_store, progress=progress
+            policy,
+            jobs=jobs,
+            store=resolved_store,
+            progress=progress,
+            backend=backend,
+            observer=observer,
         )
         results, records, failures = supervisor.execute(specs)
         fault_counters = supervisor.fault_counters
@@ -279,6 +304,8 @@ def run_suite(
             jobs=jobs,
             store=resolved_store,
             progress=progress,
+            backend=backend,
+            observer=observer,
         )
     wall = time.perf_counter() - start
     mapping: Dict[Tuple[str, SchemeKind], RunResult] = {
@@ -352,3 +379,141 @@ def load_result(key: str) -> Optional[RunResult]:
     if store is None:
         return None
     return store.get(key)
+
+
+# --- sweep-service client --------------------------------------------------
+def _service_url(url: str, path: str) -> str:
+    return url.rstrip("/") + path
+
+
+def _request_json(
+    url: str,
+    *,
+    method: str = "GET",
+    payload: Optional[Dict[str, object]] = None,
+    timeout_s: float = 30.0,
+) -> Tuple[int, bytes]:
+    """One HTTP exchange with the sweep service; returns (status, body)."""
+    import urllib.error
+    import urllib.request
+
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _wire_request(request: RunRequest) -> Dict[str, object]:
+    """Flatten a :class:`RunRequest` for the service's JSON schema."""
+    if request.config is not None:
+        raise ValueError(
+            "RunRequest.config cannot be sent over HTTP; submit cells with "
+            "default config (length/benchmark/scheme only)"
+        )
+    benchmark = request.benchmark
+    if not isinstance(benchmark, str):
+        benchmark = f"{benchmark.suite}/{benchmark.name}"
+    scheme = request.scheme
+    if isinstance(scheme, SchemeKind):
+        scheme = scheme.value
+    return {"benchmark": benchmark, "scheme": scheme, "length": request.length}
+
+
+def submit_suite(
+    requests: Iterable[RunRequest],
+    *,
+    url: str = "http://127.0.0.1:8712",
+    jobs: Optional[int] = None,
+    supervise: bool = False,
+    backend: Optional[str] = None,
+) -> str:
+    """Submit a suite to a running ``repro serve`` endpoint; returns a job id.
+
+    The job runs asynchronously on the server; track it with
+    :func:`poll` and fetch the finished grid with :func:`result`.
+    Requests must use the default :class:`RunConfig` — per-cell config
+    objects do not serialize over the wire.
+    """
+    payload: Dict[str, object] = {
+        "requests": [_wire_request(request) for request in requests],
+    }
+    if jobs is not None:
+        payload["jobs"] = jobs
+    if supervise:
+        payload["supervise"] = True
+    if backend is not None:
+        payload["backend"] = backend
+    status, body = _request_json(
+        _service_url(url, "/v1/suites"), method="POST", payload=payload
+    )
+    decoded = json.loads(body.decode("utf-8"))
+    if status != 202:
+        raise RuntimeError(
+            f"suite submission failed ({status}): "
+            f"{decoded.get('error', repr(body[:200]))}"
+        )
+    return str(decoded["job"])
+
+
+def poll(job_id: str, *, url: str = "http://127.0.0.1:8712") -> Dict[str, object]:
+    """Current status of a service job: state, record/failure counts.
+
+    Returns the server's job summary dict — ``status`` is one of
+    ``queued`` / ``running`` / ``done`` / ``failed``.
+    """
+    status, body = _request_json(_service_url(url, f"/v1/jobs/{job_id}"))
+    decoded = json.loads(body.decode("utf-8"))
+    if status != 200:
+        raise RuntimeError(
+            f"poll failed ({status}): {decoded.get('error', repr(body[:200]))}"
+        )
+    return decoded
+
+
+def result(
+    job_id: str,
+    *,
+    url: str = "http://127.0.0.1:8712",
+    wait: bool = True,
+    timeout_s: float = 600.0,
+    interval_s: float = 0.25,
+) -> SuiteResult:
+    """Fetch a service job's :class:`SuiteResult`, waiting for completion.
+
+    With ``wait=False`` a still-running job raises immediately
+    (mirroring the server's 409); otherwise polls every ``interval_s``
+    until the job finishes or ``timeout_s`` elapses.  A server-side job
+    failure raises ``RuntimeError`` with the job's error string.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status, body = _request_json(
+            _service_url(url, f"/v1/jobs/{job_id}/result")
+        )
+        if status == 200:
+            return SuiteResult.from_json(body.decode("utf-8"))
+        decoded = json.loads(body.decode("utf-8"))
+        if status == 500:
+            raise RuntimeError(
+                f"job {job_id} failed: {decoded.get('error', 'unknown error')}"
+            )
+        if status != 409 or not wait:
+            raise RuntimeError(
+                f"job {job_id} not ready ({status}): "
+                f"{decoded.get('error', 'unfinished')}"
+            )
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"job {job_id} still {decoded.get('status', 'running')} "
+                f"after {timeout_s:.0f}s"
+            )
+        time.sleep(interval_s)

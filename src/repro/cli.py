@@ -13,6 +13,7 @@ Commands are grouped by what they do::
     python -m repro save-trace spec2017/mcf mcf.trace   # export a trace
     python -m repro redteam matrix                # gadget x scheme verdicts
     python -m repro redteam audit                 # metadata AUC audit
+    python -m repro serve                         # HTTP sweep service
 
 The pre-grouping spellings (``run <benchmark>``, ``suite``, ``replay``,
 ``leakage``, ``sweep-lpt``, ``sweep-levels``, ``telemetry <trace>``)
@@ -23,7 +24,15 @@ replacement.
 Common options: ``--length`` (trace micro-ops), ``--schemes`` (comma
 list), ``--threads`` (parallel workloads), ``--seed`` (override profile
 seed), ``--jobs`` (worker processes; also the ``REPRO_JOBS`` environment
-variable), ``--no-store`` (skip the persistent result store).
+variable), ``--backend`` (execution substrate: ``inline`` / ``threads``
+/ ``process`` / ``queue``; also the ``REPRO_BACKEND`` environment
+variable — see ``docs/backends.md``), ``--no-store`` (skip the
+persistent result store).
+
+``serve`` runs the async sweep service (:mod:`repro.sim.service`):
+clients POST suites to ``/v1/suites``, poll ``/v1/jobs/<id>``, stream
+NDJSON progress from ``/v1/jobs/<id>/events``, and fetch the finished
+``SuiteResult`` JSON from ``/v1/jobs/<id>/result``.
 
 Observability options on ``run one``/``run suite`` (see
 ``docs/observability.md``):
@@ -67,6 +76,7 @@ import json
 from repro.analysis import Clueless
 from repro.common import SchemeKind
 from repro.sim import (
+    BACKEND_NAMES,
     FaultPolicy,
     RunConfig,
     SuiteJournal,
@@ -297,6 +307,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         policy=policy,
         journal=journal,
         resume=resume,
+        backend=args.backend,
     )
     _export_telemetry(
         args,
@@ -367,6 +378,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         policy=policy,
         journal=journal,
         resume=resume,
+        backend=args.backend,
     )
     _export_telemetry(
         args,
@@ -655,6 +667,20 @@ def cmd_sweep_levels(args: argparse.Namespace) -> int:
     return _run_sweep(args, recon_level_variants())
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.sim.service import serve
+
+    serve(
+        args.host,
+        args.port,
+        jobs=args.jobs,
+        backend=args.backend,
+        store=not args.no_store,
+        max_concurrent=args.max_concurrent,
+    )
+    return 0
+
+
 def _parent_parsers():
     """The shared option groups, as ``parents=`` parsers.
 
@@ -687,6 +713,13 @@ def _parent_parsers():
         help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
     )
     execution.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="execution substrate (default: $REPRO_BACKEND, else inline "
+        "for --jobs 1 and process otherwise; see docs/backends.md)",
+    )
+    execution.add_argument(
         "--no-store",
         action="store_true",
         help="do not read or write the persistent result store",
@@ -705,7 +738,7 @@ def _parent_parsers():
         default=None,
         metavar="CATS",
         help="comma list of event categories to collect "
-        "(pipeline,cache,coherence,recon,security,shadow,mem_txn,fault; "
+        "(pipeline,cache,coherence,recon,security,shadow,mem_txn,fault,backend; "
         "default all)",
     )
     telemetry.add_argument(
@@ -905,6 +938,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_save.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
     p_save.add_argument("path", help="output trace file")
     p_save.set_defaults(func=cmd_save_trace)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP sweep service: submit suites, poll jobs, stream progress",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8712)
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="default worker processes per job (default: $REPRO_JOBS or 1; "
+        "0 = all cores)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="default execution substrate for submitted jobs "
+        "(default: $REPRO_BACKEND, else jobs-based; see docs/backends.md)",
+    )
+    p_serve.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the persistent result store",
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=1,
+        help="suites allowed to run at once (default 1)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -1,5 +1,17 @@
 """Simulation driving: system assembly, runners, engine, reporting."""
 
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    BackendHealth,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    QueueBackend,
+    TaskTimeout,
+    ThreadBackend,
+    WorkerDeath,
+    resolve_backend,
+)
 from repro.sim.charts import bar_chart, grouped_bar_chart
 from repro.sim.chaos import ChaosConfig, ChaosFault, parse_chaos
 from repro.sim.config import MemoryTimingParams, RunConfig
@@ -41,10 +53,19 @@ from repro.sim.sweep import lpt_size_variants, recon_level_variants
 from repro.sim.system import System, SystemResult
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendHealth",
     "ChaosConfig",
     "ChaosFault",
     "EventQueue",
+    "ExecutionBackend",
     "FaultPolicy",
+    "InlineBackend",
+    "ProcessBackend",
+    "QueueBackend",
+    "TaskTimeout",
+    "ThreadBackend",
+    "WorkerDeath",
     "MemoryTimingParams",
     "ResultStore",
     "RunConfig",
@@ -73,6 +94,7 @@ __all__ = [
     "overhead_reduction",
     "parse_chaos",
     "recon_level_variants",
+    "resolve_backend",
     "resolve_jobs",
     "run_benchmark",
     "run_benchmark_seeds",

@@ -1,0 +1,188 @@
+"""In-process backends: deterministic inline and a thread pool.
+
+``inline`` runs every task synchronously in the submitting process —
+the deterministic debug substrate, and what the supervisor degrades to
+when worker pools keep dying.  ``threads`` fans tasks across a
+``ThreadPoolExecutor``: no pickling, shared memory, but the GIL caps
+speedup for the pure-Python simulator, so it is mainly useful for
+I/O-bound store traffic and as a seam exerciser.
+
+Neither backend can lose a worker (``WorkerDeath`` never settles here)
+and neither is preemptible — an expired budget is recorded post-hoc by
+the supervisor, never enforced mid-run.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.backends.base import (
+    BackendHealth,
+    ExecutionBackend,
+    TaskHandle,
+    run_task,
+)
+
+__all__ = ["InlineBackend", "ThreadBackend"]
+
+
+class InlineBackend(ExecutionBackend):
+    """Synchronous execution in the calling process.
+
+    ``submit`` runs the task to completion before returning, so handles
+    are always settled by the time ``poll`` sees them.  Owns a
+    :class:`~repro.sim.runner.TraceCache` cleared between grid cells
+    (same memory discipline as the historical ``jobs=1`` path) unless a
+    caller-provided cache is passed in.
+    """
+
+    name = "inline"
+    preemptible = False
+
+    def __init__(self, cache: Any = None, reraise: Tuple[type, ...] = (KeyboardInterrupt, SystemExit)) -> None:
+        self._cache = cache
+        self._own_cache = cache is None
+        self._reraise = reraise
+        self._settled: Deque[TaskHandle] = collections.deque()
+        self._current_cell: Optional[Tuple[Any, ...]] = None
+        self._completed = 0
+
+    def start(self) -> None:
+        if self._own_cache and self._cache is None:
+            from repro.sim.runner import TraceCache
+
+            self._cache = TraceCache()
+
+    def submit(
+        self,
+        spec: Any,
+        attempt: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> TaskHandle:
+        self.start()
+        handle = TaskHandle(spec, attempt)
+        cell = spec.trace_key
+        if self._own_cache and self._current_cell not in (None, cell):
+            self._cache.clear()
+        self._current_cell = cell
+        payload = run_task(
+            spec, attempt, cache=self._cache, reraise=self._reraise
+        )
+        handle.settle_payload(payload)
+        self._completed += 1
+        self._settled.append(handle)
+        return handle
+
+    def poll(self, timeout: Optional[float] = None) -> List[TaskHandle]:
+        settled = list(self._settled)
+        self._settled.clear()
+        return settled
+
+    def capacity(self) -> int:
+        return 1
+
+    def health(self) -> BackendHealth:
+        return BackendHealth(
+            name=self.name,
+            workers=1,
+            alive_workers=1,
+            inflight=0,
+            queue_depth=0,
+            restarts=0,
+            crash_restarts=0,
+            counters={"backend_tasks_completed": self._completed},
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._own_cache and self._cache is not None:
+            self._cache.clear()
+            self._cache = None
+        self._settled.clear()
+        self._current_cell = None
+
+
+class ThreadBackend(ExecutionBackend):
+    """A ``ThreadPoolExecutor`` substrate (shared memory, no pickling).
+
+    Each worker thread keeps its own :class:`TraceCache` (thread-local)
+    so concurrent cells do not thrash one shared LRU.
+    """
+
+    name = "threads"
+    preemptible = False
+
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = max(1, int(workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._inflight: Dict[Any, TaskHandle] = {}
+        self._local = threading.local()
+        self._completed = 0
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-backend",
+            )
+
+    def _task(self, spec: Any, attempt: int) -> Any:
+        cache = getattr(self._local, "cache", None)
+        if cache is None:
+            from repro.sim.runner import TraceCache
+
+            cache = self._local.cache = TraceCache()
+        return run_task(spec, attempt, cache=cache)
+
+    def submit(
+        self,
+        spec: Any,
+        attempt: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> TaskHandle:
+        self.start()
+        assert self._pool is not None
+        handle = TaskHandle(spec, attempt)
+        future = self._pool.submit(self._task, spec, attempt)
+        self._inflight[future] = handle
+        return handle
+
+    def poll(self, timeout: Optional[float] = None) -> List[TaskHandle]:
+        if not self._inflight:
+            return []
+        done, _ = futures_wait(
+            set(self._inflight), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        settled: List[TaskHandle] = []
+        for future in done:
+            handle = self._inflight.pop(future)
+            # run_task contains every exception in its envelope, so the
+            # future itself only raises for interpreter-level failures.
+            handle.settle_payload(future.result())
+            self._completed += 1
+            settled.append(handle)
+        return settled
+
+    def capacity(self) -> int:
+        return self.workers
+
+    def health(self) -> BackendHealth:
+        return BackendHealth(
+            name=self.name,
+            workers=self.workers,
+            alive_workers=self.workers if self._pool is not None else 0,
+            inflight=len(self._inflight),
+            queue_depth=0,
+            restarts=0,
+            crash_restarts=0,
+            counters={"backend_tasks_completed": self._completed},
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+        self._inflight.clear()

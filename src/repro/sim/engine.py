@@ -1,11 +1,12 @@
 """Parallel experiment execution engine.
 
 Fans independent ``(profile, scheme, seed, params)`` runs out across a
-``ProcessPoolExecutor``: workers receive a compact, picklable
-:class:`RunSpec` (traces are *not* shipped — they are rebuilt
-deterministically from the profile's seed inside the worker, where the
-per-process trace cache amortizes them across schemes), and send back a
-plain :class:`~repro.sim.runner.RunResult`.
+pluggable :class:`~repro.sim.backends.ExecutionBackend`: workers
+receive a compact, picklable :class:`RunSpec` (traces are *not*
+shipped — they are rebuilt deterministically from the profile's seed
+inside the worker, where the per-process trace cache amortizes them
+across schemes), and send back a plain
+:class:`~repro.sim.runner.RunResult`.
 
 Layered under the engine is the persistent result store
 (:mod:`repro.sim.store`): before a spec is executed its content hash is
@@ -14,10 +15,14 @@ of the same grid are served from disk and interrupted sweeps resume
 where they stopped.
 
 The worker count comes from the ``jobs`` argument, falling back to the
-``REPRO_JOBS`` environment variable, falling back to 1 (``jobs <= 0``
-means "all cores").  ``jobs=1`` executes inline in the calling process —
-no pool, identical results, and the engine clears its trace cache
-between grid cells so long sweeps stay within memory budget.
+``REPRO_JOBS`` environment variable, falling back to 1 (``jobs == 0``
+means "all cores"; negative counts are rejected).  The execution
+substrate comes from the ``backend`` argument, falling back to the
+``REPRO_BACKEND`` environment variable, falling back to the historical
+default: ``jobs=1`` executes inline in the calling process — no pool,
+identical results, and the engine clears its trace cache between grid
+cells so long sweeps stay within memory budget — while ``jobs > 1``
+uses the process-pool backend.
 """
 
 from __future__ import annotations
@@ -28,7 +33,6 @@ import os
 import sys
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import (
     Any,
@@ -66,7 +70,12 @@ JOBS_ENV = "REPRO_JOBS"
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Effective worker count: argument, else ``REPRO_JOBS``, else 1."""
+    """Effective worker count: argument, else ``REPRO_JOBS``, else 1.
+
+    ``0`` explicitly means "all cores" (``os.cpu_count()``); negative
+    counts are a :class:`ValueError` — they used to be silently coerced
+    to all cores, which hid typos like ``--jobs -4``.
+    """
     if jobs is None:
         value = os.environ.get(JOBS_ENV)
         if value:
@@ -78,8 +87,12 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 ) from None
         else:
             jobs = 1
-    if jobs <= 0:
+    if jobs == 0:
         jobs = os.cpu_count() or 1
+    elif jobs < 0:
+        raise ValueError(
+            f"jobs must be >= 0 (0 means all cores), got {jobs}"
+        )
     return jobs
 
 
@@ -173,18 +186,9 @@ class RunRecord:
 
 def _execute_spec(spec: RunSpec, cache: Optional[TraceCache] = None) -> RunResult:
     """Run one spec (in a worker this uses the per-process trace cache)."""
-    return run_benchmark(
-        spec.profile,
-        spec.scheme,
-        spec.length,
-        config=RunConfig(
-            params=spec.params,
-            threads=spec.threads,
-            warmup_uops=spec.warmup_uops,
-            cache=cache,
-            telemetry=spec.telemetry,
-        ),
-    )
+    from repro.sim.backends import base as _backend_base
+
+    return _backend_base.execute_run(spec, cache=cache)
 
 
 def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
@@ -223,13 +227,25 @@ def execute_specs(
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
     progress: bool = False,
+    backend: Optional[Any] = None,
+    observer: Optional[Any] = None,
 ) -> Tuple[List[RunResult], List[RunRecord]]:
     """Execute ``specs``, returning results and records in spec order.
 
-    Specs already present in ``store`` are served from disk; the rest run
-    inline (``jobs=1``) or across a process pool, and are written back to
-    the store as they complete — so an interrupted sweep resumes where it
-    stopped.
+    Specs already present in ``store`` are served from disk; the rest
+    run on the selected execution backend (``backend`` — a name or an
+    :class:`~repro.sim.backends.ExecutionBackend` instance — else the
+    ``REPRO_BACKEND`` env var, else inline for ``jobs=1`` / a process
+    pool above), and are written back to the store as they complete —
+    so an interrupted sweep resumes where it stopped.
+
+    This is the *fail-fast* path: the first failing run raises (a
+    :class:`~repro.sim.backends.TaskFailedError` carrying the worker's
+    structured error).  ``observer``, when given, is called with each
+    :class:`RunRecord` as it settles (the service layer streams these).
+    A ``KeyboardInterrupt`` tears the backend down without waiting but
+    every record already settled has hit the store, so the sweep
+    resumes from disk.
     """
     jobs = resolve_jobs(jobs)
     total = len(specs)
@@ -240,6 +256,8 @@ def execute_specs(
     def emit(record: RunRecord) -> None:
         if progress:
             print(_progress_line(done, total, record), file=sys.stderr)
+        if observer is not None:
+            observer(record)
 
     pending: List[int] = []
     keys: List[Optional[str]] = [None] * total
@@ -264,7 +282,12 @@ def execute_specs(
         done += 1
         emit(records[index])
 
-    if pending and jobs == 1:
+    explicit_backend = backend is not None or bool(
+        os.environ.get("REPRO_BACKEND")
+    )
+    if pending and jobs == 1 and not explicit_backend:
+        # The historical deterministic fast path: no backend object, no
+        # envelope — original exceptions propagate unchanged.
         cache = config.cache if config is not None else None
         own_cache = cache is None
         if own_cache:
@@ -279,19 +302,37 @@ def execute_specs(
             result = _execute_spec(spec, cache=cache)
             finish(index, result, time.perf_counter() - start)
     elif pending:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_timed_execute, specs[index]): index
-                for index in pending
+        from repro.sim.backends import TaskFailedError, parse_envelope, resolve_backend
+
+        backend_obj, owned = resolve_backend(
+            backend, jobs=jobs, workers=min(jobs, len(pending))
+        )
+        try:
+            backend_obj.start()
+            handles = {
+                backend_obj.submit(specs[index]): index for index in pending
             }
-            outstanding = set(futures)
-            while outstanding:
-                completed, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in completed:
-                    result, wall = future.result()
-                    finish(futures[future], result, wall)
+            while handles:
+                for handle in backend_obj.poll():
+                    index = handles.pop(handle)
+                    # Fail fast: WorkerDeath/TaskTimeout raise here.
+                    payload = parse_envelope(handle.outcome())
+                    if payload[0] == "ok":
+                        _, result, wall, _pid = payload
+                        finish(index, result, wall)
+                        continue
+                    _, etype, message, tb, _diag, _wall, _pid = payload
+                    raise TaskFailedError(etype, message, tb)
+        except BaseException:
+            # Settled records have already hit the store; tear the
+            # backend down without waiting so Ctrl-C returns promptly
+            # and the sweep stays resumable from disk.
+            if owned:
+                backend_obj.shutdown(wait=False)
+            raise
+        else:
+            if owned:
+                backend_obj.shutdown()
 
     return list(results), list(records)  # type: ignore[arg-type]
 
@@ -499,6 +540,8 @@ def run_grid(
     policy: Optional[Any] = None,
     journal: Optional[Any] = None,
     resume: bool = False,
+    backend: Optional[Any] = None,
+    observer: Optional[Any] = None,
 ) -> SuiteResult:
     """Run a benchmarks x schemes grid through the engine.
 
@@ -509,6 +552,12 @@ def run_grid(
     exhaust their retries land in ``SuiteResult.failures`` instead of
     raising, and completed/failed keys are checkpointed for resume.
     Otherwise the plain fail-fast :func:`execute_specs` path runs.
+
+    ``backend`` selects the execution substrate on either path (a name
+    — ``inline`` / ``threads`` / ``process`` / ``queue`` — or an
+    :class:`~repro.sim.backends.ExecutionBackend` instance); ``observer``
+    receives each settled :class:`RunRecord` /
+    :class:`~repro.sim.supervisor.RunFailure` as it lands.
     """
     config = config or RunConfig()
     specs = [
@@ -533,12 +582,20 @@ def run_grid(
             store=store,
             journal=journal,
             progress=progress,
+            backend=backend,
+            observer=observer,
         )
         results, records, failures = supervisor.execute(specs, resume=resume)
         fault_counters = supervisor.fault_counters
     else:
         results, records = execute_specs(
-            specs, config=config, jobs=jobs, store=store, progress=progress
+            specs,
+            config=config,
+            jobs=jobs,
+            store=store,
+            progress=progress,
+            backend=backend,
+            observer=observer,
         )
         failures, fault_counters = [], {}
     wall = time.perf_counter() - start

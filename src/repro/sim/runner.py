@@ -286,6 +286,7 @@ def run_suite(
     policy: Optional[Any] = None,
     journal: Optional[Any] = None,
     resume: bool = False,
+    backend: Optional[Any] = None,
     params: Any = UNSET,
     threads: Any = UNSET,
     cache: Any = UNSET,
@@ -303,6 +304,10 @@ def run_suite(
     ``policy`` / ``journal`` / ``resume`` (and chaos on ``config``)
     route execution through the fault-tolerant supervisor — see
     :func:`~repro.sim.engine.run_grid` and ``docs/robustness.md``.
+    ``backend`` picks the execution substrate (``inline`` / ``threads``
+    / ``process`` / ``queue`` or an
+    :class:`~repro.sim.backends.ExecutionBackend` instance) — see
+    ``docs/backends.md``.
     """
     from repro.sim.engine import run_grid
 
@@ -320,4 +325,5 @@ def run_suite(
         policy=policy,
         journal=journal,
         resume=resume,
+        backend=backend,
     )

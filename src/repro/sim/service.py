@@ -1,0 +1,470 @@
+"""Async sweep service: submit suites over HTTP, poll, stream progress.
+
+``repro serve`` exposes the suite runner as a small stdlib-only HTTP
+endpoint so long sweeps can be driven from other machines (or detached
+terminals) without holding a shell open.  The server is a hand-rolled
+HTTP/1.1 loop on :func:`asyncio.start_server` — no third-party web
+framework — because the protocol surface is deliberately tiny:
+
+========  ============================  =====================================
+Method    Path                          Meaning
+========  ============================  =====================================
+GET       ``/v1/health``                liveness + job counts
+POST      ``/v1/suites``                submit a suite; returns a job id
+GET       ``/v1/jobs``                  list all jobs with status
+GET       ``/v1/jobs/{id}``             one job's status + progress counts
+GET       ``/v1/jobs/{id}/result``      the ``SuiteResult`` JSON (409 until
+                                        the job is done)
+GET       ``/v1/jobs/{id}/events``      NDJSON progress stream (one record
+                                        or failure event per line, then a
+                                        terminal ``status`` event)
+========  ============================  =====================================
+
+A submitted suite body looks like::
+
+    {"requests": [{"benchmark": "spec2017/mcf",
+                   "scheme": "stt+recon",
+                   "length": 2000}],
+     "jobs": 2, "supervise": true, "backend": "threads"}
+
+Each job runs :func:`repro.api.run_suite` on an executor thread; the
+engine/supervisor ``observer`` callback appends progress events to the
+job under a lock, and the ``/events`` streamer polls that list from the
+event loop.  Cross-thread signalling is therefore lock + poll, never
+``call_soon_threadsafe`` from simulation code — the simulator stays
+ignorant of asyncio.
+
+The matching client helpers live in :mod:`repro.api`:
+``submit_suite`` / ``poll`` / ``result``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.backends import BACKEND_NAMES
+
+__all__ = ["Job", "SweepService", "serve"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_STREAM_POLL_S = 0.1
+
+
+@dataclass
+class Job:
+    """One submitted suite: request payload, lifecycle, progress events."""
+
+    job_id: str
+    requests: List[Dict[str, Any]]
+    options: Dict[str, Any]
+    status: str = "queued"  # queued -> running -> done | failed
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    result_json: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def add_event(self, event: Dict[str, Any]) -> None:
+        """Append one progress event, stamping its monotonic ``seq``."""
+        with self.lock:
+            event["seq"] = len(self.events)
+            self.events.append(event)
+
+    def events_since(self, seq: int) -> List[Dict[str, Any]]:
+        """Events with ``seq`` >= the given cursor, oldest first."""
+        with self.lock:
+            return list(self.events[seq:])
+
+    def summary(self) -> Dict[str, Any]:
+        """The job's status row: id, state, and record/failure counts."""
+        with self.lock:
+            records = sum(1 for e in self.events if e.get("type") == "record")
+            failures = sum(1 for e in self.events if e.get("type") == "failure")
+        return {
+            "job": self.job_id,
+            "status": self.status,
+            "cells": len(self.requests),
+            "records": records,
+            "failures": failures,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+def _observer_event(item: Any) -> Dict[str, Any]:
+    """Map an engine record / supervisor failure onto a wire event."""
+    # RunFailure has error_type; engine RunRecord has from_store.
+    kind = "failure" if hasattr(item, "error_type") else "record"
+    try:
+        body = item.as_dict()
+    except Exception:  # pragma: no cover - defensive; both types have it
+        body = {"repr": repr(item)}
+    return {"type": kind, kind: body}
+
+
+class SweepService:
+    """Job table + HTTP front-end for :func:`repro.api.run_suite`."""
+
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        store: bool = True,
+        max_concurrent: int = 1,
+    ) -> None:
+        if backend is not None and backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {', '.join(BACKEND_NAMES)}"
+            )
+        self.default_jobs = jobs
+        self.default_backend = backend
+        self.store = store
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._seq = 0
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, max_concurrent),
+            thread_name_prefix="repro-serve",
+        )
+
+    # --- job lifecycle ---------------------------------------------------
+    def submit(
+        self, requests: List[Dict[str, Any]], options: Dict[str, Any]
+    ) -> Job:
+        """Validate and enqueue a suite; returns the queued :class:`Job`."""
+        if not requests:
+            raise ValueError("requests must be a non-empty list")
+        backend = options.get("backend", self.default_backend)
+        if backend is not None and backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {', '.join(BACKEND_NAMES)}"
+            )
+        parsed = [self._parse_request(entry) for entry in requests]
+        # Resolve eagerly so typos fail the submit, not the job.
+        for request in parsed:
+            request.resolve()
+        with self._jobs_lock:
+            self._seq += 1
+            job = Job(
+                job_id=f"job-{self._seq:04d}",
+                requests=list(requests),
+                options=dict(options),
+            )
+            self._jobs[job.job_id] = job
+        self._pool.submit(self._run_job, job, parsed)
+        return job
+
+    @staticmethod
+    def _parse_request(entry: Any) -> Any:
+        from repro.api import RunRequest
+
+        if not isinstance(entry, dict):
+            raise ValueError(f"each request must be an object, got {entry!r}")
+        missing = [k for k in ("benchmark", "scheme", "length") if k not in entry]
+        if missing:
+            raise ValueError(f"request missing fields: {', '.join(missing)}")
+        return RunRequest(
+            benchmark=entry["benchmark"],
+            scheme=entry["scheme"],
+            length=int(entry["length"]),
+        )
+
+    def _run_job(self, job: Job, parsed: List[Any]) -> None:
+        from repro.api import run_suite
+
+        job.status = "running"
+        job.started_at = time.time()
+        options = job.options
+        try:
+            result = run_suite(
+                parsed,
+                jobs=options.get("jobs", self.default_jobs),
+                supervise=bool(options.get("supervise", False)),
+                telemetry=options.get("telemetry"),
+                store=self.store,
+                backend=options.get("backend", self.default_backend),
+                observer=lambda item: job.add_event(_observer_event(item)),
+            )
+            job.result_json = result.to_json()
+            job.status = "done"
+        except Exception as exc:  # job failures are data, not crashes
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = "failed"
+        finally:
+            job.finished_at = time.time()
+            job.add_event(
+                {"type": "status", "status": job.status, "error": job.error}
+            )
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with this id, or ``None``."""
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """Status summaries for every submitted job, oldest first."""
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        return [job.summary() for job in jobs]
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness payload: service status, job counts, backend name."""
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        counts: Dict[str, int] = {}
+        for job in jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return {
+            "status": "ok",
+            "jobs": counts,
+            "backend": self.default_backend or "auto",
+        }
+
+    def close(self) -> None:
+        """Stop accepting work and release the job executor."""
+        self._pool.shutdown(wait=False)
+
+    # --- HTTP plumbing ---------------------------------------------------
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one HTTP connection: parse, dispatch, respond, close."""
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            await self._dispatch(writer, method, path, body)
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+    ) -> None:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/v1/health" and method == "GET":
+            await _send_json(writer, 200, self.health())
+            return
+        if path == "/v1/suites" and method == "POST":
+            await self._handle_submit(writer, body)
+            return
+        if path == "/v1/jobs" and method == "GET":
+            await _send_json(writer, 200, {"jobs": self.list_jobs()})
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/") :]
+            job_id, _, action = rest.partition("/")
+            job = self.get(job_id)
+            if job is None:
+                await _send_json(
+                    writer, 404, {"error": f"no such job: {job_id}"}
+                )
+                return
+            if method != "GET":
+                await _send_json(writer, 405, {"error": "GET only"})
+                return
+            if not action:
+                await _send_json(writer, 200, job.summary())
+            elif action == "result":
+                await self._handle_result(writer, job)
+            elif action == "events":
+                await self._handle_events(writer, job)
+            else:
+                await _send_json(
+                    writer, 404, {"error": f"unknown action: {action}"}
+                )
+            return
+        await _send_json(writer, 404, {"error": f"unknown path: {path}"})
+
+    async def _handle_submit(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+            requests = payload.get("requests")
+            if not isinstance(requests, list):
+                raise ValueError("body must carry a 'requests' list")
+            options = {
+                key: payload[key]
+                for key in ("jobs", "supervise", "backend", "telemetry")
+                if key in payload
+            }
+            job = self.submit(requests, options)
+        except (ValueError, json.JSONDecodeError) as exc:
+            await _send_json(writer, 400, {"error": str(exc)})
+            return
+        await _send_json(
+            writer, 202, {"job": job.job_id, "status": job.status}
+        )
+
+    async def _handle_result(
+        self, writer: asyncio.StreamWriter, job: Job
+    ) -> None:
+        if job.status == "failed":
+            await _send_json(
+                writer, 500, {"job": job.job_id, "error": job.error}
+            )
+        elif job.status != "done" or job.result_json is None:
+            await _send_json(
+                writer,
+                409,
+                {"job": job.job_id, "status": job.status,
+                 "error": "job not finished"},
+            )
+        else:
+            await _send_raw(
+                writer, 200, job.result_json.encode("utf-8"),
+                "application/json",
+            )
+
+    async def _handle_events(
+        self, writer: asyncio.StreamWriter, job: Job
+    ) -> None:
+        headers = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(headers.encode("latin-1"))
+        seq = 0
+        while True:
+            fresh = job.events_since(seq)
+            for event in fresh:
+                writer.write((json.dumps(event) + "\n").encode("utf-8"))
+            seq += len(fresh)
+            await writer.drain()
+            if fresh and fresh[-1].get("type") == "status":
+                return
+            if job.done and not job.events_since(seq):
+                # Job finished before its terminal event landed; re-check
+                # once more next tick rather than racing it.
+                await asyncio.sleep(_STREAM_POLL_S)
+                tail = job.events_since(seq)
+                if not tail:
+                    return
+                continue
+            await asyncio.sleep(_STREAM_POLL_S)
+
+
+async def _send_raw(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str,
+) -> None:
+    reason = {
+        200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 409: "Conflict",
+        500: "Internal Server Error",
+    }.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+async def _send_json(
+    writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+) -> None:
+    await _send_raw(
+        writer, status, json.dumps(payload).encode("utf-8"),
+        "application/json",
+    )
+
+
+async def _serve_async(
+    service: SweepService, host: str, port: int,
+    ready: Optional["threading.Event"] = None,
+    bound: Optional[List[Tuple[str, int]]] = None,
+) -> None:
+    server = await asyncio.start_server(service.handle, host, port)
+    addresses = [sock.getsockname()[:2] for sock in server.sockets or []]
+    if bound is not None:
+        bound.extend(addresses)
+    if ready is not None:
+        ready.set()
+    shown = ", ".join(f"http://{h}:{p}" for h, p in addresses)
+    print(f"repro serve: listening on {shown}", flush=True)
+    async with server:
+        await server.serve_forever()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8712,
+    *,
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    store: bool = True,
+    max_concurrent: int = 1,
+) -> None:
+    """Run the sweep service until interrupted (the ``repro serve`` body)."""
+    service = SweepService(
+        jobs=jobs, backend=backend, store=store, max_concurrent=max_concurrent
+    )
+    try:
+        asyncio.run(_serve_async(service, host, port))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", flush=True)
+    finally:
+        service.close()

@@ -7,7 +7,13 @@ near-instant and interrupted sweeps resume where they stopped.
 
 Layout: one JSON file per run at ``<root>/<hash[:2]>/<hash>.json``,
 written atomically (tmp file + rename) so a crash mid-write never leaves
-a truncated entry behind.  A *corrupt* entry — present on disk but
+a truncated entry behind.  Very large sweeps (the queue backend's
+detached workers write results concurrently) can deepen the prefix
+fan-out with ``ResultStore(root, shard_depth=2)`` or the
+``REPRO_STORE_SHARDS`` environment variable — entries then land at
+``<root>/<hash[:2]>/<hash[2:4]>/<hash>.json`` and so on, keeping any
+single directory small.  Reads fall back across shard depths, so a
+store written at one depth stays readable at another.  A *corrupt* entry — present on disk but
 unparseable or schema-invalid — is never silently swallowed: it is
 quarantined in place (renamed to ``<entry>.json.corrupt`` so it stops
 matching future lookups but remains inspectable), a ``RuntimeWarning``
@@ -42,7 +48,9 @@ from repro.workloads.profile import BenchmarkProfile
 __all__ = [
     "SCHEMA_VERSION",
     "STORE_ENV",
+    "STORE_SHARDS_ENV",
     "ResultStore",
+    "default_shard_depth",
     "default_store_root",
     "result_from_dict",
     "result_to_dict",
@@ -56,7 +64,27 @@ SCHEMA_VERSION = 1
 #: Environment variable naming the store directory ("off" disables it).
 STORE_ENV = "REPRO_STORE"
 
+#: Environment variable setting the default key-prefix shard depth.
+STORE_SHARDS_ENV = "REPRO_STORE_SHARDS"
+
 _DISABLED_VALUES = ("", "0", "off", "none", "disabled")
+
+_MAX_SHARD_DEPTH = 4
+
+
+def default_shard_depth() -> int:
+    """The shard depth from ``REPRO_STORE_SHARDS``, clamped to [1, 4]."""
+    value = os.environ.get(STORE_SHARDS_ENV)
+    if value is None:
+        return 1
+    try:
+        depth = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{STORE_SHARDS_ENV} must be an integer in [1, {_MAX_SHARD_DEPTH}], "
+            f"got {value!r}"
+        ) from None
+    return max(1, min(_MAX_SHARD_DEPTH, depth))
 
 
 def default_store_root() -> Optional[Path]:
@@ -152,15 +180,43 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
 class ResultStore:
     """File-backed memo of completed runs, keyed by :func:`run_key`."""
 
-    def __init__(self, root: Path) -> None:
+    def __init__(self, root: Path, shard_depth: Optional[int] = None) -> None:
         self.root = Path(root)
+        if shard_depth is None:
+            shard_depth = default_shard_depth()
+        if not 1 <= shard_depth <= _MAX_SHARD_DEPTH:
+            raise ValueError(
+                f"shard_depth must be in [1, {_MAX_SHARD_DEPTH}], "
+                f"got {shard_depth}"
+            )
+        #: Key-prefix directory levels under :attr:`root` (2 hex chars each).
+        self.shard_depth = shard_depth
         self.hits = 0
         self.misses = 0
         #: Entries found damaged and quarantined (renamed ``*.corrupt``).
         self.corrupt_entries = 0
 
+    def _path_at(self, key: str, depth: int) -> Path:
+        path = self.root
+        for level in range(depth):
+            path = path / key[2 * level : 2 * level + 2]
+        return path / f"{key}.json"
+
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self._path_at(key, self.shard_depth)
+
+    def _read(self, key: str) -> "Optional[tuple[Path, str]]":
+        """Entry text at the configured depth, else any other depth."""
+        depths = [self.shard_depth] + [
+            d for d in range(1, _MAX_SHARD_DEPTH + 1) if d != self.shard_depth
+        ]
+        for depth in depths:
+            path = self._path_at(key, depth)
+            try:
+                return path, path.read_text()
+            except OSError:
+                continue
+        return None
 
     def get(self, key: str) -> Optional[RunResult]:
         """The stored result for ``key``, or ``None`` (counts hit/miss).
@@ -170,12 +226,11 @@ class ResultStore:
         ``RuntimeWarning`` is emitted, :attr:`corrupt_entries` is
         bumped, and the lookup counts as a miss.
         """
-        path = self._path(key)
-        try:
-            text = path.read_text()
-        except OSError:
+        found = self._read(key)
+        if found is None:
             self.misses += 1
             return None
+        path, text = found
         try:
             result = result_from_dict(json.loads(text))
         except (ValueError, KeyError, TypeError) as exc:
@@ -220,16 +275,24 @@ class ResultStore:
                 pass
             raise
 
+    def _entries(self):
+        """Every stored entry at any shard depth (skips tmp/corrupt files)."""
+        return (
+            entry
+            for entry in self.root.rglob("*.json")
+            if not entry.name.startswith(".")
+        )
+
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> None:
         """Delete every stored entry (the directory itself survives)."""
         if not self.root.is_dir():
             return
-        for entry in self.root.glob("*/*.json"):
+        for entry in self._entries():
             try:
                 entry.unlink()
             except OSError:

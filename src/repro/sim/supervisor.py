@@ -6,18 +6,21 @@ suite.  The :class:`Supervisor` wraps the same fan-out with the
 guarantees a long sweep needs:
 
 * **per-run wall-clock timeouts** — a run that exceeds its deadline is
-  cancelled by killing the worker pool (running futures cannot be
-  cancelled cooperatively), charging the expired run an attempt and
-  requeueing the innocent in-flight runs without charge;
+  cancelled by the backend (pool teardown or a targeted worker kill),
+  surfaces as a typed :class:`~repro.sim.backends.TaskTimeout`, is
+  charged an attempt, and innocent in-flight runs are requeued without
+  charge;
 * **bounded retries** with exponential backoff and deterministic
   seeded jitter;
-* **BrokenProcessPool recovery** — when a worker dies hard the pool is
-  respawned and every in-flight spec becomes a *suspect* that is
+* **worker-death recovery** — a dead worker surfaces as a typed
+  :class:`~repro.sim.backends.WorkerDeath`.  When the backend can
+  attribute the crash with certainty (a task alone in a process pool,
+  or a leased task in the queue backend) the run is charged an
+  attempt; otherwise every co-flying spec becomes a *suspect* that is
   re-verified solo (one spec in flight at a time), so the actual
-  crasher is identified with certainty and innocents are never charged
-  an attempt;
+  crasher is identified and innocents are never charged;
 * **graceful degradation** — after ``max_pool_restarts`` crash-driven
-  restarts the remaining work runs inline (``jobs=1``) in the parent,
+  backend restarts the remaining work runs inline in the parent,
   where a process-level chaos fault degrades to an exception;
 * **checkpoint/resume** — a :class:`SuiteJournal` (JSON-lines file next
   to the result store) records every completed/failed run key, so an
@@ -29,16 +32,25 @@ guarantees a long sweep needs:
   :class:`~repro.sim.engine.SuiteResult`, the suite JSON artifact, and
   reporting, instead of an exception that destroys the suite.
 
+The supervisor is **backend-agnostic**: it consumes the
+:class:`~repro.sim.backends.ExecutionBackend` contract
+(:mod:`repro.sim.backends`) and never touches ``ProcessPoolExecutor``
+or ``BrokenProcessPool`` directly.  ``backend=`` selects the substrate
+(``inline`` / ``threads`` / ``process`` / ``queue``); the default keeps
+the historical behavior — inline for ``jobs=1``, a process pool above.
+
 Supervision is observable: the supervisor owns a telemetry collector
 restricted to the :data:`~repro.telemetry.events.CAT_FAULT` category and
 bumps ``fault_*`` counters (retries, timeouts, worker crashes, corrupt
 payloads, pool restarts, exhausted cells) in its metrics registry; the
-counter snapshot rides on ``SuiteResult.fault_counters``.
+backend's ``backend_*`` counters (steals, worker deaths, queue depth)
+are folded in at the end of a sweep, and the combined snapshot rides on
+``SuiteResult.fault_counters``.
 
-Timeouts require pool execution: inline runs (``jobs=1`` or degraded
-mode) are not preemptible, so their timeouts are recorded post-hoc but
-cannot interrupt a genuinely hung simulation.  Run chaos/hang workloads
-with ``jobs >= 2``.
+Timeouts require a preemptible backend: inline/thread runs are not
+preemptible, so their timeouts are recorded post-hoc but cannot
+interrupt a genuinely hung simulation.  Run chaos/hang workloads with
+``jobs >= 2`` (process) or the queue backend.
 """
 
 from __future__ import annotations
@@ -50,26 +62,29 @@ import os
 import random
 import sys
 import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
-from concurrent.futures import wait as futures_wait
-from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import SimulationHangError
 from repro.common.stats import StatSet
 from repro.common.types import SchemeKind
-from repro.sim import chaos as chaos_mod
+from repro.sim.backends.base import (
+    CorruptResultError,
+    ExecutionBackend,
+    TaskTimeout,
+    WorkerDeath,
+    error_envelope as _error_payload,
+    parse_envelope as _parse_payload,
+    resolve_backend,
+    run_task as _supervised_execute,
+)
 from repro.sim.engine import (
     RunRecord,
     RunSpec,
-    _execute_spec,
     _progress_line,
     _record,
     resolve_jobs,
 )
-from repro.sim.runner import RunResult, TraceCache
+from repro.sim.runner import RunResult
 from repro.sim.store import ResultStore
 from repro.telemetry.events import CAT_FAULT, TelemetryCollector, TelemetryConfig
 
@@ -83,19 +98,16 @@ __all__ = [
 ]
 
 
-class CorruptResultError(RuntimeError):
-    """A worker returned a payload that does not validate as a result."""
-
-
 @dataclasses.dataclass(frozen=True)
 class FaultPolicy:
     """How the supervisor reacts to failing runs.
 
     Attributes:
         timeout_s: per-run wall-clock budget; ``None`` disables
-            timeouts.  Enforced by killing the worker pool (running
-            futures cannot be cancelled), so it only applies to pool
-            execution — inline runs are not preemptible.
+            timeouts.  Enforced by the backend's preemption mechanism
+            (pool teardown, targeted worker kill), so it only cancels
+            runs on preemptible backends — inline/thread runs are not
+            preemptible.
         retries: additional attempts after the first failure (total
             attempts = ``retries + 1``).
         backoff_s: base delay before the first retry; doubles per
@@ -105,9 +117,9 @@ class FaultPolicy:
             up to +25%), drawn from a generator seeded with ``seed`` so
             scheduling is reproducible.
         seed: jitter RNG seed.
-        max_pool_restarts: crash-driven pool respawns tolerated before
-            degrading to inline execution (timeout-driven restarts are
-            bounded by per-run retries and do not count).
+        max_pool_restarts: crash-driven backend respawns tolerated
+            before degrading to inline execution (timeout-driven
+            restarts are bounded by per-run retries and do not count).
         degrade_inline: whether to fall back to inline execution after
             ``max_pool_restarts`` is exceeded; when ``False`` the
             remaining runs fail with ``PoolExhaustedError`` records.
@@ -201,7 +213,7 @@ class SuiteJournal:
         """Entries by run key (last write wins; torn lines skipped)."""
         entries: Dict[str, Dict[str, Any]] = {}
         try:
-            text = self.path.read_text()
+            text = self.path.read_text(errors="replace")
         except OSError:
             return entries
         for line in text.splitlines():
@@ -269,59 +281,6 @@ def _validate_result(spec: RunSpec, result: Any) -> RunResult:
     return result
 
 
-def _error_payload(
-    exc: BaseException, wall: float, pid: Optional[int]
-) -> Tuple[Any, ...]:
-    """The structured error envelope a failed attempt reports."""
-    diagnostics = None
-    if isinstance(exc, SimulationHangError):
-        diagnostics = exc.diagnostics()
-    return (
-        "error",
-        type(exc).__name__,
-        str(exc),
-        traceback.format_exc(),
-        diagnostics,
-        wall,
-        pid,
-    )
-
-
-def _supervised_execute(spec: RunSpec, attempt: int) -> Any:
-    """Worker entry point under supervision.
-
-    Unlike the fail-fast worker, exceptions never propagate: the worker
-    reports either ``("ok", result, wall_s, pid)`` or ``("error", type,
-    message, traceback, diagnostics, wall_s, pid)``, so the supervisor
-    always knows which pid ran the spec and what went wrong.  Injected
-    chaos may instead kill the process (crash), sleep past the deadline
-    (hang), or substitute a garbage payload (corrupt).
-    """
-    start = time.perf_counter()
-    pid = os.getpid()
-    try:
-        key = spec.key() if spec.chaos is not None else ""
-        action = chaos_mod.inject(spec.chaos, key, attempt)
-        if action == "corrupt":
-            return chaos_mod.CORRUPT_PAYLOAD
-        result = _execute_spec(spec)
-        return ("ok", result, time.perf_counter() - start, pid)
-    except BaseException as exc:  # noqa: BLE001 - structured error envelope
-        return _error_payload(exc, time.perf_counter() - start, pid)
-
-
-def _parse_payload(payload: Any) -> Tuple[Any, ...]:
-    """Validate a worker payload envelope (corrupt payloads raise)."""
-    if isinstance(payload, tuple) and payload:
-        if payload[0] == "ok" and len(payload) == 4:
-            return payload
-        if payload[0] == "error" and len(payload) == 7:
-            return payload
-    raise CorruptResultError(
-        f"worker returned malformed payload: {type(payload).__name__}"
-    )
-
-
 @dataclasses.dataclass
 class _Pending:
     """Supervisor-side state of one not-yet-settled spec."""
@@ -331,17 +290,23 @@ class _Pending:
     key: Optional[str]
     attempts: int = 0
     eligible_at: float = 0.0
-    solo: bool = False  # suspect after a pool break: verify alone
+    solo: bool = False  # suspect after a worker death: verify alone
     last_error: Optional[Tuple[Any, ...]] = None
 
 
 class Supervisor:
-    """Executes specs with timeouts, retries, and pool recovery.
+    """Executes specs with timeouts, retries, and worker recovery.
 
     The result of :meth:`execute` is ``(results, records, failures)``:
     ``results``/``records`` align with the spec list (``None`` holes for
     failed cells) and ``failures`` holds one :class:`RunFailure` per
     exhausted cell, in spec order.
+
+    ``backend`` selects the execution substrate (a registry name or an
+    :class:`~repro.sim.backends.ExecutionBackend` instance; default:
+    inline for ``jobs=1``, process pool above).  ``observer``, when
+    given, is called with each settled :class:`RunRecord` /
+    :class:`RunFailure` as it lands — the service layer streams these.
     """
 
     def __init__(
@@ -352,12 +317,16 @@ class Supervisor:
         store: Optional[ResultStore] = None,
         journal: Optional[SuiteJournal] = None,
         progress: bool = False,
+        backend: Optional[Any] = None,
+        observer: Optional[Any] = None,
     ) -> None:
         self.policy = policy if policy is not None else FaultPolicy()
         self.jobs = resolve_jobs(jobs)
         self.store = store
         self.journal = journal
         self.progress = progress
+        self.backend = backend
+        self.observer = observer
         self.collector = TelemetryCollector(
             TelemetryConfig(categories=frozenset({CAT_FAULT}))
         )
@@ -370,11 +339,12 @@ class Supervisor:
 
     @property
     def fault_counters(self) -> Dict[str, int]:
-        """Snapshot of the ``fault_*`` / store-corruption counters."""
+        """Snapshot of the ``fault_*`` / ``backend_*`` / store counters."""
         return {
             name: counter.value
             for name, counter in sorted(self.metrics.counters.items())
-            if name.startswith("fault_") or name == "store_corrupt_entries"
+            if name.startswith(("fault_", "backend_"))
+            or name == "store_corrupt_entries"
         }
 
     @property
@@ -395,6 +365,8 @@ class Supervisor:
                 _progress_line(self._done, self._total, record),
                 file=sys.stderr,
             )
+        if self.observer is not None:
+            self.observer(record)
 
     def _emit_failure(self, failure: RunFailure) -> None:
         if self.progress:
@@ -404,6 +376,8 @@ class Supervisor:
                 f"({failure.error_type} after {failure.attempts} attempts)",
                 file=sys.stderr,
             )
+        if self.observer is not None:
+            self.observer(failure)
 
     # -- orchestration -------------------------------------------------
 
@@ -412,11 +386,13 @@ class Supervisor:
     ) -> Tuple[
         List[Optional[RunResult]], List[Optional[RunRecord]], List[RunFailure]
     ]:
-        """Run ``specs`` to a complete outcome (no exception escapes).
+        """Run ``specs`` to a complete outcome (no exception escapes
+        except ``KeyboardInterrupt``, which tears the backend down and
+        re-raises with the journal and store already checkpointed).
 
         Store hits and (on ``resume``) journal replays settle first;
-        the rest fan out across the pool (or inline for ``jobs=1``).
-        Every spec ends as either a result+record or a failure.
+        the rest fan out across the configured backend.  Every spec
+        ends as either a result+record or a failure.
         """
         total = len(specs)
         self._total = total
@@ -470,10 +446,12 @@ class Supervisor:
             pending.append(_Pending(index, spec, key))
 
         if pending:
-            if self.jobs == 1:
-                self._run_inline(pending, results, records, failures)
-            else:
-                self._run_pool(pending, results, records, failures)
+            backend, owned = resolve_backend(
+                self.backend,
+                jobs=self.jobs,
+                workers=min(self.jobs, len(pending)),
+            )
+            self._run_backend(backend, owned, pending, results, records, failures)
 
         for index, spec in enumerate(specs):
             # Backstop for the supervisor's core contract: every spec
@@ -569,129 +547,45 @@ class Supervisor:
             diagnostics=diagnostics,
         )
 
-    # -- inline execution ----------------------------------------------
+    # -- backend execution ---------------------------------------------
 
-    def _run_inline(
+    def _run_backend(
         self,
+        backend: ExecutionBackend,
+        owned: bool,
         pending: List[_Pending],
         results: List[Optional[RunResult]],
         records: List[Optional[RunRecord]],
         failures: Dict[int, RunFailure],
     ) -> None:
-        """Run items in the parent process (``jobs=1`` or degraded).
+        """The backend-agnostic supervision loop.
 
-        Not preemptible: timeouts are recorded after the fact but cannot
-        interrupt a hung run; process-level chaos faults degrade to
-        exceptions (see :mod:`repro.sim.chaos`).
+        Scheduling state: ``ready`` (runnable, spec order), ``verify``
+        (crash suspects, run strictly solo so a second death is certain
+        attribution), ``waiting`` (backing off before a retry), and the
+        ``inflight`` handle map.  All failure semantics flow from the
+        two typed signals — :class:`WorkerDeath` and
+        :class:`TaskTimeout` — plus the payload envelope.
         """
-        cache = TraceCache()
-        current_cell: Optional[Tuple[str, int, int, int]] = None
-        queue: Deque[_Pending] = collections.deque(
-            sorted(pending, key=lambda item: item.index)
-        )
-        while queue:
-            item = queue.popleft()
-            if current_cell not in (None, item.spec.trace_key):
-                cache.clear()
-            current_cell = item.spec.trace_key
-            while True:
-                start = time.perf_counter()
-                try:
-                    key = item.key or (
-                        item.spec.key() if item.spec.chaos is not None else ""
-                    )
-                    action = chaos_mod.inject(item.spec.chaos, key, item.attempts)
-                    if action == "corrupt":
-                        raise CorruptResultError(
-                            "chaos: corrupted payload (inline)"
-                        )
-                    result = _validate_result(
-                        item.spec, _execute_spec(item.spec, cache=cache)
-                    )
-                except Exception as exc:  # noqa: BLE001 - contained per-cell
-                    wall = time.perf_counter() - start
-                    error = _error_payload(exc, wall, os.getpid())
-                    if isinstance(exc, CorruptResultError):
-                        self._fault("corrupt_payload", item, "fault_corrupt_payloads")
-                    timeout = self.policy.timeout_s
-                    if timeout is not None and wall > timeout:
-                        self._fault("timeout", item, "fault_timeouts")
-                    if self._charge_attempt(
-                        item, error, time.monotonic(), failures, sleep_inline=True
-                    ):
-                        continue
-                    break
-                wall = time.perf_counter() - start
-                self._settle_success(item, result, wall, results, records)
-                break
-
-    # -- pool execution ------------------------------------------------
-
-    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=workers, initializer=chaos_mod.mark_worker_process
-        )
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Terminate every worker and tear the pool down without joining
-        hung processes indefinitely."""
-        procs = list((getattr(pool, "_processes", None) or {}).values())
-        for proc in procs:
-            try:
-                proc.terminate()
-            except Exception:  # pragma: no cover - already dead
-                pass
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # pragma: no cover - defensive
-            pass
-        for proc in procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - stuck in kernel
-                try:
-                    proc.kill()
-                except Exception:
-                    pass
-
-    def _run_pool(
-        self,
-        pending: List[_Pending],
-        results: List[Optional[RunResult]],
-        records: List[Optional[RunRecord]],
-        failures: Dict[int, RunFailure],
-    ) -> None:
         policy = self.policy
-        workers = min(self.jobs, len(pending))
         ready: Deque[_Pending] = collections.deque(
             sorted(pending, key=lambda item: item.index)
         )
         verify: Deque[_Pending] = collections.deque()  # suspects, run solo
         waiting: List[_Pending] = []  # backing off
-        inflight: Dict[Any, Tuple[_Pending, Optional[float]]] = {}
-        pool = self._new_pool(workers)
-        pool_breaks = 0
+        inflight: Dict[Any, _Pending] = {}
+        last_restarts = 0
 
-        def submit(item: _Pending) -> bool:
-            """Submit one item; False when the pool is already broken."""
-            try:
-                future = pool.submit(
-                    _supervised_execute, item.spec, item.attempts
-                )
-            except (BrokenProcessPool, RuntimeError):
-                return False
-            deadline = None
-            if policy.timeout_s is not None:
-                deadline = time.monotonic() + policy.timeout_s
-            inflight[future] = (item, deadline)
-            return True
-
-        def respawn() -> None:
-            nonlocal pool
-            self._kill_pool(pool)
-            pool = self._new_pool(workers)
+        def sync_restarts() -> int:
+            nonlocal last_restarts
+            health = backend.health()
+            while last_restarts < health.restarts:
+                last_restarts += 1
+                self._metric_pool_restart()
+            return health.crash_restarts
 
         try:
+            backend.start()
             while ready or waiting or inflight or verify:
                 now = time.monotonic()
                 still_waiting: List[_Pending] = []
@@ -702,23 +596,24 @@ class Supervisor:
                         still_waiting.append(item)
                 waiting = still_waiting
 
-                broken = False
                 if verify and not inflight:
-                    # Serial verification: one suspect alone in the pool,
-                    # so a crash identifies the culprit with certainty.
+                    # Serial verification: one suspect alone on the
+                    # backend, so a death identifies the culprit with
+                    # certainty.
                     suspect = verify.popleft()
-                    if not submit(suspect):
-                        verify.appendleft(suspect)  # retry after respawn
-                        broken = True
+                    handle = backend.submit(
+                        suspect.spec, suspect.attempts, policy.timeout_s
+                    )
+                    inflight[handle] = suspect
                 elif not verify:
-                    while ready and len(inflight) < workers:
+                    while ready and len(inflight) < backend.capacity():
                         item = ready.popleft()
-                        if not submit(item):
-                            ready.appendleft(item)  # retry after respawn
-                            broken = True
-                            break
+                        handle = backend.submit(
+                            item.spec, item.attempts, policy.timeout_s
+                        )
+                        inflight[handle] = item
 
-                if not inflight and not broken:
+                if not inflight:
                     if waiting:
                         next_at = min(item.eligible_at for item in waiting)
                         delay = max(0.0, next_at - time.monotonic())
@@ -726,32 +621,43 @@ class Supervisor:
                             time.sleep(delay)
                     continue
 
-                done: set = set()
-                if inflight and not broken:
-                    timeout = None
-                    marks = [
-                        deadline
-                        for (_, deadline) in inflight.values()
-                        if deadline is not None
-                    ]
-                    marks.extend(item.eligible_at for item in waiting)
-                    if marks:
-                        timeout = max(0.0, min(marks) - time.monotonic())
-                    done, _ = futures_wait(
-                        set(inflight), timeout=timeout,
-                        return_when=FIRST_COMPLETED,
+                timeout = None
+                if waiting:
+                    timeout = max(
+                        0.0,
+                        min(item.eligible_at for item in waiting)
+                        - time.monotonic(),
                     )
+                settled = backend.poll(timeout)
 
                 now = time.monotonic()
-                for future in done:
-                    item, _ = inflight.pop(future)
+                for handle in settled:
+                    item = inflight.pop(handle)
                     try:
-                        payload = future.result()
-                    except (BrokenProcessPool, OSError):
-                        broken = True
-                        if item.solo and not inflight:
-                            # Ran alone: this spec provably crashed its
-                            # worker — charge the attempt.
+                        payload = handle.outcome()
+                    except TaskTimeout:
+                        self._fault("timeout", item, "fault_timeouts")
+                        error = (
+                            "error",
+                            "TimeoutError",
+                            f"run exceeded {policy.timeout_s:.3f}s "
+                            f"wall-clock budget",
+                            "",
+                            None,
+                            policy.timeout_s,
+                            None,
+                        )
+                        if self._charge_attempt(item, error, now, failures):
+                            waiting.append(item)
+                        continue
+                    except WorkerDeath as death:
+                        if death.collateral:
+                            # The backend killed this worker on purpose
+                            # (cancelling someone else): innocent,
+                            # requeue uncharged.
+                            ready.appendleft(item)
+                            continue
+                        if death.certain:
                             self._fault(
                                 "worker_crash", item, "fault_worker_crashes"
                             )
@@ -762,7 +668,7 @@ class Supervisor:
                                 "",
                                 None,
                                 0.0,
-                                None,
+                                death.pid,
                             )
                             if self._charge_attempt(item, error, now, failures):
                                 waiting.append(item)
@@ -785,67 +691,58 @@ class Supervisor:
                             "corrupt_payload", item, "fault_corrupt_payloads"
                         )
                         error = _error_payload(exc, 0.0, None)
+                    if (
+                        not backend.preemptible
+                        and policy.timeout_s is not None
+                        and isinstance(error[5], (int, float))
+                        and error[5] > policy.timeout_s
+                    ):
+                        # Non-preemptible backends cannot cancel a run;
+                        # record the blown budget post-hoc.
+                        self._fault("timeout", item, "fault_timeouts")
                     if self._charge_attempt(item, error, now, failures):
                         waiting.append(item)
 
-                if broken:
-                    # Anything still in flight rode the broken pool down:
-                    # requeue as suspects, uncharged, for solo verification.
-                    for future, (item, _) in list(inflight.items()):
-                        item.solo = True
-                        verify.append(item)
+                if (
+                    sync_restarts() > policy.max_pool_restarts
+                    and (ready or waiting or verify or inflight)
+                ):
+                    remaining = (
+                        list(verify)
+                        + list(inflight.values())
+                        + list(ready)
+                        + waiting
+                    )
                     inflight.clear()
-                    pool_breaks += 1
-                    self._metric_pool_restart()
-                    if pool_breaks > policy.max_pool_restarts:
-                        self._kill_pool(pool)
-                        self._degrade(
-                            list(verify) + list(ready) + waiting,
-                            results,
-                            records,
-                            failures,
-                        )
-                        return
-                    respawn()
-                    continue
+                    self._sync_backend_counters(backend)
+                    backend.shutdown(wait=False)
+                    self._degrade(remaining, results, records, failures)
+                    return
+            sync_restarts()
+        except BaseException:
+            # Ctrl-C (or a fatal error): every settled record has
+            # already been journaled and stored, so tear the backend
+            # down without waiting and leave a resumable sweep behind.
+            self._sync_backend_counters(backend)
+            if owned:
+                backend.shutdown(wait=False)
+            raise
+        self._sync_backend_counters(backend)
+        if owned:
+            backend.shutdown()
 
-                # Expired deadlines: the pool offers no per-task kill, so
-                # cancel by restarting it; innocents requeue uncharged.
-                expired = [
-                    (future, item)
-                    for future, (item, deadline) in inflight.items()
-                    if deadline is not None and deadline <= now
-                ]
-                if expired:
-                    victims = [
-                        item
-                        for future, (item, deadline) in inflight.items()
-                        if not any(future is exp for exp, _ in expired)
-                    ]
-                    inflight.clear()
-                    for _, item in expired:
-                        self._fault("timeout", item, "fault_timeouts")
-                        error = (
-                            "error",
-                            "TimeoutError",
-                            f"run exceeded {policy.timeout_s:.3f}s "
-                            f"wall-clock budget",
-                            "",
-                            None,
-                            policy.timeout_s,
-                            None,
-                        )
-                        if self._charge_attempt(item, error, now, failures):
-                            waiting.append(item)
-                    for item in victims:
-                        ready.appendleft(item)
-                    self._metric_pool_restart()
-                    respawn()
-        finally:
-            self._kill_pool(pool)
+    def _sync_backend_counters(self, backend: ExecutionBackend) -> None:
+        """Fold the backend's ``backend_*`` counters into fault metrics."""
+        try:
+            health = backend.health()
+        except Exception:  # pragma: no cover - introspection best-effort
+            return
+        for name, value in sorted(health.counters.items()):
+            if name.startswith("backend_"):
+                self.metrics.counter(name).set(value)
 
     def _metric_pool_restart(self) -> None:
-        """Count one pool teardown/respawn."""
+        """Count one backend worker/pool teardown-respawn."""
         self.metrics.counter("fault_pool_restarts").inc()
         self.collector.emit(CAT_FAULT, "pool_restart")
 
@@ -860,7 +757,13 @@ class Supervisor:
         self.metrics.counter("fault_degraded").inc()
         self.collector.emit(CAT_FAULT, "degrade", value=len(remaining))
         if self.policy.degrade_inline:
-            self._run_inline(remaining, results, records, failures)
+            from repro.sim.backends.local import InlineBackend
+
+            for item in remaining:
+                item.solo = False  # inline cannot crash: no solo verify
+            self._run_backend(
+                InlineBackend(), True, remaining, results, records, failures
+            )
             return
         for item in sorted(remaining, key=lambda it: it.index):
             item.attempts = max(item.attempts, self.policy.retries + 1)

@@ -1,0 +1,271 @@
+"""Tests for the pluggable execution-backend seam.
+
+Parity tests run the same specs through every backend and demand
+bit-identical simulation results — the simulation outcome is a pure
+function of the RunSpec, so only wall-clock bookkeeping may differ.
+Queue tests spawn real detached worker processes; lengths are kept tiny
+so each run is milliseconds of simulation.
+"""
+
+import os
+
+import pytest
+
+from repro.common import SchemeKind
+from repro.sim import RunConfig
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    CorruptResultError,
+    InlineBackend,
+    ProcessBackend,
+    QueueBackend,
+    TaskFailedError,
+    ThreadBackend,
+    WorkerDeath,
+    resolve_backend,
+)
+from repro.sim.backends.base import (
+    TaskHandle,
+    default_backend_name,
+    parse_envelope,
+)
+from repro.sim.chaos import CORRUPT_PAYLOAD, ChaosConfig
+from repro.sim.engine import RunSpec, execute_specs
+from repro.sim.store import ResultStore
+from repro.sim.supervisor import FaultPolicy, SuiteJournal, Supervisor
+from repro.workloads import get_benchmark
+
+LENGTH = 400
+SCHEMES = (SchemeKind.UNSAFE, SchemeKind.STT)
+
+
+def _specs(config=None, names=("mcf", "gcc")):
+    config = config or RunConfig()
+    return [
+        RunSpec.build(get_benchmark("spec2017", name), scheme, LENGTH, config)
+        for name in names
+        for scheme in SCHEMES
+    ]
+
+
+class TestSeam:
+    def test_backend_names(self):
+        assert BACKEND_NAMES == ("inline", "threads", "process", "queue")
+
+    def test_default_backend_tracks_jobs(self):
+        assert default_backend_name(1) == "inline"
+        assert default_backend_name(4) == "process"
+
+    def test_resolve_by_name(self):
+        backend, owned = resolve_backend("threads", workers=2)
+        assert isinstance(backend, ThreadBackend)
+        assert owned
+
+    def test_resolve_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        backend, owned = resolve_backend(None, jobs=1)
+        assert isinstance(backend, ThreadBackend)
+        assert owned
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        backend, _ = resolve_backend("inline", jobs=4)
+        assert isinstance(backend, InlineBackend)
+
+    def test_instance_passthrough_is_not_owned(self):
+        instance = InlineBackend()
+        backend, owned = resolve_backend(instance)
+        assert backend is instance
+        assert not owned
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend("carrier-pigeon")
+
+    def test_handle_settles_exactly_once(self):
+        spec = _specs()[0]
+        handle = TaskHandle(spec=spec, attempt=0, token=1)
+        handle.settle_payload(("ok", None, 0.0, 0))
+        with pytest.raises(RuntimeError):
+            handle.settle_payload(("ok", None, 0.0, 0))
+        with pytest.raises(RuntimeError):
+            handle.settle_error(WorkerDeath("late"))
+
+    def test_parse_envelope_rejects_corruption(self):
+        with pytest.raises(CorruptResultError):
+            parse_envelope(CORRUPT_PAYLOAD)
+        with pytest.raises(CorruptResultError):
+            parse_envelope(("weird", 1, 2))
+        with pytest.raises(CorruptResultError):
+            parse_envelope(None)
+
+
+class TestParity:
+    """Every backend must reproduce the inline backend's grid exactly."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        results, records = execute_specs(_specs(), jobs=1, backend="inline")
+        return results
+
+    @pytest.mark.parametrize("name", ["threads", "process", "queue"])
+    def test_backend_matches_inline(self, name, reference):
+        results, records = execute_specs(_specs(), jobs=2, backend=name)
+        assert len(results) == len(reference)
+        for ours, theirs in zip(results, reference):
+            assert ours.cycles == theirs.cycles
+            assert ours.stats.as_dict() == theirs.stats.as_dict()
+        assert all(record.wall_time_s >= 0.0 for record in records)
+
+    def test_supervised_queue_matches_inline(self, reference, tmp_path):
+        supervisor = Supervisor(
+            FaultPolicy(),
+            jobs=2,
+            store=ResultStore(tmp_path / "store"),
+            backend="queue",
+        )
+        results, records, failures = supervisor.execute(_specs())
+        assert not failures
+        for ours, theirs in zip(results, reference):
+            assert ours.cycles == theirs.cycles
+            assert ours.stats.as_dict() == theirs.stats.as_dict()
+
+
+class TestBackendHealth:
+    def test_inline_health(self):
+        with InlineBackend() as backend:
+            health = backend.health()
+        assert health.name == "inline"
+        assert health.workers == 1
+        assert health.as_dict()["alive_workers"] == 1
+
+    def test_queue_health_counts_live_workers(self):
+        backend = QueueBackend(workers=2)
+        backend.start()
+        try:
+            health = backend.health()
+            assert health.name == "queue"
+            assert health.workers == 2
+        finally:
+            backend.shutdown(wait=False)
+
+    def test_engine_env_backend_selection(self, monkeypatch):
+        # REPRO_BACKEND forces even single-job suites off the fast path.
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        results, records = execute_specs(_specs(names=("mcf",)), jobs=1)
+        assert all(result is not None for result in results)
+
+
+class TestQueueChaos:
+    """The work-stealing backend must survive worker kills without losing
+    or duplicating any run."""
+
+    def test_crash_faults_yield_complete_attributed_outcome(self, tmp_path):
+        # seed=0 condemns three (cell, attempt) pairs on attempts 0/1;
+        # faulty_attempts=2 leaves attempt 2 clean, so with retries=3
+        # every cell must recover despite real worker deaths.
+        chaos = ChaosConfig(seed=0, crash=0.35, faulty_attempts=2)
+        specs = _specs(RunConfig(chaos=chaos))
+        supervisor = Supervisor(
+            FaultPolicy(retries=3),
+            jobs=2,
+            store=ResultStore(tmp_path / "store"),
+            backend="queue",
+        )
+        results, records, failures = supervisor.execute(specs)
+        # Zero lost runs: every spec is a result or an attributed failure.
+        settled = sum(1 for result in results if result is not None)
+        assert settled + len(failures) == len(specs)
+        # Zero duplicated runs: one record per succeeding spec.
+        assert sum(1 for record in records if record is not None) == settled
+        # Transient faults: every cell recovered within its retries.
+        assert not failures
+        # Workers really died, and the supervisor charged the crashes.
+        assert supervisor.fault_counters.get("fault_worker_crashes", 0) > 0
+
+    def test_corrupt_payloads_are_quarantined_not_fatal(self, tmp_path):
+        chaos = ChaosConfig(seed=5, corrupt=0.5, faulty_attempts=1)
+        specs = _specs(RunConfig(chaos=chaos))
+        supervisor = Supervisor(
+            FaultPolicy(retries=2),
+            jobs=2,
+            store=ResultStore(tmp_path / "store"),
+            backend="queue",
+        )
+        results, records, failures = supervisor.execute(specs)
+        assert sum(1 for r in results if r is not None) + len(failures) == len(
+            specs
+        )
+
+
+class TestEngineFailFast:
+    def test_error_envelope_raises_task_failed(self):
+        chaos = ChaosConfig(seed=3, oom=1.0)
+        specs = _specs(RunConfig(chaos=chaos), names=("mcf",))
+        with pytest.raises(TaskFailedError, match="MemoryError"):
+            execute_specs(specs, jobs=2, backend="threads")
+
+
+class TestKeyboardInterrupt:
+    def test_engine_interrupt_tears_down_owned_backend(self, monkeypatch):
+        import repro.sim.backends.local as local_mod
+
+        real = local_mod.run_task
+        calls = {"n": 0}
+
+        def flaky(spec, attempt=0, cache=None, reraise=()):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return real(spec, attempt, cache=cache, reraise=reraise)
+
+        monkeypatch.setattr(local_mod, "run_task", flaky)
+        with pytest.raises(KeyboardInterrupt):
+            execute_specs(_specs(), jobs=1, backend="inline")
+
+    def test_supervisor_interrupt_leaves_resumable_journal(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sim.backends.local as local_mod
+
+        specs = _specs()
+        journal = SuiteJournal(tmp_path / "journal.jsonl")
+        store = ResultStore(tmp_path / "store")
+        real = local_mod.run_task
+        calls = {"n": 0}
+
+        def flaky(spec, attempt=0, cache=None, reraise=()):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return real(spec, attempt, cache=cache, reraise=reraise)
+
+        monkeypatch.setattr(local_mod, "run_task", flaky)
+        supervisor = Supervisor(
+            FaultPolicy(),
+            jobs=1,
+            store=store,
+            journal=journal,
+            backend="inline",
+        )
+        with pytest.raises(KeyboardInterrupt):
+            supervisor.execute(specs)
+        # The two runs that finished before Ctrl-C are checkpointed.
+        checkpointed = journal.load()
+        assert len(checkpointed) == 2
+        assert all(e["status"] == "done" for e in checkpointed.values())
+
+        # A --resume sweep replays them and only simulates the rest.
+        monkeypatch.setattr(local_mod, "run_task", real)
+        resumed = Supervisor(
+            FaultPolicy(),
+            jobs=1,
+            store=ResultStore(tmp_path / "store"),
+            journal=journal,
+            backend="inline",
+        )
+        results, records, failures = resumed.execute(specs, resume=True)
+        assert not failures
+        assert all(result is not None for result in results)
+        replayed = sum(1 for record in records if record.from_store)
+        assert replayed >= 2

@@ -93,6 +93,38 @@ class TestSuite:
             main(["suite", "spec2017", "--length", "500", "--schemes", "unsafe"])
 
 
+class TestBackendFlag:
+    def test_run_accepts_backend(self, capsys):
+        code = main(
+            ["run", "one", "spec2017/gcc", "--length", "600",
+             "--schemes", "unsafe,stt", "--backend", "threads",
+             "--no-store"]
+        )
+        assert code == 0
+        assert "unsafe" in capsys.readouterr().out
+
+    def test_unknown_backend_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "one", "spec2017/gcc", "--backend", "abacus"])
+
+    def test_negative_jobs_exits_cleanly(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "one", "spec2017/gcc", "--jobs", "-2"])
+        assert "jobs must be >= 0" in str(exc_info.value)
+
+    def test_serve_parser_wires_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--backend", "queue", "--jobs", "2"]
+        )
+        assert args.port == 9000
+        assert args.backend == "queue"
+        assert args.jobs == 2
+        assert args.max_concurrent == 1
+        assert args.host == "127.0.0.1"
+
+
 class TestRobustnessFlags:
     def test_chaos_suite_completes_and_reports_failures(
         self, capsys, tmp_path, monkeypatch

@@ -46,6 +46,26 @@ class TestResolveJobs:
         with pytest.raises(ValueError):
             resolve_jobs()
 
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_negative_argument_raises(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_jobs(-4)
+
+    def test_negative_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-1")
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_jobs()
+
+    def test_argument_beats_negative_env(self, monkeypatch):
+        # A valid explicit argument must not even look at a bad env var.
+        monkeypatch.setenv("REPRO_JOBS", "-1")
+        assert resolve_jobs(2) == 2
+
 
 class TestDeterminism:
     def test_jobs1_and_jobs4_identical(self):

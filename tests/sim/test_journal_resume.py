@@ -96,6 +96,49 @@ class TestSuiteJournal:
         journal.record_done("ab" * 32, _record())
         assert set(journal.load()) == {"ab" * 32}
 
+    def test_binary_garbage_bytes_are_tolerated(self, tmp_path):
+        # A disk-level tear can leave non-UTF8 bytes, not just cut JSON;
+        # load() must still harvest every intact line around them.
+        journal = SuiteJournal(tmp_path / "journal.jsonl")
+        journal.record_done("ab" * 32, _record())
+        with open(journal.path, "ab") as handle:
+            handle.write(b'\x80\xfe\x00garbage\xff\n')
+        journal.record_done("cd" * 32, _record())
+        entries = journal.load()
+        assert set(entries) == {"ab" * 32, "cd" * 32}
+
+    def test_resume_survives_corrupt_journal_tail(self, tmp_path):
+        # End-to-end: a sweep checkpointed, the journal tail torn AND
+        # polluted with binary garbage, then resumed -- the intact
+        # checkpoints replay, the rest re-run, nothing crashes.
+        from repro.sim.supervisor import Supervisor
+
+        store = ResultStore(tmp_path / "store")
+        journal = SuiteJournal(tmp_path / "journal.jsonl")
+        specs = [
+            RunSpec.build(profile, scheme, LENGTH, RunConfig())
+            for profile in _profiles()
+            for scheme in SCHEMES
+        ]
+        first = Supervisor(
+            FaultPolicy(), jobs=1, store=store, journal=journal
+        )
+        results, records, failures = first.execute(specs)
+        assert not failures
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"key": "ef", "status"')  # torn final line
+            handle.write(b'\xde\xad\xbe\xef\n')  # binary garbage
+        resumed = Supervisor(
+            FaultPolicy(), jobs=1, store=store, journal=journal
+        )
+        r_results, r_records, r_failures = resumed.execute(
+            specs, resume=True
+        )
+        assert not r_failures
+        assert all(record.from_store for record in r_records)
+        for before, after in zip(results, r_results):
+            assert before.cycles == after.cycles
+
     def test_clear_removes_file(self, tmp_path):
         journal = SuiteJournal(tmp_path / "journal.jsonl")
         journal.record_done("ab" * 32, _record())

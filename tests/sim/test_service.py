@@ -1,0 +1,180 @@
+"""Tests for the async sweep service and its repro.api HTTP client.
+
+Each test boots a real asyncio HTTP server on an ephemeral port in a
+daemon thread and drives it through the public client helpers
+(``submit_suite`` / ``poll`` / ``result``), so the wire format is
+exercised end to end.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import RunRequest, poll, result, submit_suite
+from repro.sim.engine import SuiteResult
+from repro.sim.service import SweepService, _serve_async
+
+
+@pytest.fixture
+def server(monkeypatch):
+    """A running sweep service; yields its base URL."""
+    monkeypatch.setenv("REPRO_STORE", "off")
+    service = SweepService(jobs=1, backend="inline", store=False)
+    ready = threading.Event()
+    bound = []
+    loop_holder = {}
+
+    def run():
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(
+                _serve_async(service, "127.0.0.1", 0, ready=ready, bound=bound)
+            )
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    host, port = bound[0]
+    yield f"http://{host}:{port}"
+    loop = loop_holder.get("loop")
+    if loop is not None and loop.is_running():
+        loop.call_soon_threadsafe(
+            lambda: [task.cancel() for task in asyncio.all_tasks(loop)]
+        )
+    service.close()
+
+
+def _requests():
+    return [
+        RunRequest("spec2017/mcf", scheme, 300)
+        for scheme in ("unsafe", "stt", "stt+recon")
+    ]
+
+
+class TestRoundTrip:
+    def test_submit_poll_result(self, server):
+        job = submit_suite(_requests(), url=server)
+        assert job.startswith("job-")
+        suite = result(job, url=server, timeout_s=120)
+        assert isinstance(suite, SuiteResult)
+        assert len(suite.records) == 3
+        assert not suite.failures
+        # The wire payload is the canonical SuiteResult JSON: it must
+        # survive a local re-serialization round trip bit-identically.
+        again = SuiteResult.from_json(suite.to_json())
+        assert {k: v.cycles for k, v in again.items()} == {
+            k: v.cycles for k, v in suite.items()
+        }
+        status = poll(job, url=server)
+        assert status["status"] == "done"
+        assert status["records"] == 3
+        assert status["failures"] == 0
+
+    def test_supervised_submit(self, server):
+        job = submit_suite(
+            _requests()[:2], url=server, supervise=True, backend="threads"
+        )
+        suite = result(job, url=server, timeout_s=120)
+        assert len(suite.records) == 2
+
+    def test_events_stream_is_ndjson(self, server):
+        job = submit_suite(_requests(), url=server)
+        result(job, url=server, timeout_s=120)  # wait for completion
+        with urllib.request.urlopen(
+            f"{server}/v1/jobs/{job}/events", timeout=30
+        ) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            events = [
+                json.loads(line)
+                for line in response.read().decode("utf-8").splitlines()
+            ]
+        kinds = [event["type"] for event in events]
+        assert kinds.count("record") == 3
+        assert kinds[-1] == "status"
+        assert events[-1]["status"] == "done"
+        assert [event["seq"] for event in events] == list(range(len(events)))
+        # Record events carry the engine record fields.
+        record = next(e for e in events if e["type"] == "record")["record"]
+        assert {"bench", "scheme", "wall_time_s"} <= set(record)
+
+
+class TestJobStates:
+    def test_result_conflict_while_running(self, server, monkeypatch):
+        import repro.api as api_mod
+
+        gate = threading.Event()
+        real = api_mod.run_suite
+
+        def gated(*args, **kwargs):
+            gate.wait(30)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(api_mod, "run_suite", gated)
+        job = submit_suite(_requests()[:1], url=server)
+        with pytest.raises(RuntimeError, match="not ready"):
+            result(job, url=server, wait=False)
+        assert poll(job, url=server)["status"] in ("queued", "running")
+        gate.set()
+        suite = result(job, url=server, timeout_s=120)
+        assert len(suite.records) == 1
+
+    def test_failed_job_reports_error(self, server, monkeypatch):
+        import repro.api as api_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(api_mod, "run_suite", boom)
+        job = submit_suite(_requests()[:1], url=server)
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            result(job, url=server, timeout_s=30)
+        assert poll(job, url=server)["status"] == "failed"
+
+
+class TestValidation:
+    def test_unknown_benchmark_is_rejected_at_submit(self, server):
+        with pytest.raises(RuntimeError, match="unknown benchmark"):
+            submit_suite(
+                [RunRequest("spec2017/not-a-bench", "stt", 300)], url=server
+            )
+
+    def test_unknown_backend_is_rejected_at_submit(self, server):
+        with pytest.raises(RuntimeError, match="unknown backend"):
+            submit_suite(_requests()[:1], url=server, backend="abacus")
+
+    def test_empty_requests_rejected(self, server):
+        with pytest.raises(RuntimeError, match="non-empty"):
+            submit_suite([], url=server)
+
+    def test_config_does_not_serialize(self, server):
+        from repro.sim.config import RunConfig
+
+        with pytest.raises(ValueError, match="cannot be sent over HTTP"):
+            submit_suite(
+                [RunRequest("spec2017/mcf", "stt", 300, config=RunConfig())],
+                url=server,
+            )
+
+    def test_unknown_job_404(self, server):
+        with pytest.raises(RuntimeError, match="no such job"):
+            poll("job-9999", url=server)
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(f"{server}/v2/nothing", timeout=10)
+        assert exc_info.value.code == 404
+
+    def test_health(self, server):
+        with urllib.request.urlopen(f"{server}/v1/health", timeout=10) as resp:
+            payload = json.loads(resp.read())
+        assert payload["status"] == "ok"

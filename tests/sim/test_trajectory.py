@@ -1,0 +1,112 @@
+"""Tests for the bench-trajectory aggregator (CI perf/safety history)."""
+
+import json
+
+import pytest
+
+from repro.sim.trajectory import (
+    TRAJECTORY_NAME,
+    aggregate_point,
+    load_trajectory,
+    update_trajectory,
+)
+
+
+def _write_bench_files(results_dir):
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "BENCH_hotpath.json").write_text(
+        json.dumps(
+            {
+                "length": 20000,
+                "cells": {
+                    "spec2017/mcf/unsafe": {
+                        "legacy_uops_per_sec": 40000,
+                        "vector_uops_per_sec": 60000,
+                        "speedup": 1.5,
+                        "phases": {"dispatch": 0.1},
+                    },
+                    "spec2017/mcf/stt+recon": {
+                        "legacy_uops_per_sec": 30000,
+                        "vector_uops_per_sec": 45000,
+                        "speedup": 1.5,
+                        "phases": {"dispatch": 0.1},
+                    },
+                },
+            }
+        )
+    )
+    (results_dir / "BENCH_gadgets.json").write_text(
+        json.dumps(
+            {
+                "cells": [
+                    {"verdict": "leak", "ok": True},
+                    {"verdict": "protected", "ok": True},
+                    {"verdict": "protected", "ok": False},
+                ]
+            }
+        )
+    )
+
+
+class TestAggregatePoint:
+    def test_summarizes_hotpath_and_gadgets(self, tmp_path):
+        _write_bench_files(tmp_path)
+        point = aggregate_point(tmp_path, sha="abc123", timestamp=5.0)
+        assert point["sha"] == "abc123"
+        assert point["timestamp"] == 5.0
+        assert point["sources"] == [
+            "BENCH_gadgets.json",
+            "BENCH_hotpath.json",
+        ]
+        hotpath = point["hotpath"]
+        assert hotpath["mean_vector_uops_per_sec"] == 52500
+        assert hotpath["geomean_speedup"] == 1.5
+        # Per-cell phases are deliberately dropped: the trajectory keeps
+        # the throughput headline, not the whole profile.
+        assert "phases" not in hotpath["cells"]["spec2017/mcf/unsafe"]
+        assert point["gadgets"] == {
+            "cells": 3,
+            "ok": 2,
+            "verdicts": {"leak": 1, "protected": 2},
+        }
+
+    def test_torn_artifact_is_skipped_not_fatal(self, tmp_path):
+        _write_bench_files(tmp_path)
+        (tmp_path / "BENCH_hotpath.json").write_text('{"cells": {tor')
+        point = aggregate_point(tmp_path, sha="abc", timestamp=0.0)
+        assert point["skipped"] == ["BENCH_hotpath.json"]
+        assert "hotpath" not in point
+        assert point["gadgets"]["cells"] == 3
+
+
+class TestUpdateTrajectory:
+    def test_appends_points_across_shas(self, tmp_path):
+        _write_bench_files(tmp_path)
+        out = update_trajectory(tmp_path, sha="aaa", timestamp=1.0)
+        assert out.name == TRAJECTORY_NAME
+        update_trajectory(tmp_path, sha="bbb", timestamp=2.0)
+        trajectory = load_trajectory(out)
+        assert [p["sha"] for p in trajectory["points"]] == ["aaa", "bbb"]
+
+    def test_same_sha_replaces_instead_of_duplicating(self, tmp_path):
+        _write_bench_files(tmp_path)
+        update_trajectory(tmp_path, sha="aaa", timestamp=1.0)
+        out = update_trajectory(tmp_path, sha="aaa", timestamp=2.0)
+        trajectory = load_trajectory(out)
+        assert len(trajectory["points"]) == 1
+        assert trajectory["points"][0]["timestamp"] == 2.0
+
+    def test_trajectory_file_is_not_reaggregated(self, tmp_path):
+        # The output file matches BENCH_*.json but must never be
+        # consumed as an input on the next run.
+        _write_bench_files(tmp_path)
+        update_trajectory(tmp_path, sha="aaa", timestamp=1.0)
+        point = aggregate_point(tmp_path, sha="bbb", timestamp=2.0)
+        assert TRAJECTORY_NAME not in point["sources"]
+
+    def test_torn_trajectory_file_starts_fresh(self, tmp_path):
+        _write_bench_files(tmp_path)
+        out = tmp_path / TRAJECTORY_NAME
+        out.write_text('{"points": tor')
+        update_trajectory(tmp_path, sha="aaa", timestamp=1.0)
+        assert len(load_trajectory(out)["points"]) == 1
