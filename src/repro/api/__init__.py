@@ -71,6 +71,7 @@ __all__ = [
     "RunRequest",
     "RunResult",
     "SchemeKind",
+    "ServiceUnavailableError",
     "SuiteResult",
     "TelemetryConfig",
     "Verdict",
@@ -247,6 +248,8 @@ def run_suite(
     progress: bool = False,
     backend: Optional[object] = None,
     observer: Optional[object] = None,
+    journal: Optional[object] = None,
+    resume: bool = False,
 ) -> SuiteResult:
     """Run a batch of cells and return the :class:`SuiteResult` grid.
 
@@ -274,6 +277,12 @@ def run_suite(
         observer: callable receiving each settled engine record (and,
             supervised, each :class:`RunFailure`) as it lands — the
             sweep service streams these to HTTP clients.
+        journal: a :class:`~repro.sim.supervisor.SuiteJournal` to
+            checkpoint completed/failed keys into; implies the
+            supervised path.
+        resume: replay the journal before running, so already-settled
+            cells are skipped (completed ones come back via the store);
+            implies the supervised path.
     """
     specs = [request.resolve() for request in requests]
     if telemetry is not None:
@@ -283,7 +292,7 @@ def run_suite(
     start = time.perf_counter()
     failures: List[RunFailure] = []
     fault_counters: Dict[str, int] = {}
-    if supervise:
+    if supervise or journal is not None or resume:
         # Imported lazily: the supervisor pulls in the worker-pool stack.
         from repro.sim.supervisor import Supervisor
 
@@ -292,11 +301,12 @@ def run_suite(
             policy,
             jobs=jobs,
             store=resolved_store,
+            journal=journal,
             progress=progress,
             backend=backend,
             observer=observer,
         )
-        results, records, failures = supervisor.execute(specs)
+        results, records, failures = supervisor.execute(specs, resume=resume)
         fault_counters = supervisor.fault_counters
     else:
         results, records = execute_specs(
@@ -382,23 +392,56 @@ def load_result(key: str) -> Optional[RunResult]:
 
 
 # --- sweep-service client --------------------------------------------------
+class ServiceUnavailableError(ConnectionError):
+    """The ``repro serve`` endpoint could not be reached (or stayed busy).
+
+    Raised by :func:`submit_suite` / :func:`poll` / :func:`result` after
+    their bounded retries are exhausted — on connection-refused, socket
+    timeouts, dropped/truncated responses, and on ``429``/``503``
+    backpressure that outlasts the retry budget.  Carries the service
+    URL and the last underlying error so the failure is actionable
+    instead of a raw :class:`OSError` from ``urllib``.
+    """
+
+    def __init__(self, url: str, attempts: int, last_error: str) -> None:
+        super().__init__(
+            f"sweep service at {url} unavailable after {attempts} "
+            f"attempt(s): {last_error}. Is `repro serve` running there?"
+        )
+        self.url = url
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 def _service_url(url: str, path: str) -> str:
     return url.rstrip("/") + path
 
 
-def _request_json(
+def _service_token(token: Optional[str]) -> Optional[str]:
+    """The auth token to send: explicit argument, else the env var."""
+    if token is not None:
+        return token or None
+    import os
+
+    return os.environ.get("REPRO_SERVE_TOKEN") or None
+
+
+def _request_once(
     url: str,
     *,
     method: str = "GET",
     payload: Optional[Dict[str, object]] = None,
     timeout_s: float = 30.0,
-) -> Tuple[int, bytes]:
-    """One HTTP exchange with the sweep service; returns (status, body)."""
+    token: Optional[str] = None,
+) -> Tuple[int, bytes, Dict[str, str]]:
+    """One HTTP exchange: (status, body, lower-cased response headers)."""
     import urllib.error
     import urllib.request
 
     data = None
     headers = {"Accept": "application/json"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
@@ -407,9 +450,98 @@ def _request_json(
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout_s) as response:
-            return response.status, response.read()
+            return (
+                response.status,
+                response.read(),
+                {k.lower(): v for k, v in response.headers.items()},
+            )
     except urllib.error.HTTPError as exc:
-        return exc.code, exc.read()
+        return (
+            exc.code,
+            exc.read(),
+            {k.lower(): v for k, v in (exc.headers or {}).items()},
+        )
+
+
+#: Backpressure statuses the client waits out (admission 429, degraded 503).
+_BUSY_STATUSES = (429, 503)
+_RETRY_BACKOFF_S = 0.1
+_RETRY_BACKOFF_CAP_S = 2.0
+
+
+def _retry_after(headers: Dict[str, str], fallback: float) -> float:
+    try:
+        value = float(headers.get("retry-after", ""))
+    except ValueError:
+        return fallback
+    return max(0.0, value)
+
+
+def _request_json(
+    url: str,
+    *,
+    method: str = "GET",
+    payload: Optional[Dict[str, object]] = None,
+    timeout_s: float = 30.0,
+    token: Optional[str] = None,
+    retries: int = 4,
+    busy_wait_s: float = 0.0,
+) -> Tuple[int, bytes]:
+    """A resilient HTTP exchange with the sweep service.
+
+    Transport faults — connection refused, socket timeouts, dropped or
+    truncated responses — are retried up to ``retries`` times with
+    exponential backoff and jitter, then raise
+    :class:`ServiceUnavailableError`.  With ``busy_wait_s`` > 0,
+    ``429``/``503`` backpressure responses are also retried (honouring
+    the server's ``Retry-After`` header) until that budget runs out.
+    Any other HTTP status is returned to the caller as ``(status,
+    body)`` — application-level errors are the caller's protocol.
+    """
+    import http.client
+    import random
+    import socket
+    import urllib.error
+
+    deadline = time.monotonic() + busy_wait_s if busy_wait_s > 0 else None
+    attempt = 0
+    last_error = "no attempt made"
+    while True:
+        attempt += 1
+        try:
+            status, body, headers = _request_once(
+                url, method=method, payload=payload,
+                timeout_s=timeout_s, token=token,
+            )
+        except urllib.error.URLError as exc:
+            last_error = f"{type(exc.reason).__name__}: {exc.reason}"
+        except (http.client.HTTPException, socket.timeout, OSError) as exc:
+            # Dropped/truncated responses (RemoteDisconnected,
+            # IncompleteRead) and slow-loris reads (socket.timeout) land
+            # here — all transient from the client's point of view.
+            last_error = f"{type(exc).__name__}: {exc}"
+        else:
+            if status in _BUSY_STATUSES and deadline is not None:
+                backoff = min(
+                    _RETRY_BACKOFF_CAP_S,
+                    _RETRY_BACKOFF_S * (2 ** (attempt - 1)),
+                )
+                delay = _retry_after(headers, backoff)
+                if time.monotonic() + delay <= deadline:
+                    time.sleep(delay)
+                    continue
+                last_error = (
+                    f"service still busy (HTTP {status}) after "
+                    f"{busy_wait_s:.0f}s"
+                )
+                raise ServiceUnavailableError(url, attempt, last_error)
+            return status, body
+        if attempt > retries:
+            raise ServiceUnavailableError(url, attempt, last_error)
+        backoff = min(
+            _RETRY_BACKOFF_CAP_S, _RETRY_BACKOFF_S * (2 ** (attempt - 1))
+        )
+        time.sleep(backoff * (1.0 + 0.25 * random.random()))
 
 
 def _wire_request(request: RunRequest) -> Dict[str, object]:
@@ -435,6 +567,10 @@ def submit_suite(
     jobs: Optional[int] = None,
     supervise: bool = False,
     backend: Optional[str] = None,
+    idempotency_key: Optional[str] = None,
+    token: Optional[str] = None,
+    timeout_s: float = 30.0,
+    busy_wait_s: float = 120.0,
 ) -> str:
     """Submit a suite to a running ``repro serve`` endpoint; returns a job id.
 
@@ -442,9 +578,23 @@ def submit_suite(
     :func:`poll` and fetch the finished grid with :func:`result`.
     Requests must use the default :class:`RunConfig` — per-cell config
     objects do not serialize over the wire.
+
+    The submit is resilient and exactly-once: every call carries an
+    idempotency key (a fresh UUID unless ``idempotency_key`` pins one),
+    so when a response is lost mid-flight the transparent retry returns
+    the job the first attempt already created instead of enqueueing a
+    duplicate.  Admission backpressure (``429`` + ``Retry-After``) and
+    degraded-mode ``503`` are waited out for up to ``busy_wait_s``
+    seconds; connection failures raise
+    :class:`ServiceUnavailableError` after bounded retries.  ``token``
+    (default: ``REPRO_SERVE_TOKEN``) authenticates when the server
+    requires it.
     """
+    import uuid
+
     payload: Dict[str, object] = {
         "requests": [_wire_request(request) for request in requests],
+        "idempotency_key": idempotency_key or str(uuid.uuid4()),
     }
     if jobs is not None:
         payload["jobs"] = jobs
@@ -453,10 +603,15 @@ def submit_suite(
     if backend is not None:
         payload["backend"] = backend
     status, body = _request_json(
-        _service_url(url, "/v1/suites"), method="POST", payload=payload
+        _service_url(url, "/v1/suites"),
+        method="POST",
+        payload=payload,
+        timeout_s=timeout_s,
+        token=_service_token(token),
+        busy_wait_s=busy_wait_s,
     )
     decoded = json.loads(body.decode("utf-8"))
-    if status != 202:
+    if status not in (200, 202):  # 200 = idempotent replay of a known job
         raise RuntimeError(
             f"suite submission failed ({status}): "
             f"{decoded.get('error', repr(body[:200]))}"
@@ -464,13 +619,25 @@ def submit_suite(
     return str(decoded["job"])
 
 
-def poll(job_id: str, *, url: str = "http://127.0.0.1:8712") -> Dict[str, object]:
+def poll(
+    job_id: str,
+    *,
+    url: str = "http://127.0.0.1:8712",
+    token: Optional[str] = None,
+    timeout_s: float = 30.0,
+) -> Dict[str, object]:
     """Current status of a service job: state, record/failure counts.
 
     Returns the server's job summary dict — ``status`` is one of
-    ``queued`` / ``running`` / ``done`` / ``failed``.
+    ``queued`` / ``running`` / ``done`` / ``failed``.  Transport faults
+    are retried; an unreachable service raises
+    :class:`ServiceUnavailableError` rather than a raw ``OSError``.
     """
-    status, body = _request_json(_service_url(url, f"/v1/jobs/{job_id}"))
+    status, body = _request_json(
+        _service_url(url, f"/v1/jobs/{job_id}"),
+        timeout_s=timeout_s,
+        token=_service_token(token),
+    )
     decoded = json.loads(body.decode("utf-8"))
     if status != 200:
         raise RuntimeError(
@@ -486,18 +653,26 @@ def result(
     wait: bool = True,
     timeout_s: float = 600.0,
     interval_s: float = 0.25,
+    token: Optional[str] = None,
+    request_timeout_s: float = 30.0,
 ) -> SuiteResult:
     """Fetch a service job's :class:`SuiteResult`, waiting for completion.
 
     With ``wait=False`` a still-running job raises immediately
     (mirroring the server's 409); otherwise polls every ``interval_s``
     until the job finishes or ``timeout_s`` elapses.  A server-side job
-    failure raises ``RuntimeError`` with the job's error string.
+    failure raises ``RuntimeError`` with the job's error string.  Each
+    poll uses a ``request_timeout_s`` socket timeout and bounded
+    transport retries, so a hung service surfaces as
+    :class:`ServiceUnavailableError` instead of blocking forever.
     """
+    resolved_token = _service_token(token)
     deadline = time.monotonic() + timeout_s
     while True:
         status, body = _request_json(
-            _service_url(url, f"/v1/jobs/{job_id}/result")
+            _service_url(url, f"/v1/jobs/{job_id}/result"),
+            timeout_s=request_timeout_s,
+            token=resolved_token,
         )
         if status == 200:
             return SuiteResult.from_json(body.decode("utf-8"))

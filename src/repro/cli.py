@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import warnings
 from pathlib import Path
@@ -668,8 +669,18 @@ def cmd_sweep_levels(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.sim.chaos import parse_service_chaos
     from repro.sim.service import serve
 
+    state_dir = args.state_dir
+    if state_dir is not None and state_dir.lower() in ("off", "none", ""):
+        state_dir = None
+    token = args.token
+    if token is None:
+        token = os.environ.get("REPRO_SERVE_TOKEN") or None
+    chaos_spec = args.chaos
+    if chaos_spec is None:
+        chaos_spec = os.environ.get("REPRO_SERVE_CHAOS")
     serve(
         args.host,
         args.port,
@@ -677,6 +688,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         store=not args.no_store,
         max_concurrent=args.max_concurrent,
+        state_dir=state_dir,
+        max_queued=args.max_queued,
+        token=token,
+        chaos=parse_service_chaos(chaos_spec),
     )
     return 0
 
@@ -968,7 +983,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-concurrent",
         type=int,
         default=1,
-        help="suites allowed to run at once (default 1)",
+        help="worker threads interleaving suite cells (default 1)",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default="results/.serve",
+        help="crash-safe job ledger directory; submitted jobs survive a "
+        "service restart ('off' disables durability; default "
+        "results/.serve)",
+    )
+    p_serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=8,
+        help="open (queued+running) jobs admitted before submits get "
+        "429 + Retry-After (default 8)",
+    )
+    p_serve.add_argument(
+        "--token",
+        default=None,
+        help="static bearer token required on every request except the "
+        "health probes (default: $REPRO_SERVE_TOKEN; unset = no auth)",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        default=None,
+        help="service-layer fault injection spec, e.g. "
+        "'seed=7,drop=0.3,kill_after_cells=2' "
+        "(default: $REPRO_SERVE_CHAOS; see docs/robustness.md)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

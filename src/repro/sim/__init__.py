@@ -13,7 +13,14 @@ from repro.sim.backends import (
     resolve_backend,
 )
 from repro.sim.charts import bar_chart, grouped_bar_chart
-from repro.sim.chaos import ChaosConfig, ChaosFault, parse_chaos
+from repro.sim.chaos import (
+    ChaosConfig,
+    ChaosFault,
+    ServiceChaosConfig,
+    parse_chaos,
+    parse_service_chaos,
+)
+from repro.sim.ledger import JobLedger, JobSnapshot, durable_write
 from repro.sim.config import MemoryTimingParams, RunConfig
 from repro.sim.events import EventQueue
 from repro.sim.engine import (
@@ -61,6 +68,8 @@ __all__ = [
     "ExecutionBackend",
     "FaultPolicy",
     "InlineBackend",
+    "JobLedger",
+    "JobSnapshot",
     "ProcessBackend",
     "QueueBackend",
     "TaskTimeout",
@@ -74,6 +83,7 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "SeededResult",
+    "ServiceChaosConfig",
     "SuiteJournal",
     "SuiteResult",
     "Supervisor",
@@ -84,6 +94,7 @@ __all__ = [
     "default_journal_path",
     "default_store_root",
     "default_trace_length",
+    "durable_write",
     "failure_rows",
     "format_table",
     "geomean",
@@ -93,6 +104,7 @@ __all__ = [
     "overhead",
     "overhead_reduction",
     "parse_chaos",
+    "parse_service_chaos",
     "recon_level_variants",
     "resolve_backend",
     "resolve_jobs",

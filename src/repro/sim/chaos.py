@@ -48,9 +48,11 @@ __all__ = [
     "CORRUPT_PAYLOAD",
     "ChaosConfig",
     "ChaosFault",
+    "ServiceChaosConfig",
     "inject",
     "mark_worker_process",
     "parse_chaos",
+    "parse_service_chaos",
 ]
 
 #: Exit status of a chaos-crashed worker (visible in pool diagnostics).
@@ -181,6 +183,119 @@ def inject(
             f"(key={key[:12]}, attempt={attempt})"
         )
     return "corrupt"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceChaosConfig:
+    """Seeded fault injection for the sweep *service* layer.
+
+    Where :class:`ChaosConfig` breaks simulation workers,
+    ``ServiceChaosConfig`` breaks the HTTP service itself, so tests can
+    prove the client retry loop and the crash-safe job ledger
+    (:mod:`repro.sim.ledger`) hold up:
+
+    * ``drop`` — close the connection without sending a response;
+    * ``truncate`` — send the headers plus only half the body, then
+      close (an ``IncompleteRead`` on the client);
+    * ``slow`` — a slow-loris response: dribble the body out one chunk
+      at a time, ``slow_s`` apart (trips client socket timeouts);
+    * ``kill_after_cells`` — SIGKILL the whole service process after it
+      completes its Nth suite cell (the restart/resume drill).
+
+    Response faults are a pure function of ``(seed, request token)``
+    via the same SHA-256-to-unit-interval draw as worker chaos, so a
+    given seed always breaks the same requests.  Health endpoints are
+    never chaosed — a drill must still be able to tell the service is
+    up.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    truncate: float = 0.0
+    slow: float = 0.0
+    slow_s: float = 0.5
+    kill_after_cells: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "truncate", "slow"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"service chaos {name} rate must be in [0, 1]")
+        if self.drop + self.truncate + self.slow > 1.0 + 1e-9:
+            raise ValueError("service chaos fault rates must sum to at most 1")
+        if self.slow_s <= 0:
+            raise ValueError("slow_s must be positive")
+        if self.kill_after_cells < 0:
+            raise ValueError("kill_after_cells cannot be negative")
+
+    def decide_response(self, token: str) -> Optional[str]:
+        """The response fault for one request token, or ``None``.
+
+        Deterministic: hashes ``(seed, token)`` to a uniform draw in
+        ``[0, 1)`` and walks the cumulative fault probabilities in a
+        fixed order (drop, truncate, slow).
+        """
+        digest = hashlib.sha256(
+            f"{self.seed}:{token}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        edge = 0.0
+        for kind in ("drop", "truncate", "slow"):
+            edge += getattr(self, kind)
+            if draw < edge:
+                return kind
+        return None
+
+    def active(self) -> bool:
+        """Whether any service fault can ever fire under this config."""
+        return (
+            self.drop + self.truncate + self.slow > 0.0
+            or self.kill_after_cells > 0
+        )
+
+
+def parse_service_chaos(text: Optional[str]) -> Optional[ServiceChaosConfig]:
+    """Parse a ``repro serve --chaos`` spec into a config (or ``None``).
+
+    Same comma-separated ``name=value`` grammar as :func:`parse_chaos`;
+    fields are ``seed``, ``drop``, ``truncate``, ``slow``, ``slow_s``,
+    and ``kill_after_cells``, e.g.
+    ``"seed=7,drop=0.3,kill_after_cells=2"``.
+    """
+    if text is None or not text.strip():
+        return None
+    fields = {
+        "seed": int,
+        "drop": float,
+        "truncate": float,
+        "slow": float,
+        "slow_s": float,
+        "kill_after_cells": int,
+    }
+    kwargs: dict = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(
+                f"service chaos spec entries must be name=value, got {token!r}"
+            )
+        name, _, raw = token.partition("=")
+        name = name.strip()
+        if name not in fields:
+            raise ValueError(
+                f"unknown service chaos field {name!r}; "
+                f"choose from {sorted(fields)}"
+            )
+        try:
+            kwargs[name] = fields[name](raw.strip())
+        except ValueError:
+            raise ValueError(
+                f"service chaos field {name!r} needs a "
+                f"{fields[name].__name__}, got {raw.strip()!r}"
+            ) from None
+    return ServiceChaosConfig(**kwargs)
 
 
 def parse_chaos(text: Optional[str]) -> Optional[ChaosConfig]:

@@ -451,6 +451,39 @@ class SuiteResult(Mapping):
         parts.append(f"wall {self.wall_time_s:.2f}s")
         return "  ".join(parts)
 
+    # --- composition -----------------------------------------------------
+    @classmethod
+    def merged(cls, parts: Iterable["SuiteResult"]) -> "SuiteResult":
+        """Fold per-cell (or per-chunk) suite results into one grid.
+
+        The sweep service runs each suite cell-by-cell so cells from
+        different jobs can interleave fairly; this reassembles the
+        per-cell :class:`SuiteResult` parts into the single grid an
+        uninterrupted :func:`~repro.api.run_suite` call would have
+        produced.  Mapping cells merge in order (later parts win on
+        duplicate keys, as in the engine), records and failures
+        concatenate, wall times and fault counters sum.
+        """
+        results: Dict[Tuple[str, SchemeKind], RunResult] = {}
+        records: List[RunRecord] = []
+        failures: List[Any] = []
+        fault_counters: Dict[str, int] = {}
+        wall = 0.0
+        for part in parts:
+            results.update(part._results)
+            records.extend(part.records)
+            failures.extend(part.failures)
+            wall += part.wall_time_s
+            for name, value in part.fault_counters.items():
+                fault_counters[name] = fault_counters.get(name, 0) + value
+        return cls(
+            results,
+            records,
+            wall_time_s=wall,
+            failures=failures,
+            fault_counters=fault_counters,
+        )
+
     # --- serialization ---------------------------------------------------
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialize results, records, and failures to a JSON string."""

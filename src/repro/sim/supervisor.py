@@ -247,12 +247,24 @@ class SuiteJournal:
             pass
 
     def _append(self, entry: Dict[str, Any]) -> None:
+        # One unbuffered O_APPEND write + fsync per checkpoint: a crash
+        # can tear only the entry being written, never smear a partial
+        # buffer flush across already-acknowledged lines.
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(entry, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        existed = self.path.exists()
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if not existed:
+            from repro.sim.ledger import fsync_directory
+
+            fsync_directory(self.path.parent)
 
 
 def _validate_result(spec: RunSpec, result: Any) -> RunResult:
@@ -339,11 +351,18 @@ class Supervisor:
 
     @property
     def fault_counters(self) -> Dict[str, int]:
-        """Snapshot of the ``fault_*`` / ``backend_*`` / store counters."""
+        """Snapshot of the ``fault_*`` / ``backend_*`` / store counters.
+
+        The service layer (:mod:`repro.sim.service`) folds its own
+        ``ledger_*`` / ``admission_*`` / ``breaker_*`` counters into the
+        same namespace, so the prefix filter admits those too.
+        """
         return {
             name: counter.value
             for name, counter in sorted(self.metrics.counters.items())
-            if name.startswith(("fault_", "backend_"))
+            if name.startswith(
+                ("fault_", "backend_", "ledger_", "admission_", "breaker_")
+            )
             or name == "store_corrupt_entries"
         }
 

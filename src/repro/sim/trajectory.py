@@ -200,8 +200,12 @@ def update_trajectory(
     ]
     points.append(point)
     trajectory["points"] = points
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = out_path.with_name(out_path.name + ".tmp")
-    tmp.write_text(json.dumps(trajectory, indent=1, sort_keys=True) + "\n")
-    os.replace(tmp, out_path)
+    # Torn-proof: fsync'd temp + atomic rename (plus directory fsync),
+    # so a crash mid-aggregation never truncates the accumulated
+    # history the next CI run appends to.
+    from repro.sim.ledger import durable_write
+
+    durable_write(
+        out_path, json.dumps(trajectory, indent=1, sort_keys=True) + "\n"
+    )
     return out_path

@@ -7,6 +7,7 @@ exercised end to end.
 """
 
 import asyncio
+import contextlib
 import json
 import threading
 import urllib.error
@@ -17,6 +18,41 @@ import pytest
 from repro.api import RunRequest, poll, result, submit_suite
 from repro.sim.engine import SuiteResult
 from repro.sim.service import SweepService, _serve_async
+
+
+@contextlib.contextmanager
+def _running(service):
+    """Serve an already-built service; yields its base URL."""
+    ready = threading.Event()
+    bound = []
+    loop_holder = {}
+
+    def run():
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(
+                _serve_async(service, "127.0.0.1", 0, ready=ready, bound=bound)
+            )
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    host, port = bound[0]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        loop = loop_holder.get("loop")
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(
+                lambda: [task.cancel() for task in asyncio.all_tasks(loop)]
+            )
+        service.close()
 
 
 @pytest.fixture
@@ -178,3 +214,103 @@ class TestValidation:
         with urllib.request.urlopen(f"{server}/v1/health", timeout=10) as resp:
             payload = json.loads(resp.read())
         assert payload["status"] == "ok"
+
+
+def _events(url, job, since=None):
+    query = f"?since={since}" if since is not None else ""
+    with urllib.request.urlopen(
+        f"{url}/v1/jobs/{job}/events{query}", timeout=30
+    ) as response:
+        return [
+            json.loads(line)
+            for line in response.read().decode("utf-8").splitlines()
+        ]
+
+
+class TestEventStreamEdges:
+    """NDJSON streaming around the bounded ring: wraparound, reconnect,
+    and late subscribers on an already-finished job."""
+
+    @pytest.fixture
+    def wrapped(self, monkeypatch):
+        """A finished 12-cell job on a service whose ring holds only 8.
+
+        13 events (12 records + terminal status) through a ring of 8
+        drops the oldest 5, so a from-zero subscriber must see a gap.
+        """
+        monkeypatch.setenv("REPRO_STORE", "off")
+        service = SweepService(
+            jobs=1, backend="inline", store=False, event_buffer=8
+        )
+        schemes = ("unsafe", "stt", "stt+recon")
+        requests = [
+            RunRequest("spec2017/mcf", schemes[i % 3], 300) for i in range(12)
+        ]
+        with _running(service) as url:
+            job = submit_suite(requests, url=url)
+            result(job, url=url, timeout_s=120)
+            yield url, job, service
+
+    def test_wraparound_emits_gap_not_silence(self, wrapped):
+        url, job, service = wrapped
+        assert service.get(job).dropped_events == 5
+        events = _events(url, job)
+        assert events[0] == {"type": "gap", "missing": 5, "resume_seq": 5}
+        tail = events[1:]
+        assert [e["seq"] for e in tail] == list(range(5, 13))
+        assert tail[-1]["type"] == "status"
+
+    def test_reconnect_with_since_resumes_without_gap(self, wrapped):
+        url, job, _ = wrapped
+        # A client that saw seq 0..6 before its connection dropped
+        # reconnects with ?since=7: everything it asks for is still in
+        # the ring, so no gap notice and no duplicates.
+        events = _events(url, job, since=7)
+        assert [e["seq"] for e in events] == list(range(7, 13))
+        assert all(e["type"] != "gap" for e in events)
+
+    def test_since_past_the_end_yields_empty_stream(self, wrapped):
+        url, job, _ = wrapped
+        assert _events(url, job, since=13) == []
+
+    def test_full_ring_streams_without_gap(self, server):
+        # 3 records + status fit in the default ring: no gap, all seqs.
+        job = submit_suite(_requests(), url=server)
+        result(job, url=server, timeout_s=120)
+        early = _events(server, job)
+        again = _events(server, job)
+        assert early == again  # a finished job's stream is replayable
+        assert [e["type"] for e in early].count("gap") == 0
+
+    def test_mid_stream_reconnect_while_running(self, server, monkeypatch):
+        import repro.api as api_mod
+
+        gate = threading.Event()
+        real = api_mod.run_suite
+        calls = {"n": 0}
+
+        def gated(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 1:  # first cell free, rest wait on the gate
+                gate.wait(30)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(api_mod, "run_suite", gated)
+        job = submit_suite(_requests(), url=server)
+        deadline = 100
+        while calls["n"] < 1 and deadline:
+            threading.Event().wait(0.05)
+            deadline -= 1
+        # First connection: the events published so far (no terminal
+        # status yet — the job is still running behind the gate).
+        partial = poll(job, url=server)
+        assert partial["status"] in ("queued", "running")
+        gate.set()
+        result(job, url=server, timeout_s=120)
+        # Reconnect after the "drop": the stream picks up at the cursor.
+        head = _events(server, job)
+        resumed = _events(server, job, since=head[1]["seq"])
+        assert [e["seq"] for e in resumed] == [
+            e["seq"] for e in head[1:]
+        ]
+        assert resumed[-1]["type"] == "status"

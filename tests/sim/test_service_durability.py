@@ -1,0 +1,209 @@
+"""Durability tests: the sweep service's job table survives restarts.
+
+"Restart" here is in-process: build a :class:`SweepService` on a state
+dir, abandon it (the moral equivalent of kill -9 — nothing is flushed
+beyond what the write-ahead ledger already made durable), then build a
+second service on the same state dir and assert nothing was lost, run
+twice, or changed.  The real kill -9 → subprocess restart version of
+the same contract lives in ``scripts/service_chaos_drill.py`` (driven
+by the ``slow``-marked test at the bottom and the CI service-chaos
+gate).
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunRequest, run_suite
+from repro.sim.ledger import JobLedger
+from repro.sim.service import SweepService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+SCHEMES = ("unsafe", "stt", "stt+recon")
+
+
+def _cells(schemes=SCHEMES):
+    return [
+        {"benchmark": "spec2017/mcf", "scheme": scheme, "length": 300}
+        for scheme in schemes
+    ]
+
+
+@pytest.fixture
+def state(tmp_path, monkeypatch):
+    """A durable state dir plus an isolated result store."""
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+    return tmp_path / "state"
+
+
+def _service(state_dir, **kwargs):
+    kwargs.setdefault("backend", "inline")
+    kwargs.setdefault("start_workers", False)
+    return SweepService(state_dir=state_dir, **kwargs)
+
+
+def _wait_done(service, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = service.get(job_id)
+        if job is not None and job.done:
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+def _sorted_results(payload):
+    return sorted(
+        payload["results"], key=lambda cell: (cell["bench"], cell["scheme"])
+    )
+
+
+class TestRestartRecovery:
+    def test_queued_job_survives_restart(self, state):
+        first = _service(state)
+        job = first.submit(_cells(), {})
+        # No close(), no flush: the ledger alone carries the state over.
+        second = _service(state)
+        recovered = second.get(job.job_id)
+        assert recovered is not None
+        assert recovered.status == "queued"
+        assert recovered.recovered
+        assert recovered.requests == job.requests
+        assert second.metrics.counters["ledger_resumed_jobs"].value == 1
+
+    def test_idempotency_map_survives_restart(self, state):
+        first = _service(state)
+        job, _ = first.submit_job(_cells(), {}, idempotency_key="pin-1")
+        second = _service(state)
+        again, replayed = second.submit_job(
+            _cells(), {}, idempotency_key="pin-1"
+        )
+        assert replayed
+        assert again.job_id == job.job_id
+
+    def test_job_ids_do_not_collide_after_restart(self, state):
+        first = _service(state)
+        job = first.submit(_cells(), {})
+        second = _service(state)
+        fresh = second.submit(_cells(["stt"]), {})
+        assert fresh.job_id != job.job_id
+
+    def test_mid_suite_crash_resumes_bit_identical(self, state):
+        requests = [RunRequest("spec2017/mcf", s, 300) for s in SCHEMES]
+        reference = json.loads(run_suite(requests, store=False).to_json())
+
+        first = _service(state)
+        job = first.submit(_cells(), {})
+        first._run_cell(job)  # cell 0
+        first._run_cell(job)  # cell 1 — then the "power cut"
+        assert job.cursor == 2
+
+        second = _service(state, start_workers=True)
+        try:
+            finished = _wait_done(second, job.job_id)
+            assert finished.status == "done"
+            assert finished.recovered
+            served = json.loads(finished.result_json)
+        finally:
+            second.close()
+        assert _sorted_results(served) == _sorted_results(reference)
+        cells = [(r["bench"], r["scheme"]) for r in served["records"]]
+        assert len(cells) == len(requests), "lost or duplicated cells"
+        assert len(set(cells)) == len(cells)
+        assert not served.get("failures")
+        # S6: service-level counters ride along in the suite's
+        # fault_counters so existing dashboards pick them up.
+        counters = served["fault_counters"]
+        assert counters["ledger_records"] >= 1
+        assert counters["ledger_resumed_jobs"] == 1
+
+    def test_done_job_reattaches_sidecar_without_rerun(self, state):
+        first = _service(state)
+        job = first.submit(_cells(["stt"]), {})
+        first._run_cell(job)
+        assert job.status == "done"
+        # start_workers=False: if recovery needed to *run* anything the
+        # job could never reach "done" here.
+        second = _service(state)
+        recovered = second.get(job.job_id)
+        assert recovered.status == "done"
+        assert recovered.result_json == job.result_json
+
+    def test_lost_sidecar_falls_back_to_rerun(self, state):
+        first = _service(state)
+        job = first.submit(_cells(["stt"]), {})
+        first._run_cell(job)
+        (state / f"{job.job_id}.result.json").unlink()
+        second = _service(state, start_workers=True)
+        try:
+            finished = _wait_done(second, job.job_id)
+            assert finished.status == "done"
+            assert json.loads(finished.result_json)["results"]
+        finally:
+            second.close()
+
+    def test_failed_job_stays_failed(self, state):
+        first = _service(state)
+        job = first.submit(_cells(["stt"]), {})
+        first._finalize_failed(job, RuntimeError("engine exploded"))
+        second = _service(state)
+        recovered = second.get(job.job_id)
+        assert recovered.status == "failed"
+        assert "engine exploded" in recovered.error
+        # A failed job must not re-enter the ready queue.
+        assert not second._ready
+
+    def test_unresolvable_request_fails_cleanly_after_restart(self, state):
+        """Version drift: a ledgered benchmark this build doesn't know."""
+        state.mkdir(parents=True)
+        ledger = JobLedger(state / "ledger.jsonl")
+        ledger.record_submit(
+            "job-0001",
+            [{"benchmark": "spec2017/not-a-bench", "scheme": "stt",
+              "length": 300}],
+            {},
+            idempotency_key=None,
+            at=time.time(),
+        )
+        service = _service(state)
+        job = service.get("job-0001")
+        assert job.status == "failed"
+        assert "unrecoverable after restart" in job.error
+
+    def test_ledger_rotation_keeps_replay_intact(self, state):
+        first = _service(state)
+        first._ledger = JobLedger(state / "ledger.jsonl", rotate_at=2)
+        jobs = [first.submit(_cells(["stt"]), {}) for _ in range(3)]
+        for job in jobs:
+            first._run_cell(job)
+        assert first.metrics.counters["ledger_rotations"].value >= 1
+        second = _service(state)
+        for job in jobs:
+            assert second.get(job.job_id).status == "done"
+
+
+@pytest.mark.slow
+def test_kill9_restart_drill_end_to_end(tmp_path):
+    """The CI gate, verbatim: SIGKILL mid-suite, restart, bit-identical."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "scripts" / "service_chaos_drill.py"),
+            "--work", str(tmp_path / "drill"),
+            "--length", "300",
+            "--kill-after", "2",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, (
+        f"drill failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "bit-identical" in proc.stdout
