@@ -47,17 +47,30 @@ def main(argv=None) -> int:
         "(default: $GITHUB_SHA, else git rev-parse HEAD)",
     )
     args = parser.parse_args(argv)
+    # Tolerant by design: a missing results dir, or missing/partial
+    # BENCH files, still produce a (possibly stub) trajectory point —
+    # a torn artifact must never break the aggregation step of CI.
     out = update_trajectory(args.results_dir, args.out, sha=args.sha)
     trajectory = json.loads(out.read_text())
     latest = trajectory["points"][-1]
     sha = (latest.get("sha") or "unknown")[:12]
     hotpath = latest.get("hotpath", {})
     gadgets = latest.get("gadgets", {})
-    print(
+    line = (
         f"{out}: {len(trajectory['points'])} point(s); latest sha={sha} "
         f"mean {hotpath.get('mean_vector_uops_per_sec', 0)} uops/s, "
         f"gadgets {gadgets.get('ok', 0)}/{gadgets.get('cells', 0)} ok"
     )
+    sampled = latest.get("sampling")
+    if sampled:
+        line += (
+            f", sampling {sampled.get('within_ci', 0)}"
+            f"/{sampled.get('cells', 0)} within CI "
+            f"at {sampled.get('min_cut', 0)}x+ cut"
+        )
+    if not latest.get("sources"):
+        line += " (stub point: no BENCH_*.json artifacts found)"
+    print(line)
     return 0
 
 

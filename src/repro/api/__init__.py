@@ -47,6 +47,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.analysis.clueless import Clueless, LeakageReport
 from repro.common.stats import StatSet
 from repro.common.types import SchemeKind
+from repro.sampling import SampledEstimate, SamplingConfig, parse_sampling
 from repro.sim.config import RunConfig
 from repro.sim.engine import RunSpec, SuiteResult, execute_specs
 from repro.sim.runner import RunResult
@@ -70,12 +71,15 @@ __all__ = [
     "RunRecord",
     "RunRequest",
     "RunResult",
+    "SampledEstimate",
+    "SamplingConfig",
     "SchemeKind",
     "ServiceUnavailableError",
     "SuiteResult",
     "TelemetryConfig",
     "Verdict",
     "format_table",
+    "parse_sampling",
     "gadget_catalog",
     "leakage_report",
     "load_result",
@@ -180,6 +184,8 @@ class RunRecord:
     from_store: bool
     #: Collected telemetry (``None`` unless the run traced).
     telemetry: Optional[TelemetryResult] = None
+    #: Sampling statistics (``None`` unless the run was estimated).
+    sampling: Optional[SampledEstimate] = None
 
     @property
     def ipc(self) -> float:
@@ -187,6 +193,16 @@ class RunRecord:
         if self.cycles == 0:
             return 0.0
         return self.stats.committed_uops / self.cycles
+
+    @property
+    def estimated(self) -> bool:
+        """True when this record came from a sampled (statistical) run."""
+        return self.sampling is not None
+
+    @property
+    def ipc_ci(self) -> Optional[float]:
+        """Half-width of the IPC confidence interval (sampled runs only)."""
+        return self.sampling.ipc_ci if self.sampling is not None else None
 
 
 def _default_store() -> Optional[ResultStore]:
@@ -235,6 +251,7 @@ def run_single(
         wall_time_s=record.wall_time_s,
         from_store=record.from_store,
         telemetry=result.telemetry,
+        sampling=getattr(result, "sampling", None),
     )
 
 
@@ -244,6 +261,7 @@ def run_suite(
     jobs: Optional[int] = None,
     supervise: Union[bool, FaultPolicy] = False,
     telemetry: Union[None, bool, TelemetryConfig] = None,
+    sampling: Union[None, str, SamplingConfig] = None,
     store: Union[bool, ResultStore, None] = True,
     progress: bool = False,
     backend: Optional[object] = None,
@@ -267,6 +285,13 @@ def run_suite(
             :class:`TelemetryConfig` knobs on every cell; a config
             instance applies that config; ``None`` leaves each request's
             own ``config.telemetry`` in force.
+        sampling: statistically sampled simulation on every cell — a
+            spec string such as ``"ci=0.02,conf=0.95"`` (or ``"on"`` for
+            defaults; see :func:`parse_sampling`) or a
+            :class:`SamplingConfig` instance; ``None`` leaves each
+            request's own ``config.sampling`` in force (exact mode by
+            default).  Sampled records carry ``estimated=True``,
+            ``samples``, and ``ipc_ci``.
         store: result memoization, as in :func:`run_single`.
         progress: print a per-run progress line to stderr.
         backend: execution substrate — a name (``inline`` / ``threads``
@@ -288,6 +313,9 @@ def run_suite(
     if telemetry is not None:
         override = TelemetryConfig() if telemetry is True else telemetry
         specs = [dataclasses.replace(spec, telemetry=override) for spec in specs]
+    if sampling is not None:
+        cfg = parse_sampling(sampling)
+        specs = [dataclasses.replace(spec, sampling=cfg) for spec in specs]
     resolved_store = _resolve_store(store)
     start = time.perf_counter()
     failures: List[RunFailure] = []
@@ -567,6 +595,7 @@ def submit_suite(
     jobs: Optional[int] = None,
     supervise: bool = False,
     backend: Optional[str] = None,
+    sampling: Union[None, str, SamplingConfig] = None,
     idempotency_key: Optional[str] = None,
     token: Optional[str] = None,
     timeout_s: float = 30.0,
@@ -588,7 +617,9 @@ def submit_suite(
     seconds; connection failures raise
     :class:`ServiceUnavailableError` after bounded retries.  ``token``
     (default: ``REPRO_SERVE_TOKEN``) authenticates when the server
-    requires it.
+    requires it.  ``sampling`` (a spec string or
+    :class:`SamplingConfig`) asks the server to run every cell in
+    statistically sampled mode.
     """
     import uuid
 
@@ -602,6 +633,11 @@ def submit_suite(
         payload["supervise"] = True
     if backend is not None:
         payload["backend"] = backend
+    if sampling is not None:
+        # Validate locally (typos fail fast) and ship the canonical
+        # spec string; the server re-parses it into a SamplingConfig.
+        cfg = parse_sampling(sampling)
+        payload["sampling"] = cfg.spec() if cfg is not None else "off"
     status, body = _request_json(
         _service_url(url, "/v1/suites"),
         method="POST",

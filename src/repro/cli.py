@@ -27,7 +27,9 @@ seed), ``--jobs`` (worker processes; also the ``REPRO_JOBS`` environment
 variable), ``--backend`` (execution substrate: ``inline`` / ``threads``
 / ``process`` / ``queue``; also the ``REPRO_BACKEND`` environment
 variable — see ``docs/backends.md``), ``--no-store`` (skip the
-persistent result store).
+persistent result store), ``--sampling SPEC`` (statistically sampled
+simulation on ``run one``/``run suite`` and the sweeps — see
+``docs/sampling.md``; estimated IPCs print as ``value±ci``).
 
 ``serve`` runs the async sweep service (:mod:`repro.sim.service`):
 clients POST suites to ``/v1/suites``, poll ``/v1/jobs/<id>``, stream
@@ -76,6 +78,7 @@ import json
 
 from repro.analysis import Clueless
 from repro.common import SchemeKind
+from repro.sampling import parse_sampling
 from repro.sim import (
     BACKEND_NAMES,
     FaultPolicy,
@@ -83,6 +86,7 @@ from repro.sim import (
     SuiteJournal,
     default_journal_path,
     failure_rows,
+    format_ipc,
     format_table,
     parse_chaos,
     resolve_jobs,
@@ -169,6 +173,22 @@ def _chaos_from_args(args: argparse.Namespace):
     """Parse --chaos into a ChaosConfig (None when chaos is off)."""
     try:
         return parse_chaos(getattr(args, "chaos", None))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _sampling_from_args(args: argparse.Namespace):
+    """Parse --sampling into a SamplingConfig (None = exact mode)."""
+    try:
+        return parse_sampling(getattr(args, "sampling", None))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _run_config(**kwargs) -> RunConfig:
+    """Build a RunConfig, mapping invalid knob combinations to exit 2."""
+    try:
+        return RunConfig(**kwargs)
     except ValueError as exc:
         raise SystemExit(str(exc))
 
@@ -298,10 +318,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         [profile],
         schemes,
         args.length,
-        config=RunConfig(
+        config=_run_config(
             threads=args.threads,
             telemetry=_telemetry_from_args(args),
             chaos=chaos,
+            sampling=_sampling_from_args(args),
         ),
         jobs=args.jobs,
         store=store,
@@ -330,7 +351,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             [
                 scheme.value,
                 f"{result.cycles}",
-                f"{result.ipc:.3f}",
+                format_ipc(result),
                 f"{norm:.3f}" if baseline else "n/a",
                 str(stats.tainted_loads),
                 str(stats.load_pairs_detected),
@@ -368,10 +389,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
         profiles,
         schemes,
         args.length,
-        config=RunConfig(
+        config=_run_config(
             threads=threads,
             telemetry=_telemetry_from_args(args),
             chaos=chaos,
+            sampling=_sampling_from_args(args),
         ),
         jobs=args.jobs,
         store=store,
@@ -398,7 +420,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
             if result is None:  # this cell exhausted its retries
                 row.append("n/a")
             elif scheme is SchemeKind.UNSAFE or base is None:
-                row.append(f"{result.ipc:.2f}")
+                row.append(format_ipc(result, digits=2))
             else:
                 row.append(f"{result.ipc / base.ipc:.3f}")
         rows.append(row)
@@ -432,8 +454,15 @@ def cmd_leakage(args: argparse.Namespace) -> int:
 def _run_sweep(args, variants) -> int:
     profile = _apply_seed(_resolve(args.benchmark), args.seed)
     cache = TraceCache()
+    # Under --sampling every variant shares the same trace (and so the
+    # same functional warm images) — the scheme/param sweep only re-runs
+    # the short detailed measurement units.
+    sampling = _sampling_from_args(args)
     unsafe = run_benchmark(
-        profile, SchemeKind.UNSAFE, args.length, config=RunConfig(cache=cache)
+        profile,
+        SchemeKind.UNSAFE,
+        args.length,
+        config=_run_config(cache=cache, sampling=sampling),
     )
     rows = []
     for label, params in variants:
@@ -441,7 +470,7 @@ def _run_sweep(args, variants) -> int:
             profile,
             SchemeKind.STT_RECON,
             args.length,
-            config=RunConfig(params=params, cache=cache),
+            config=_run_config(params=params, cache=cache, sampling=sampling),
         )
         rows.append(
             [
@@ -763,6 +792,17 @@ def _parent_parsers():
         help="write the telemetry metrics registry as JSON to PATH",
     )
 
+    sampling = argparse.ArgumentParser(add_help=False)
+    sampling.add_argument(
+        "--sampling",
+        default=None,
+        metavar="SPEC",
+        help="statistically sampled simulation: 'on' for defaults or a "
+        "spec like 'ci=0.02,conf=0.95,min=4,max=8,unit=250' "
+        "(fields: ci,conf,min,max,unit,warm,warmup,bias,memoize; "
+        "default: exact simulation)",
+    )
+
     robustness = argparse.ArgumentParser(add_help=False)
     robustness.add_argument(
         "--timeout",
@@ -795,13 +835,20 @@ def _parent_parsers():
         "(fields: seed,crash,hang,corrupt,oom,hang_s,attempts)",
     )
 
-    return workload, schemes, execution, telemetry, robustness
+    return workload, schemes, execution, telemetry, sampling, robustness
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The grouped command tree (``run`` / ``sweep`` / ``telemetry``)."""
-    workload, schemes, execution, telemetry, robustness = _parent_parsers()
-    grid_parents = [workload, schemes, execution, telemetry, robustness]
+    (
+        workload,
+        schemes,
+        execution,
+        telemetry,
+        sampling,
+        robustness,
+    ) = _parent_parsers()
+    grid_parents = [workload, schemes, execution, telemetry, sampling, robustness]
 
     parser = argparse.ArgumentParser(
         prog="repro", description="ReCon (MICRO 2023) reproduction toolkit"
@@ -847,13 +894,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
 
     p_lpt = sweep_sub.add_parser(
-        "lpt", help="LPT size sensitivity", parents=[workload, schemes]
+        "lpt",
+        help="LPT size sensitivity",
+        parents=[workload, schemes, sampling],
     )
     p_lpt.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
     p_lpt.set_defaults(func=cmd_sweep_lpt)
 
     p_lvl = sweep_sub.add_parser(
-        "levels", help="ReCon cache-level sweep", parents=[workload, schemes]
+        "levels",
+        help="ReCon cache-level sweep",
+        parents=[workload, schemes, sampling],
     )
     p_lvl.add_argument("benchmark", help="suite/name, e.g. spec2017/mcf")
     p_lvl.set_defaults(func=cmd_sweep_levels)

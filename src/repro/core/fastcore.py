@@ -133,6 +133,7 @@ class FastCore(Core):
 
         self._ready_dirty = False
         self._warm_pending = self.warmup_uops > 0
+        self._measure_pending = self._measure_at is not None
         self._last_frontier: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -402,6 +403,19 @@ class FastCore(Core):
                 self._warm_pending = False
                 stats.cycles = cycle
                 self._warm_snapshot = stats.snapshot()
+            if (
+                self._measure_pending
+                and stats.committed_uops >= self._measure_at
+            ):
+                self._measure_pending = False
+                stats.cycles = cycle
+                if lpt is not None:
+                    stats.lpt_conflicts = lpt.conflicts
+                self._measure_snapshot = stats.snapshot()
+                # Stop the core: everything past the window is cool-down
+                # trace kept only so fetch never starved mid-window.
+                self.done = True
+                break
         self._rob_head = head
         if head > 4096 and head == rob_len:
             del rob[:head]

@@ -144,6 +144,7 @@ class Core:
         warmup_uops: int = 0,
         telemetry=NULL_TELEMETRY,
         events: Optional[EventQueue] = None,
+        measure_uops: Optional[int] = None,
     ) -> None:
         params.validate()
         self.core_id = core_id
@@ -166,6 +167,17 @@ class Core:
         #: paper §6.1).
         self.warmup_uops = warmup_uops
         self._warm_snapshot: Optional[StatSet] = None
+        #: Sampled simulation stops the core after this many *measured*
+        #: commits (beyond the warm-up), snapshotting stats at that
+        #: commit so the tail of the trace slice — kept only to feed the
+        #: fetch window — never drains through the pipeline and pollutes
+        #: the measured cycle count.  ``None`` (always, outside sampled
+        #: units) runs the trace to completion.
+        self.measure_uops = measure_uops
+        self._measure_at = (
+            warmup_uops + measure_uops if measure_uops is not None else None
+        )
+        self._measure_snapshot: Optional[StatSet] = None
 
         core = params.core
         self.regfile = RegisterFile(core.arch_regs, core.phys_regs)
@@ -216,10 +228,20 @@ class Core:
 
     @property
     def measured(self) -> StatSet:
-        """Stats excluding the warm-up prefix (all stats if no warm-up)."""
+        """Stats excluding the warm-up prefix (all stats if no warm-up).
+
+        When a measurement window was set (``measure_uops``) and
+        reached, the window-closing snapshot is the endpoint instead of
+        the final stats.
+        """
+        end = (
+            self._measure_snapshot
+            if self._measure_snapshot is not None
+            else self.stats
+        )
         if self._warm_snapshot is None:
-            return self.stats
-        return self.stats.delta(self._warm_snapshot)
+            return end
+        return end.delta(self._warm_snapshot)
 
     # ------------------------------------------------------------------
     # public driving
@@ -458,6 +480,19 @@ class Core:
             ):
                 self.stats.cycles = cycle
                 self._warm_snapshot = self.stats.snapshot()
+            if (
+                self._measure_at is not None
+                and self._measure_snapshot is None
+                and self.stats.committed_uops >= self._measure_at
+            ):
+                self.stats.cycles = cycle
+                if self.lpt is not None:
+                    self.stats.lpt_conflicts = self.lpt.conflicts
+                self._measure_snapshot = self.stats.snapshot()
+                # Stop the core: everything past the window is cool-down
+                # trace kept only so fetch never starved mid-window.
+                self.done = True
+                break
         if self._rob_head > 4096 and self._rob_head == len(self._rob):
             del self._rob[: self._rob_head]
             self._rob_head = 0

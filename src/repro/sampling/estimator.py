@@ -1,0 +1,256 @@
+"""Statistical estimator core for sampled simulation.
+
+Pure math, no simulator imports: Student-t critical values (computed
+from the regularized incomplete beta function, so no SciPy dependency),
+a Welford-accumulating :class:`MeanEstimator` with confidence-interval
+queries, the doubling escalation schedule, and the
+:class:`SampledEstimate` record that rides on a sampled
+:class:`~repro.sim.runner.RunResult`.
+
+The t quantile is exact (to the bisection tolerance), not a table
+lookup: sample counts escalate at run time, so the degrees of freedom
+are not known in advance.  ``t_critical`` is memoized — an escalation
+loop asks for the same (confidence, dof) pairs over and over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from functools import lru_cache
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "MeanEstimator",
+    "SampledEstimate",
+    "escalation_schedule",
+    "student_t_sf",
+    "t_critical",
+]
+
+_BETACF_MAX_ITER = 300
+_BETACF_EPS = 3e-12
+_FPMIN = 1e-300
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (modified Lentz)."""
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _FPMIN:
+        d = _FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _BETACF_MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _BETACF_EPS:
+            break
+    return h
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # Use the continued fraction on the side where it converges fast.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_sf(t: float, dof: int) -> float:
+    """One-sided survival function P(T > t) of Student's t."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    x = dof / (dof + t * t)
+    tail = 0.5 * _betainc(dof / 2.0, 0.5, x)
+    return tail if t >= 0 else 1.0 - tail
+
+
+@lru_cache(maxsize=512)
+def t_critical(confidence: float, dof: int) -> float:
+    """Two-sided Student-t critical value t* with P(|T| <= t*) = confidence."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = 0.0, 2.0
+    while student_t_sf(hi, dof) > alpha:
+        hi *= 2.0
+        if hi > 1e9:  # pragma: no cover - unreachable for sane confidences
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if student_t_sf(mid, dof) > alpha:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-10:
+            break
+    return 0.5 * (lo + hi)
+
+
+class MeanEstimator:
+    """Running mean/variance (Welford) with Student-t confidence intervals."""
+
+    def __init__(self, confidence: float = 0.95) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        self.confidence = confidence
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running mean/variance (Welford)."""
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std_error(self) -> float:
+        return math.sqrt(self.variance / self.n) if self.n else 0.0
+
+    def half_width(self) -> Optional[float]:
+        """CI half-width at :attr:`confidence`; ``None`` below two samples."""
+        if self.n < 2:
+            return None
+        return t_critical(self.confidence, self.n - 1) * self.std_error
+
+    def relative_half_width(self) -> Optional[float]:
+        """Half-width relative to |mean| (``inf`` for a zero mean)."""
+        half = self.half_width()
+        if half is None:
+            return None
+        if self.mean == 0.0:
+            return math.inf if half > 0.0 else 0.0
+        return half / abs(self.mean)
+
+    def covers(self, true_mean: float) -> bool:
+        """Does the current CI contain ``true_mean``? (needs >= 2 samples)"""
+        half = self.half_width()
+        if half is None:
+            raise ValueError("need at least two samples for an interval")
+        return abs(true_mean - self.mean) <= half
+
+
+def escalation_schedule(min_units: int, max_units: int) -> Iterator[int]:
+    """Cumulative sample counts per escalation round: min, 2*min, ... max.
+
+    Doubling keeps every round's unit set a subset of the next round's
+    on a power-of-two placement grid, so escalation re-measures nothing.
+    Terminates unconditionally: counts grow strictly until ``max_units``.
+    """
+    if min_units < 2:
+        raise ValueError("min_units must be at least 2")
+    if max_units < min_units:
+        raise ValueError("max_units must be >= min_units")
+    n = min_units
+    while True:
+        yield n
+        if n >= max_units:
+            return
+        n = min(n * 2, max_units)
+
+
+@dataclasses.dataclass
+class SampledEstimate:
+    """The statistical annotations of a sampled run.
+
+    Attributes:
+        ipc: the run's IPC estimate — the reciprocal of the mean
+            per-unit CPI (units commit equal uop counts, so mean CPI is
+            the unbiased region estimator; see ``docs/sampling.md``).
+        ipc_ci: the CI half-width around :attr:`ipc` — the reported
+            interval is ``ipc ± ipc_ci`` at :attr:`confidence`.  Never
+            narrower than the configured systematic-error floor.
+        confidence: the nominal two-sided confidence level.
+        samples: measurement units the estimate is built from.
+        unit_uops: micro-ops detailed-simulated per unit (including the
+            unit's own detailed re-warm prefix).
+        detailed_uops: total micro-ops simulated in detail across every
+            unit — the cost an exact run would have paid for the whole
+            trace (:attr:`total_uops`).
+        total_uops: full trace length in micro-ops (summed over cores).
+        rounds: escalation rounds taken.
+        converged: whether the relative CI half-width met the target
+            before :class:`~repro.sampling.config.SamplingConfig`'s
+            ``max_units`` cap.
+        leakage: per-counter ``{"mean": ..., "ci": ...}`` estimates for
+            the leakage counters, scaled to the measured region.
+    """
+
+    ipc: float
+    ipc_ci: float
+    confidence: float
+    samples: int
+    unit_uops: int
+    detailed_uops: int
+    total_uops: int
+    rounds: int
+    converged: bool
+    leakage: Dict[str, Dict[str, float]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @property
+    def estimated(self) -> bool:
+        return True
+
+    @property
+    def speedup_bound(self) -> float:
+        """How many times fewer uops were detailed-simulated than exact."""
+        if self.detailed_uops <= 0:
+            return math.inf
+        return self.total_uops / self.detailed_uops
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict of the estimate, tagged ``estimated: True``."""
+        data = dataclasses.asdict(self)
+        data["estimated"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SampledEstimate":
+        data = dict(data)
+        data.pop("estimated", None)
+        return cls(**data)

@@ -1,0 +1,240 @@
+"""Functional warm-up: fast-forward memory state without detailed timing.
+
+A sampled run cannot start each measurement unit from a cold machine —
+cold caches would bias every unit's IPC down.  The functional warmer
+replays the trace prefix through the *real*
+:class:`~repro.memory.hierarchy.MemoryHierarchy` state updaters
+(``read``/``write``/``reveal``), so lines land in the same caches, the
+directory tracks the same owners/sharers, and ReCon reveal bits follow
+the same load-pair discipline as a detailed run — just without the
+cycle-accurate pipeline in front.  Load-pair effects are emulated on
+architectural registers: a committed load records ``dest → addr``; a
+later load that sources that register reveals the earlier load's word
+(checked before the destination entry is overwritten, mirroring
+:meth:`~repro.security.lpt.LoadPairTable.on_load_commit_multi` ordering);
+any non-load writer of the register clears the entry.
+
+Warm images are plain JSON-serializable dicts (cache lines in global
+LRU order plus the per-core load-pair maps), so
+:mod:`repro.sampling.executor` can memoize them in the result store and
+share them across schemes — trace generation and the functional replay
+are both scheme-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.params import SystemParams
+from repro.common.types import MESIState
+from repro.isa.microop import MicroOp
+from repro.memory.cache import CacheArray
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "FunctionalWarmer",
+    "clone_slice",
+    "restore_hierarchy",
+    "snapshot_hierarchy",
+]
+
+
+IMAGE_VERSION = 1
+
+
+def clone_slice(
+    trace: Sequence[MicroOp], start: int, stop: int
+) -> List[MicroOp]:
+    """Copy ``trace[start:stop]`` with sequence numbers rebased to 0.
+
+    The trace cache shares MicroOp objects across runs, so slices must
+    never mutate them; each cloned op is a fresh instance.  Program
+    counters are kept (predictors key on pc), only ``seq`` is rebased so
+    the pipeline's in-order bookkeeping sees a self-consistent window.
+    """
+    out: List[MicroOp] = []
+    for idx, op in enumerate(trace[start:stop]):
+        copy = MicroOp(
+            op.opclass,
+            dest=op.dest,
+            srcs=op.srcs,
+            addr=op.addr,
+            value=op.value,
+            pc=op.pc,
+            mispredict=op.mispredict,
+            forced_prediction=op.forced_prediction,
+            data_srcs=op.data_srcs,
+        )
+        copy.seq = idx
+        out.append(copy)
+    return out
+
+
+def _snapshot_array(array: CacheArray, directory: bool) -> List[List[Any]]:
+    """Dump resident lines in global-LRU-tick order (oldest first)."""
+    lines = sorted(array, key=lambda line: line.lru)
+    dump: List[List[Any]] = []
+    for line in lines:
+        record: List[Any] = [
+            line.addr,
+            line.state.value,
+            line.reveal,
+            bool(line.dirty),
+        ]
+        if directory:
+            record.append(line.owner)
+            record.append(sorted(line.sharers))
+        dump.append(record)
+    return dump
+
+
+def _restore_array(
+    array: CacheArray, dump: Sequence[Sequence[Any]], directory: bool
+) -> None:
+    """Re-insert dumped lines; insertion order recreates per-set LRU."""
+    for record in dump:
+        addr, state, reveal, dirty = record[0], record[1], record[2], record[3]
+        line, victim = array.insert(int(addr), MESIState(state), int(reveal))
+        assert victim is None, "warm image exceeds cache capacity"
+        line.dirty = bool(dirty)
+        if directory:
+            line.owner = record[4]
+            line.sharers = set(record[5])
+    # Re-inserting counted as capacity activity only in ticks, not
+    # evictions; zero the telemetry counter so a restored hierarchy
+    # starts its measurement window clean.
+    array.evictions = 0
+
+
+def snapshot_hierarchy(
+    hierarchy: MemoryHierarchy, pairs: Sequence[Dict[int, int]]
+) -> Dict[str, Any]:
+    """Serialize warm cache/directory state plus the load-pair maps."""
+    return {
+        "version": IMAGE_VERSION,
+        "llc": _snapshot_array(hierarchy.llc, directory=True),
+        "cores": [
+            {
+                "l1": _snapshot_array(priv.l1, directory=False),
+                "l2": _snapshot_array(priv.l2, directory=False),
+            }
+            for priv in hierarchy._privs
+        ],
+        "pairs": [
+            {str(reg): addr for reg, addr in core_pairs.items()}
+            for core_pairs in pairs
+        ],
+    }
+
+
+def restore_hierarchy(
+    params: SystemParams, image: Dict[str, Any]
+) -> MemoryHierarchy:
+    """Build a fresh hierarchy and load a warm image into it.
+
+    MSHRs and ports start empty on purpose: the functional pass has no
+    notion of in-flight transactions, and a unit's own detailed warm
+    prefix re-populates transient state before measurement begins.
+    """
+    if image.get("version") != IMAGE_VERSION:
+        raise ValueError(
+            "warm image version %r != %d" % (image.get("version"), IMAGE_VERSION)
+        )
+    hierarchy = MemoryHierarchy(params)
+    if len(image["cores"]) != params.num_cores:
+        raise ValueError(
+            "warm image built for %d cores, params have %d"
+            % (len(image["cores"]), params.num_cores)
+        )
+    _restore_array(hierarchy.llc, image["llc"], directory=True)
+    for priv, dump in zip(hierarchy._privs, image["cores"]):
+        _restore_array(priv.l1, dump["l1"], directory=False)
+        _restore_array(priv.l2, dump["l2"], directory=False)
+    return hierarchy
+
+
+def image_pairs(image: Dict[str, Any]) -> List[Dict[int, int]]:
+    """Decode the per-core load-pair maps from a warm image."""
+    return [
+        {int(reg): int(addr) for reg, addr in core_pairs.items()}
+        for core_pairs in image["pairs"]
+    ]
+
+
+class FunctionalWarmer:
+    """Replays trace prefixes through real memory-state updaters.
+
+    The warmer walks every core's trace round-robin by index (the
+    closest order-approximation to concurrent execution that needs no
+    timing model) and exposes :meth:`snapshot` at arbitrary uop offsets,
+    advancing monotonically — the sampled executor snapshots once per
+    measurement-grid slot in a single O(trace) pass.
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        traces: Sequence[Sequence[MicroOp]],
+    ) -> None:
+        if len(traces) > params.num_cores:
+            import dataclasses
+
+            params = dataclasses.replace(params, num_cores=len(traces))
+        self.params = params
+        self.traces = traces
+        self.hierarchy = MemoryHierarchy(params)
+        self.position = 0
+        self._pairs: List[Dict[int, int]] = [dict() for _ in traces]
+
+    def advance(self, upto: int) -> None:
+        """Replay all cores forward to per-core uop index ``upto``."""
+        if upto < self.position:
+            raise ValueError(
+                "FunctionalWarmer is forward-only (at %d, asked for %d)"
+                % (self.position, upto)
+            )
+        hierarchy = self.hierarchy
+        for idx in range(self.position, upto):
+            for core, trace in enumerate(self.traces):
+                if idx >= len(trace):
+                    continue
+                uop = trace[idx]
+                if uop.is_load:
+                    pairs = self._pairs[core]
+                    for src in uop.srcs:
+                        addr = pairs.get(src)
+                        if addr is not None:
+                            hierarchy.reveal(core, addr, 0)
+                    hierarchy.read(core, uop.addr, 0)
+                    pairs[uop.dest] = uop.addr
+                elif uop.is_store:
+                    hierarchy.write(core, uop.addr, 0)
+                elif uop.dest is not None:
+                    self._pairs[core].pop(uop.dest, None)
+        self.position = upto
+
+    def snapshot(self, at: int) -> Dict[str, Any]:
+        """Advance to ``at`` and serialize the warm state."""
+        self.advance(at)
+        return snapshot_hierarchy(self.hierarchy, self._pairs)
+
+
+def build_warm_images(
+    params: SystemParams,
+    traces: Sequence[Sequence[MicroOp]],
+    offsets: Sequence[int],
+) -> Dict[str, Any]:
+    """One functional pass producing a warm image per grid offset.
+
+    ``offsets`` must be sorted ascending; the result maps each offset to
+    its image under a JSON-friendly layout shared across schemes.
+    """
+    warmer = FunctionalWarmer(params, traces)
+    images: Dict[str, Any] = {"version": IMAGE_VERSION, "offsets": {}}
+    last: Optional[int] = None
+    for offset in offsets:
+        if last is not None and offset < last:
+            raise ValueError("offsets must be ascending")
+        last = offset
+        images["offsets"][str(offset)] = warmer.snapshot(offset)
+    return images

@@ -32,6 +32,7 @@ from repro.sim.engine import (
 )
 from repro.sim.reporting import (
     failure_rows,
+    format_ipc,
     format_table,
     geomean,
     normalized_ipc,
@@ -96,6 +97,7 @@ __all__ = [
     "default_trace_length",
     "durable_write",
     "failure_rows",
+    "format_ipc",
     "format_table",
     "geomean",
     "grouped_bar_chart",

@@ -159,6 +159,7 @@ def execute_run(spec: Any, cache: Any = None) -> Any:
             warmup_uops=spec.warmup_uops,
             cache=cache,
             telemetry=spec.telemetry,
+            sampling=getattr(spec, "sampling", None),
         ),
     )
 

@@ -15,6 +15,7 @@ import warnings
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.common.params import MemoryTimingParams, SystemParams
+from repro.sampling.config import SamplingConfig
 from repro.sim.chaos import ChaosConfig
 from repro.telemetry.events import TelemetryConfig
 
@@ -61,6 +62,15 @@ class RunConfig:
             Like ``telemetry`` it is excluded from the result-store
             run key, but chaos runs never consult or populate the
             store anyway (a chaos sweep must not poison real results).
+        sampling: statistical-sampling configuration
+            (:class:`~repro.sampling.config.SamplingConfig`); ``None``
+            (the default) runs exact detailed simulation, bit-identical
+            to configurations that predate sampling.  Unlike
+            ``telemetry``, sampling changes the produced numbers, so it
+            *does* join the result-store run key — but only when set,
+            keeping exact-mode keys stable.  Sampling and telemetry are
+            mutually exclusive (sampled runs skip most of the trace, so
+            an event stream would be misleadingly sparse).
     """
 
     params: Optional[SystemParams] = None
@@ -71,12 +81,19 @@ class RunConfig:
     )
     telemetry: Optional[TelemetryConfig] = None
     chaos: Optional[ChaosConfig] = None
+    sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
         if self.threads <= 0:
             raise ValueError("threads must be positive")
         if self.warmup_uops is not None and self.warmup_uops < 0:
             raise ValueError("warmup_uops cannot be negative")
+        if self.sampling is not None and self.telemetry is not None:
+            raise ValueError(
+                "sampling and telemetry cannot be combined: a sampled "
+                "run detail-simulates only measurement units, so the "
+                "event stream would cover a sliver of the trace"
+            )
 
     def resolved_params(self) -> SystemParams:
         """The effective :class:`SystemParams` (defaults filled in)."""

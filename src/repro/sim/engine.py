@@ -48,6 +48,7 @@ from typing import (
 
 from repro.common.params import SystemParams
 from repro.common.types import SchemeKind
+from repro.sampling.config import SamplingConfig
 from repro.sim.chaos import ChaosConfig
 from repro.sim.config import RunConfig
 from repro.sim.runner import RunResult, TraceCache, run_benchmark
@@ -121,6 +122,11 @@ class RunSpec:
     #: outcome — but chaos specs bypass the result store entirely so a
     #: fault-injection sweep cannot mask or pollute real results.
     chaos: Optional[ChaosConfig] = None
+    #: Statistical-sampling configuration (``None`` = exact detailed
+    #: simulation).  Unlike telemetry/chaos, sampling changes the
+    #: produced numbers, so it *does* join :meth:`key` — but only when
+    #: set, keeping exact-mode store keys byte-identical to before.
+    sampling: Optional[SamplingConfig] = None
 
     @classmethod
     def build(
@@ -140,6 +146,7 @@ class RunSpec:
             warmup_uops=config.resolved_warmup(length),
             telemetry=config.telemetry,
             chaos=config.chaos,
+            sampling=config.sampling,
         )
 
     @property
@@ -156,6 +163,7 @@ class RunSpec:
             self.threads,
             self.params,
             self.warmup_uops,
+            sampling=self.sampling,
         )
 
 
@@ -169,11 +177,27 @@ class RunRecord:
     wall_time_s: float
     uops_per_sec: float
     from_store: bool
+    #: True when the run's numbers are statistical estimates (sampled
+    #: mode); exact runs keep the default so old record JSON round-trips.
+    estimated: bool = False
+    #: Measurement units behind a sampled estimate (``None`` if exact).
+    samples: Optional[int] = None
+    #: Absolute CI half-width of a sampled IPC estimate (``None`` exact).
+    ipc_ci: Optional[float] = None
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict form (scheme as its string value)."""
+        """JSON-safe dict form (scheme as its string value).
+
+        Exact-run records omit the sampling fields entirely, so suite
+        JSON written by exact sweeps is byte-identical to pre-sampling
+        output.
+        """
         data = dataclasses.asdict(self)
         data["scheme"] = self.scheme.value
+        if not self.estimated:
+            del data["estimated"]
+            del data["samples"]
+            del data["ipc_ci"]
         return data
 
     @classmethod
@@ -200,6 +224,7 @@ def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
 
 def _record(spec: RunSpec, result: RunResult, wall: float, from_store: bool) -> RunRecord:
     rate = result.stats.committed_uops / wall if wall > 0 else 0.0
+    sampling = getattr(result, "sampling", None)
     return RunRecord(
         bench=spec.profile.name,
         scheme=spec.scheme,
@@ -207,6 +232,9 @@ def _record(spec: RunSpec, result: RunResult, wall: float, from_store: bool) -> 
         wall_time_s=wall,
         uops_per_sec=rate,
         from_store=from_store,
+        estimated=sampling is not None,
+        samples=sampling.samples if sampling is not None else None,
+        ipc_ci=sampling.ipc_ci if sampling is not None else None,
     )
 
 

@@ -26,10 +26,29 @@ __all__ = [
     "overhead",
     "overhead_reduction",
     "failure_rows",
+    "format_ipc",
     "format_table",
     "records_rows",
     "suite_normalized_rows",
 ]
+
+
+def format_ipc(result, digits: int = 3) -> str:
+    """Render a run's IPC, with its ± CI half-width when estimated.
+
+    ``result`` is anything exposing ``ipc`` and (optionally) a
+    ``sampling`` estimate — a :class:`~repro.sim.runner.RunResult`, an
+    :class:`~repro.api.RunRecord`, or a raw float.  Exact runs render as
+    ``"0.812"``; sampled runs as ``"0.812±0.009"`` so a table never
+    presents an estimate as an exact measurement.
+    """
+    if isinstance(result, (int, float)):
+        return f"{result:.{digits}f}"
+    ipc = result.ipc
+    estimate = getattr(result, "sampling", None)
+    if estimate is None:
+        return f"{ipc:.{digits}f}"
+    return f"{ipc:.{digits}f}±{estimate.ipc_ci:.{digits}f}"
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -131,21 +150,32 @@ def records_rows(records: Sequence) -> List[List[str]]:
     """Per-run observability rows (bench, scheme, source, time, rate).
 
     ``records`` is a sequence of :class:`~repro.sim.engine.RunRecord`
-    (``SuiteResult.records``); pair with :func:`format_table`.
+    (``SuiteResult.records``); pair with :func:`format_table`.  When any
+    record is estimated (a sampled run), two extra columns report the
+    unit count and the relative CI half-width; an all-exact suite keeps
+    the historical five-column shape.
     """
+    sampled = any(getattr(record, "estimated", False) for record in records)
     rows = []
     for record in records:
-        rows.append(
-            [
-                record.bench,
-                record.scheme.value,
-                "store" if record.from_store else "simulated",
-                f"{record.wall_time_s:.2f}s",
-                "-"
-                if record.from_store
-                else f"{record.uops_per_sec / 1000:.0f}k uops/s",
-            ]
-        )
+        row = [
+            record.bench,
+            record.scheme.value,
+            "store" if record.from_store else "simulated",
+            f"{record.wall_time_s:.2f}s",
+            "-"
+            if record.from_store
+            else f"{record.uops_per_sec / 1000:.0f}k uops/s",
+        ]
+        if sampled:
+            if getattr(record, "estimated", False):
+                row.append(str(record.samples))
+                row.append(
+                    "±?" if record.ipc_ci is None else f"±{record.ipc_ci:.3f}"
+                )
+            else:
+                row.extend(["-", "-"])
+        rows.append(row)
     return rows
 
 

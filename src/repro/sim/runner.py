@@ -74,12 +74,20 @@ class RunResult:
     per_core: List[StatSet]
     #: Collected telemetry (``None`` unless the run traced).
     telemetry: Optional[TelemetryResult] = None
+    #: Statistical annotations (``None`` unless the run was sampled);
+    #: a :class:`~repro.sampling.estimator.SampledEstimate`.
+    sampling: Optional[Any] = None
 
     @property
     def ipc(self) -> float:
         if self.cycles == 0:
             return 0.0
         return self.stats.committed_uops / self.cycles
+
+    @property
+    def estimated(self) -> bool:
+        """True when the numbers are statistical estimates, not exact."""
+        return self.sampling is not None
 
 
 #: Rough per-uop retained size used for the cache's byte budget.  A
@@ -194,6 +202,12 @@ def run_benchmark(
     )
     trace_cache = config.cache if config.cache is not None else _GLOBAL_CACHE
     traces = trace_cache.get(profile, config.threads, length)
+    if config.sampling is not None:
+        from repro.sampling.executor import run_sampled
+
+        return run_sampled(
+            profile, scheme, length, config=config, traces=traces
+        )
     result: SystemResult = System(
         config.resolved_params(),
         traces,

@@ -32,7 +32,12 @@ A submitted suite body looks like::
                    "scheme": "stt+recon",
                    "length": 2000}],
      "jobs": 2, "supervise": true, "backend": "threads",
+     "sampling": "ci=0.02,conf=0.95",
      "idempotency_key": "..."}
+
+``sampling`` (optional) is a :func:`repro.sampling.parse_sampling` spec
+string; the job's cells then run in statistically sampled mode and
+their records carry ``estimated``/``samples``/``ipc_ci``.
 
 **Durability** (``state_dir``): every submit and job state transition
 is written ahead to a crash-safe :class:`~repro.sim.ledger.JobLedger`
@@ -543,6 +548,11 @@ class SweepService:
             raise ValueError(
                 f"unknown backend {backend!r}; known: {', '.join(BACKEND_NAMES)}"
             )
+        if options.get("sampling") is not None:
+            from repro.sampling import parse_sampling
+
+            # A bad spec fails the submit with 400, not the job later.
+            parse_sampling(options["sampling"])
         parsed = [self._parse_request(entry) for entry in requests]
         # Resolve eagerly so typos fail the submit, not the job.
         for request in parsed:
@@ -670,6 +680,7 @@ class SweepService:
                 jobs=options.get("jobs", self.default_jobs),
                 supervise=bool(options.get("supervise", False)),
                 telemetry=options.get("telemetry"),
+                sampling=options.get("sampling"),
                 store=self.store,
                 backend=options.get("backend", self.default_backend),
                 observer=lambda item: job.add_event(_observer_event(item)),
@@ -981,7 +992,9 @@ class SweepService:
                 raise ValueError("body must carry a 'requests' list")
             options = {
                 key: payload[key]
-                for key in ("jobs", "supervise", "backend", "telemetry")
+                for key in (
+                    "jobs", "supervise", "backend", "telemetry", "sampling",
+                )
                 if key in payload
             }
             job, replayed = self.submit_job(
@@ -1079,7 +1092,7 @@ def _wire_options(options: Dict[str, Any]) -> Dict[str, Any]:
     """The JSON-safe subset of job options that belongs in the ledger."""
     return {
         key: options[key]
-        for key in ("jobs", "supervise", "backend", "telemetry")
+        for key in ("jobs", "supervise", "backend", "telemetry", "sampling")
         if key in options and options[key] is not None
     }
 

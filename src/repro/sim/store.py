@@ -120,8 +120,14 @@ def run_key(
     threads: int,
     params: SystemParams,
     warmup_uops: int,
+    sampling: Any = None,
 ) -> str:
-    """Content hash identifying one run's full configuration."""
+    """Content hash identifying one run's full configuration.
+
+    ``sampling`` joins the payload only when set: exact-mode keys are
+    byte-for-byte what they were before sampled simulation existed, so
+    stores populated by older versions keep hitting.
+    """
     payload = {
         "schema": SCHEMA_VERSION,
         "profile": _jsonable(profile),
@@ -132,6 +138,8 @@ def run_key(
         "params": _jsonable(params),
         "warmup_uops": warmup_uops,
     }
+    if sampling is not None:
+        payload["sampling"] = _jsonable(sampling)
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -152,6 +160,9 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
     }
     if result.telemetry is not None:
         data["metrics"] = result.telemetry.metrics
+    sampling = getattr(result, "sampling", None)
+    if sampling is not None:
+        data["sampling"] = sampling.as_dict()
     return data
 
 
@@ -167,6 +178,11 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
     telemetry = None
     if "metrics" in data:
         telemetry = TelemetryResult.from_metrics_dict(data["metrics"])
+    sampling = None
+    if "sampling" in data:
+        from repro.sampling.estimator import SampledEstimate
+
+        sampling = SampledEstimate.from_dict(data["sampling"])
     return RunResult(
         profile=BenchmarkProfile(**profile_data),
         scheme=SchemeKind(data["scheme"]),
@@ -174,6 +190,7 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
         stats=StatSet(**data["stats"]),
         per_core=[StatSet(**core) for core in data["per_core"]],
         telemetry=telemetry,
+        sampling=sampling,
     )
 
 
@@ -275,12 +292,69 @@ class ResultStore:
                 pass
             raise
 
+    # ------------------------------------------------------------------
+    # content-hash blob entries
+    # ------------------------------------------------------------------
+    def _entry_path(self, kind: str, key: str) -> Path:
+        if not kind or any(ch in kind for ch in "/\\."):
+            raise ValueError(f"bad entry kind {kind!r}")
+        # Blobs live under a dot-directory so run-entry enumeration
+        # (__len__, clear) keeps metering simulated runs only.
+        return self.root / ".blobs" / kind / key[:2] / f"{key}.json"
+
+    def get_entry(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """A JSON blob stored by :meth:`put_entry`, or ``None``.
+
+        Blob entries are auxiliary content-hash artifacts (e.g. warm
+        memory images shared across schemes) living beside run results
+        under ``<root>/<kind>/``.  Corrupt blobs are quarantined like
+        run entries; lookups do not count toward :attr:`hits`/
+        :attr:`misses` (those meter simulated-run savings).
+        """
+        path = self._entry_path(kind, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            self._quarantine(path, exc)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, TypeError("blob entry is not an object"))
+            return None
+        return payload
+
+    def put_entry(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        """Persist a JSON blob under ``(kind, key)`` (atomic write)."""
+        path = self._entry_path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def _entries(self):
         """Every stored entry at any shard depth (skips tmp/corrupt files)."""
         return (
             entry
             for entry in self.root.rglob("*.json")
             if not entry.name.startswith(".")
+            and not any(
+                part.startswith(".")
+                for part in entry.relative_to(self.root).parts[:-1]
+            )
         )
 
     def __len__(self) -> int:

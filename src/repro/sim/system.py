@@ -62,13 +62,25 @@ class System:
         scheme: SchemeKind,
         warmup_uops: int = 0,
         telemetry: Optional[TelemetryConfig] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        measure_uops: Optional[int] = None,
     ) -> None:
         if len(traces) > params.num_cores:
             params = dataclasses.replace(params, num_cores=len(traces))
         params.validate()
         self.params = params
         self.scheme = scheme
-        self.hierarchy = MemoryHierarchy(params)
+        if hierarchy is not None:
+            # A pre-warmed hierarchy (sampled simulation restores one
+            # from a warm image) must already be sized for this system.
+            if hierarchy.params.num_cores != params.num_cores:
+                raise ValueError(
+                    "injected hierarchy has %d cores, system needs %d"
+                    % (hierarchy.params.num_cores, params.num_cores)
+                )
+            self.hierarchy = hierarchy
+        else:
+            self.hierarchy = MemoryHierarchy(params)
         #: One event queue shared by every core and the memory system:
         #: pipeline completions and packet callbacks all fire from here.
         self.events = EventQueue()
@@ -99,6 +111,7 @@ class System:
                     warmup_uops=warmup_uops,
                     telemetry=collector,
                     events=self.events,
+                    measure_uops=measure_uops,
                 )
             )
 

@@ -1,8 +1,9 @@
 """Bench-trajectory aggregation: one summary point per CI run.
 
 The CI benchmark jobs each emit a standalone artifact —
-``results/BENCH_hotpath.json`` (engine throughput cells) and
-``results/BENCH_gadgets.json`` (red-team verdict matrix).  Those files
+``results/BENCH_hotpath.json`` (engine throughput cells),
+``results/BENCH_gadgets.json`` (red-team verdict matrix), and
+``results/BENCH_sampling.json`` (sampled-vs-exact accuracy).  Those files
 answer "how fast / how safe is this commit", but not "which commit made
 it slower": each run overwrites the last.  This module folds every
 ``BENCH_*.json`` in a results directory into a single **trajectory
@@ -107,6 +108,44 @@ def _summarize_hotpath(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _summarize_sampling(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Sampled-vs-exact accuracy and speedup over the sampling bench cells.
+
+    Reads ``BENCH_sampling.json`` (see ``benchmarks/bench_sampling.py``):
+    prefers the bench's own ``summary`` block, recomputing the counts
+    from ``cells`` when a partial artifact carries cells but no summary.
+    """
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        summary = {}
+    cells = payload.get("cells", {})
+    if not isinstance(cells, dict):
+        cells = {}
+    within = [
+        bool(cell.get("within_ci"))
+        for cell in cells.values()
+        if isinstance(cell, dict)
+    ]
+    cuts = [
+        cell["cut"]
+        for cell in cells.values()
+        if isinstance(cell, dict)
+        and isinstance(cell.get("cut"), (int, float))
+    ]
+    return {
+        "length": payload.get("length"),
+        "spec": payload.get("sampling"),
+        "cells": summary.get("cells", len(within)),
+        "within_ci": summary.get("within_ci", sum(within)),
+        "min_cut": summary.get(
+            "min_cut", round(min(cuts), 2) if cuts else 0.0
+        ),
+        "geomean_cut": summary.get(
+            "geomean_cut", round(_geomean(list(cuts)), 2) if cuts else 0.0
+        ),
+    }
+
+
 def _summarize_gadgets(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Verdict counts over the red-team matrix cells."""
     cells = payload.get("cells", [])
@@ -132,7 +171,9 @@ def aggregate_point(
 
     Unreadable or non-JSON bench files are skipped (listed under
     ``"skipped"``) rather than failing the aggregation — a torn artifact
-    should not erase the rest of the point.
+    should not erase the rest of the point.  A missing or empty results
+    directory yields a stub point (``sources: []``) so the trajectory
+    file always exists downstream.
     """
     results_dir = Path(results_dir)
     point: Dict[str, Any] = {
@@ -141,7 +182,12 @@ def aggregate_point(
         "sources": [],
         "skipped": [],
     }
-    for path in sorted(results_dir.glob("BENCH_*.json")):
+    paths = (
+        sorted(results_dir.glob("BENCH_*.json"))
+        if results_dir.is_dir()
+        else []
+    )
+    for path in paths:
         if path.name == TRAJECTORY_NAME:
             continue
         try:
@@ -154,6 +200,8 @@ def aggregate_point(
             point["hotpath"] = _summarize_hotpath(payload)
         elif path.name == "BENCH_gadgets.json":
             point["gadgets"] = _summarize_gadgets(payload)
+        elif path.name == "BENCH_sampling.json":
+            point["sampling"] = _summarize_sampling(payload)
         else:  # future bench artifacts ride along un-summarized
             point.setdefault("extra", {})[path.name] = {
                 "keys": sorted(payload)[:16]
@@ -205,6 +253,7 @@ def update_trajectory(
     # history the next CI run appends to.
     from repro.sim.ledger import durable_write
 
+    out_path.parent.mkdir(parents=True, exist_ok=True)
     durable_write(
         out_path, json.dumps(trajectory, indent=1, sort_keys=True) + "\n"
     )

@@ -1,0 +1,275 @@
+"""Property-based and spot tests for the sampling estimator core.
+
+The hypothesis properties are the statistical contract of the tentpole:
+confidence intervals shrink as units accumulate, the escalation
+schedule terminates with nested unit grids, and empirical CI coverage
+matches the nominal confidence level (within a tolerance band, on fixed
+seeds, so the suite stays deterministic).
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    MeanEstimator,
+    SampledEstimate,
+    escalation_schedule,
+    student_t_sf,
+    t_critical,
+)
+
+#: Deterministic hypothesis runs: CI must not flake on a rare draw.
+settings.register_profile(
+    "repro", settings(max_examples=50, derandomize=True, deadline=None)
+)
+settings.load_profile("repro")
+
+
+class TestStudentT:
+    #: Two-sided 95% critical values from the standard t table.
+    TABLE_95 = {1: 12.706, 2: 4.303, 5: 2.571, 10: 2.228, 30: 2.042}
+
+    def test_t_table_spot_checks(self):
+        for dof, expected in self.TABLE_95.items():
+            assert t_critical(0.95, dof) == pytest.approx(expected, abs=2e-3)
+
+    def test_high_dof_approaches_normal_quantile(self):
+        assert t_critical(0.95, 100000) == pytest.approx(1.960, abs=2e-3)
+
+    def test_99_percent_spot_check(self):
+        assert t_critical(0.99, 10) == pytest.approx(3.169, abs=2e-3)
+
+    def test_sf_at_zero_is_half(self):
+        for dof in (1, 3, 17):
+            assert student_t_sf(0.0, dof) == pytest.approx(0.5)
+
+    def test_sf_symmetry(self):
+        for t in (0.5, 1.3, 4.0):
+            assert student_t_sf(-t, 7) == pytest.approx(
+                1.0 - student_t_sf(t, 7), abs=1e-12
+            )
+
+    @given(
+        dof=st.integers(min_value=1, max_value=200),
+        confidence=st.floats(min_value=0.5, max_value=0.999),
+    )
+    def test_critical_value_inverts_sf(self, dof, confidence):
+        t_star = t_critical(confidence, dof)
+        alpha = (1.0 - confidence) / 2.0
+        assert student_t_sf(t_star, dof) == pytest.approx(alpha, abs=1e-7)
+
+    def test_monotone_decreasing_in_dof(self):
+        values = [t_critical(0.95, dof) for dof in range(1, 40)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            t_critical(1.5, 5)
+        with pytest.raises(ValueError):
+            t_critical(0.95, 0)
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, 0)
+
+
+class TestMeanEstimator:
+    def test_matches_statistics_module(self):
+        data = [3.0, 1.5, 4.25, 0.5, 2.75]
+        est = MeanEstimator()
+        for value in data:
+            est.add(value)
+        assert est.mean == pytest.approx(statistics.fmean(data))
+        assert est.variance == pytest.approx(statistics.variance(data))
+
+    def test_no_interval_below_two_samples(self):
+        est = MeanEstimator()
+        assert est.half_width() is None
+        est.add(1.0)
+        assert est.half_width() is None
+        with pytest.raises(ValueError):
+            est.covers(1.0)
+
+    def test_zero_mean_relative_width_is_inf(self):
+        est = MeanEstimator()
+        est.add(-1.0)
+        est.add(1.0)
+        assert est.mean == 0.0
+        assert est.relative_half_width() == math.inf
+
+    def test_identical_samples_zero_width(self):
+        est = MeanEstimator()
+        for _ in range(4):
+            est.add(2.5)
+        assert est.half_width() == pytest.approx(0.0, abs=1e-12)
+        assert est.covers(2.5)
+
+    @given(
+        mean=st.floats(min_value=0.1, max_value=100.0),
+        spread=st.floats(min_value=0.01, max_value=10.0),
+        pairs=st.integers(min_value=2, max_value=64),
+    )
+    def test_ci_shrinks_monotonically_with_sample_count(
+        self, mean, spread, pairs
+    ):
+        """Feeding a constant-variance stream, the CI only narrows.
+
+        The stream alternates ``mean ± spread`` so the sample variance
+        is the same at every even count; the half-width then decreases
+        in both factors (t* falls with dof, the standard error with
+        1/sqrt(n)) — the monotone-shrink property escalation relies on.
+        """
+        est = MeanEstimator()
+        widths = []
+        for i in range(2 * pairs):
+            est.add(mean + spread if i % 2 == 0 else mean - spread)
+            if est.n >= 2 and est.n % 2 == 0:
+                widths.append(est.half_width())
+        assert all(a > b for a, b in zip(widths, widths[1:]))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=4, max_value=64),
+    )
+    def test_welford_equals_two_pass(self, seed, n):
+        rng = random.Random(seed)
+        data = [rng.uniform(-50, 50) for _ in range(n)]
+        est = MeanEstimator()
+        for value in data:
+            est.add(value)
+        assert est.mean == pytest.approx(statistics.fmean(data), rel=1e-9)
+        assert est.variance == pytest.approx(
+            statistics.variance(data), rel=1e-9, abs=1e-9
+        )
+
+
+class TestCoverage:
+    #: Fixed-seed empirical coverage: nominal 95% must land in a band
+    #: wide enough to absorb binomial noise over TRIALS experiments
+    #: (std ~ sqrt(.95*.05/400) ~ 1.1%), tight enough to catch a broken
+    #: quantile or variance estimate (which shifts coverage by >> 5%).
+    TRIALS = 400
+    SAMPLES = 8
+    BAND = (0.90, 0.99)
+
+    def test_coverage_matches_nominal_confidence(self):
+        true_mean, sigma = 2.0, 0.7
+        covered = 0
+        for seed in range(self.TRIALS):
+            rng = random.Random(1000 + seed)
+            est = MeanEstimator(0.95)
+            for _ in range(self.SAMPLES):
+                est.add(rng.gauss(true_mean, sigma))
+            covered += est.covers(true_mean)
+        coverage = covered / self.TRIALS
+        assert self.BAND[0] <= coverage <= self.BAND[1], coverage
+
+    def test_low_confidence_covers_less(self):
+        true_mean, sigma = 2.0, 0.7
+        covered = 0
+        for seed in range(self.TRIALS):
+            rng = random.Random(1000 + seed)
+            est = MeanEstimator(0.5)
+            for _ in range(self.SAMPLES):
+                est.add(rng.gauss(true_mean, sigma))
+            covered += est.covers(true_mean)
+        coverage = covered / self.TRIALS
+        assert 0.40 <= coverage <= 0.60, coverage
+
+
+class TestEscalationSchedule:
+    @given(
+        min_units=st.integers(min_value=2, max_value=64),
+        factor=st.integers(min_value=1, max_value=6),
+    )
+    def test_terminates_at_max_with_doubling(self, min_units, factor):
+        max_units = min_units * 2 ** (factor - 1)
+        counts = list(escalation_schedule(min_units, max_units))
+        assert counts[0] == min_units
+        assert counts[-1] == max_units
+        assert all(a < b for a, b in zip(counts, counts[1:]))
+        assert len(counts) == factor
+
+    @given(
+        min_units=st.integers(min_value=2, max_value=64),
+        max_units=st.integers(min_value=2, max_value=512),
+    )
+    def test_always_terminates(self, min_units, max_units):
+        if max_units < min_units:
+            with pytest.raises(ValueError):
+                list(escalation_schedule(min_units, max_units))
+            return
+        counts = list(escalation_schedule(min_units, max_units))
+        assert counts[-1] == max_units
+        assert len(counts) <= 1 + math.ceil(math.log2(max_units))
+
+    @given(factor=st.integers(min_value=1, max_value=5))
+    def test_nested_power_of_two_grids(self, factor):
+        """Every round's slot set is a subset of the next round's.
+
+        This is the property that lets escalation reuse all
+        already-measured units: with ``stride = max_units // count``,
+        round r's slots {k * stride} nest inside round r+1's.
+        """
+        max_units = 4 * 2 ** (factor - 1)
+        previous = None
+        for count in escalation_schedule(4, max_units):
+            stride = max(max_units // count, 1)
+            slots = {k * stride for k in range(count)}
+            if previous is not None:
+                assert previous <= slots
+            previous = slots
+
+    def test_escalation_loop_with_target_terminates(self):
+        """The executor's loop shape: stop on target or at max_units."""
+
+        def run(measurements, target):
+            est = MeanEstimator()
+            fed = 0
+            rounds = 0
+            for count in escalation_schedule(2, 16):
+                rounds += 1
+                while fed < count:
+                    est.add(measurements[fed])
+                    fed += 1
+                rel = est.relative_half_width()
+                if rel is not None and rel <= target:
+                    return rounds, True
+            return rounds, False
+
+        tight = [5.0, 5.001, 4.999, 5.0] * 4
+        rounds, converged = run(tight, 0.01)
+        assert converged and rounds == 1
+        noisy = [1.0, 9.0, 2.0, 8.0] * 4
+        rounds, converged = run(noisy, 0.01)
+        assert not converged and rounds == 4  # 2, 4, 8, 16
+
+
+class TestSampledEstimate:
+    def _make(self):
+        return SampledEstimate(
+            ipc=1.25,
+            ipc_ci=0.05,
+            confidence=0.95,
+            samples=8,
+            unit_uops=300,
+            detailed_uops=2400,
+            total_uops=12000,
+            rounds=2,
+            converged=True,
+            leakage={"reveal_hits": {"mean": 10.0, "ci": 2.0}},
+        )
+
+    def test_round_trip(self):
+        estimate = self._make()
+        data = estimate.as_dict()
+        assert data["estimated"] is True
+        assert SampledEstimate.from_dict(data) == estimate
+
+    def test_estimated_and_speedup(self):
+        estimate = self._make()
+        assert estimate.estimated is True
+        assert estimate.speedup_bound == pytest.approx(5.0)

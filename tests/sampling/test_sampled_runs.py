@@ -1,0 +1,210 @@
+"""End-to-end sampled runs: runner, engine, backends, store, golden parity.
+
+The two determinism contracts of the tentpole live here:
+
+* exact mode (``sampling=None``) is bit-identical to the pre-sampling
+  golden suite committed under ``tests/data/``, and
+* sampled mode is itself deterministic — every execution backend (and a
+  store replay) produces the same estimate to the last bit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import SchemeKind
+from repro.api import RunRequest, run_single, run_suite
+from repro.sampling import SampledEstimate, SamplingConfig
+from repro.sim import RunConfig, run_benchmark
+from repro.sim.engine import RunSpec, execute_specs
+from repro.sim.store import ResultStore
+from repro.workloads import get_benchmark
+
+GOLDEN = Path(__file__).parent.parent / "data" / "suite_exact_golden.json"
+
+LENGTH = 1_200
+SAMPLING = SamplingConfig()
+
+
+def _sampled_specs(names=("mcf", "gcc"), schemes=(SchemeKind.UNSAFE, SchemeKind.STT)):
+    config = RunConfig(sampling=SAMPLING)
+    return [
+        RunSpec.build(get_benchmark("spec2017", name), scheme, LENGTH, config)
+        for name in names
+        for scheme in schemes
+    ]
+
+
+class TestSampledRunBenchmark:
+    def test_result_carries_estimate(self):
+        profile = get_benchmark("spec2017", "mcf")
+        result = run_benchmark(
+            profile,
+            SchemeKind.UNSAFE,
+            LENGTH,
+            config=RunConfig(sampling=SAMPLING),
+        )
+        assert result.estimated
+        est = result.sampling
+        assert isinstance(est, SampledEstimate)
+        assert est.samples >= SAMPLING.min_units
+        assert est.ipc > 0.0
+        assert est.ipc_ci > 0.0
+        # cycles is rounded to an integer, so RunResult.ipc differs from
+        # the estimator mean by at most half a cycle over the region.
+        assert result.ipc == pytest.approx(est.ipc, rel=2e-3)
+        assert 0 < est.detailed_uops < est.total_uops
+        # Trace builders may round the length up to a kernel boundary.
+        assert est.total_uops >= LENGTH
+        assert set(est.leakage) == {
+            "load_pairs_detected",
+            "reveal_hits",
+            "delayed_loads",
+        }
+
+    def test_sampled_run_is_deterministic(self):
+        profile = get_benchmark("spec2017", "gcc")
+        config = RunConfig(sampling=SAMPLING)
+        a = run_benchmark(profile, SchemeKind.STT, LENGTH, config=config)
+        b = run_benchmark(profile, SchemeKind.STT, LENGTH, config=config)
+        assert a.sampling == b.sampling
+        assert a.cycles == b.cycles
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_cold_warmup_mode_runs(self):
+        profile = get_benchmark("spec2017", "mcf")
+        cold = run_benchmark(
+            profile,
+            SchemeKind.UNSAFE,
+            LENGTH,
+            config=RunConfig(
+                sampling=SamplingConfig(warmup_mode="cold")
+            ),
+        )
+        assert cold.estimated
+        assert cold.sampling.ipc > 0.0
+
+    def test_exact_run_has_no_estimate(self):
+        profile = get_benchmark("spec2017", "mcf")
+        result = run_benchmark(profile, SchemeKind.UNSAFE, LENGTH)
+        assert not result.estimated
+        assert result.sampling is None
+
+
+class TestExactGoldenParity:
+    """Exact mode must stay bit-identical to the committed golden suite."""
+
+    def test_exact_suite_matches_golden(self):
+        golden = json.loads(GOLDEN.read_text())
+        requests = [
+            RunRequest(f"spec2017/{bench}", scheme, golden["length"])
+            for bench in ("mcf", "gcc", "xalancbmk")
+            for scheme in golden["schemes"]
+        ]
+        suite = run_suite(requests, store=False)
+        payload = json.loads(suite.to_json())
+        ours = sorted(
+            payload["results"], key=lambda c: (c["bench"], c["scheme"])
+        )
+        want = sorted(
+            golden["results"], key=lambda c: (c["bench"], c["scheme"])
+        )
+        assert ours == want
+
+    def test_exact_records_omit_sampling_fields(self):
+        requests = [RunRequest("spec2017/mcf", "unsafe", LENGTH)]
+        suite = run_suite(requests, store=False)
+        (record,) = suite.records
+        assert not record.estimated
+        data = record.as_dict()
+        assert "estimated" not in data
+        assert "samples" not in data
+        assert "ipc_ci" not in data
+
+
+class TestBackendDeterminism:
+    """Sampled estimates are identical on every execution substrate."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        results, _ = execute_specs(_sampled_specs(), jobs=1, backend="inline")
+        return results
+
+    @pytest.mark.parametrize("name", ["threads", "process", "queue"])
+    def test_backend_matches_inline(self, name, reference):
+        results, _ = execute_specs(_sampled_specs(), jobs=2, backend=name)
+        assert len(results) == len(reference)
+        for ours, theirs in zip(results, reference):
+            assert ours.sampling == theirs.sampling
+            assert ours.cycles == theirs.cycles
+            assert ours.stats.as_dict() == theirs.stats.as_dict()
+
+
+class TestSuiteIntegration:
+    def test_run_suite_sampling_override(self):
+        requests = [
+            RunRequest("spec2017/mcf", scheme, LENGTH)
+            for scheme in ("unsafe", "stt")
+        ]
+        suite = run_suite(requests, sampling="on", store=False)
+        assert len(suite) == 2
+        for record in suite.records:
+            assert record.estimated
+            assert record.samples >= SAMPLING.min_units
+            assert record.ipc_ci > 0.0
+            data = record.as_dict()
+            assert data["estimated"] is True
+        round_tripped = type(suite).from_json(suite.to_json())
+        for key in suite:
+            assert round_tripped[key].sampling == suite[key].sampling
+
+    def test_run_suite_rejects_bad_spec(self):
+        with pytest.raises(ValueError, match="unknown sampling option"):
+            run_suite(
+                [RunRequest("spec2017/mcf", "unsafe", LENGTH)],
+                sampling="bogus=1",
+                store=False,
+            )
+
+    def test_run_single_record_properties(self):
+        record = run_single(
+            RunRequest(
+                "spec2017/mcf",
+                "unsafe",
+                LENGTH,
+                config=RunConfig(sampling=SAMPLING),
+            ),
+            store=False,
+        )
+        assert record.estimated
+        assert record.ipc_ci == record.sampling.ipc_ci
+        assert record.ipc == pytest.approx(record.sampling.ipc, rel=2e-3)
+
+
+class TestStoreRoundTrip:
+    def test_sampled_result_memoizes_and_restores(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = _sampled_specs(names=("mcf",), schemes=(SchemeKind.UNSAFE,))
+        first, records_first = execute_specs(specs, jobs=1, store=store)
+        assert not records_first[0].from_store
+        second, records_second = execute_specs(specs, jobs=1, store=store)
+        assert records_second[0].from_store
+        assert second[0].sampling == first[0].sampling
+        assert second[0].stats.as_dict() == first[0].stats.as_dict()
+
+    def test_sampled_and_exact_keys_are_distinct(self, tmp_path):
+        store = ResultStore(tmp_path)
+        profile = get_benchmark("spec2017", "mcf")
+        exact = RunSpec.build(
+            profile, SchemeKind.UNSAFE, LENGTH, RunConfig()
+        )
+        sampled = RunSpec.build(
+            profile, SchemeKind.UNSAFE, LENGTH, RunConfig(sampling=SAMPLING)
+        )
+        assert exact.key() != sampled.key()
+        execute_specs([exact], jobs=1, store=store)
+        # The sampled spec must not be served the exact result.
+        results, records = execute_specs([sampled], jobs=1, store=store)
+        assert not records[0].from_store
+        assert results[0].sampling is not None

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.chaos
+
 from repro.sim.chaos import (
     CORRUPT_PAYLOAD,
     ChaosConfig,

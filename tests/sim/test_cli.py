@@ -222,6 +222,52 @@ class TestRobustnessFlags:
         assert len(after.splitlines()) == len(before.splitlines())
 
 
+class TestSamplingFlag:
+    def test_run_sampled_prints_ci(self, capsys):
+        code = main(
+            ["run", "spec2017/mcf", "--length", "1200", "--schemes",
+             "unsafe", "--sampling", "on"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "±" in out  # estimated IPCs render as value±ci
+
+    def test_run_exact_has_no_ci(self, capsys):
+        assert main(
+            ["run", "spec2017/mcf", "--length", "800", "--schemes", "unsafe"]
+        ) == 0
+        assert "±" not in capsys.readouterr().out
+
+    def test_bad_sampling_spec_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "spec2017/mcf", "--length", "800",
+                 "--sampling", "zorp=1"]
+            )
+
+    def test_sampling_conflicts_with_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="telemetry"):
+            main(
+                ["run", "spec2017/mcf", "--length", "800", "--sampling",
+                 "on", "--trace", str(tmp_path / "trace.json")]
+            )
+
+    def test_suite_accepts_sampling(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["suite", "spec2017", "--length", "800", "--schemes",
+             "unsafe,stt", "--sampling", "ci=0.05,conf=0.9", "--no-store"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "±" in out
+
+    def test_sweep_accepts_sampling(self, capsys):
+        assert main(
+            ["sweep", "lpt", "spec2017/mcf", "--length", "800",
+             "--sampling", "on"]
+        ) == 0
+
+
 class TestLeakage:
     def test_leakage_report(self, capsys):
         assert main(["leakage", "spec2017/mcf", "--length", "1200"]) == 0

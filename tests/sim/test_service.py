@@ -15,6 +15,8 @@ import urllib.request
 
 import pytest
 
+pytestmark = pytest.mark.service
+
 from repro.api import RunRequest, poll, result, submit_suite
 from repro.sim.engine import SuiteResult
 from repro.sim.service import SweepService, _serve_async

@@ -18,6 +18,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.service
+
 from repro.api import RunRequest, run_suite
 from repro.sim.ledger import JobLedger
 from repro.sim.service import SweepService

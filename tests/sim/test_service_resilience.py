@@ -19,6 +19,8 @@ import urllib.request
 
 import pytest
 
+pytestmark = pytest.mark.service
+
 import repro.api as api_mod
 from repro.api import (
     RunRequest,

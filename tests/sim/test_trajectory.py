@@ -1,6 +1,8 @@
 """Tests for the bench-trajectory aggregator (CI perf/safety history)."""
 
+import importlib.util
 import json
+from pathlib import Path
 
 import pytest
 
@@ -10,6 +12,19 @@ from repro.sim.trajectory import (
     load_trajectory,
     update_trajectory,
 )
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent.parent
+    / "scripts"
+    / "aggregate_bench.py"
+)
+
+
+def _script_main():
+    spec = importlib.util.spec_from_file_location("aggregate_bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main
 
 
 def _write_bench_files(results_dir):
@@ -77,6 +92,128 @@ class TestAggregatePoint:
         assert point["skipped"] == ["BENCH_hotpath.json"]
         assert "hotpath" not in point
         assert point["gadgets"]["cells"] == 3
+
+
+class TestSamplingSummary:
+    def _sampling_payload(self, with_summary=True):
+        payload = {
+            "length": 12000,
+            "sampling": "ci=0.02,conf=0.95",
+            "cells": {
+                "mcf/unsafe": {"within_ci": True, "cut": 5.0},
+                "mcf/stt": {"within_ci": True, "cut": 6.2},
+                "gcc/unsafe": {"within_ci": False, "cut": 5.5},
+            },
+        }
+        if with_summary:
+            payload["summary"] = {
+                "cells": 3,
+                "within_ci": 2,
+                "min_cut": 5.0,
+                "geomean_cut": 5.55,
+            }
+        return payload
+
+    def test_prefers_bench_summary_block(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / "BENCH_sampling.json").write_text(
+            json.dumps(self._sampling_payload())
+        )
+        point = aggregate_point(tmp_path, sha="abc", timestamp=0.0)
+        assert point["sources"] == ["BENCH_sampling.json"]
+        assert point["sampling"] == {
+            "length": 12000,
+            "spec": "ci=0.02,conf=0.95",
+            "cells": 3,
+            "within_ci": 2,
+            "min_cut": 5.0,
+            "geomean_cut": 5.55,
+        }
+
+    def test_recomputes_from_cells_without_summary(self, tmp_path):
+        (tmp_path / "BENCH_sampling.json").write_text(
+            json.dumps(self._sampling_payload(with_summary=False))
+        )
+        point = aggregate_point(tmp_path, sha="abc", timestamp=0.0)
+        sampling = point["sampling"]
+        assert sampling["cells"] == 3
+        assert sampling["within_ci"] == 2
+        assert sampling["min_cut"] == 5.0
+        assert sampling["geomean_cut"] == pytest.approx(5.55, abs=0.01)
+
+    def test_empty_sampling_artifact_yields_zero_counts(self, tmp_path):
+        (tmp_path / "BENCH_sampling.json").write_text("{}")
+        point = aggregate_point(tmp_path, sha="abc", timestamp=0.0)
+        assert point["sampling"] == {
+            "length": None,
+            "spec": None,
+            "cells": 0,
+            "within_ci": 0,
+            "min_cut": 0.0,
+            "geomean_cut": 0.0,
+        }
+
+
+class TestMissingArtifacts:
+    def test_missing_results_dir_yields_stub_point(self, tmp_path):
+        point = aggregate_point(
+            tmp_path / "does-not-exist", sha="abc", timestamp=0.0
+        )
+        assert point["sources"] == []
+        assert "hotpath" not in point
+        assert "sampling" not in point
+
+    def test_empty_results_dir_yields_stub_point(self, tmp_path):
+        point = aggregate_point(tmp_path, sha="abc", timestamp=0.0)
+        assert point["sources"] == []
+
+    def test_update_trajectory_creates_parent_dirs(self, tmp_path):
+        out = tmp_path / "deep" / "nested" / "BENCH_trajectory.json"
+        update_trajectory(
+            tmp_path / "missing-results", out, sha="abc", timestamp=0.0
+        )
+        trajectory = load_trajectory(out)
+        assert [p["sha"] for p in trajectory["points"]] == ["abc"]
+        assert trajectory["points"][0]["sources"] == []
+
+
+class TestAggregateScript:
+    """scripts/aggregate_bench.py must never fail on missing artifacts."""
+
+    def test_missing_results_dir_emits_stub(self, tmp_path, capsys):
+        main = _script_main()
+        results = tmp_path / "results"  # never created
+        assert main(["--results-dir", str(results), "--sha", "deadbeef"]) == 0
+        out = capsys.readouterr().out
+        assert "stub point: no BENCH_*.json artifacts found" in out
+        trajectory = load_trajectory(results / TRAJECTORY_NAME)
+        assert len(trajectory["points"]) == 1
+        assert trajectory["points"][0]["sources"] == []
+
+    def test_partial_artifacts_summarized(self, tmp_path, capsys):
+        main = _script_main()
+        _write_bench_files(tmp_path)
+        (tmp_path / "BENCH_sampling.json").write_text(
+            json.dumps(
+                {
+                    "summary": {
+                        "cells": 12,
+                        "within_ci": 12,
+                        "min_cut": 5.01,
+                        "geomean_cut": 5.4,
+                    }
+                }
+            )
+        )
+        (tmp_path / "BENCH_torn.json").write_text("{ torn")
+        assert main(["--results-dir", str(tmp_path), "--sha", "cafe"]) == 0
+        out = capsys.readouterr().out
+        assert "sampling 12/12 within CI at 5.01x+ cut" in out
+        assert "stub point" not in out
+        trajectory = load_trajectory(tmp_path / TRAJECTORY_NAME)
+        point = trajectory["points"][-1]
+        assert point["skipped"] == ["BENCH_torn.json"]
+        assert point["sampling"]["within_ci"] == 12
 
 
 class TestUpdateTrajectory:
